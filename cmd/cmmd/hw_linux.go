@@ -1,0 +1,20 @@
+//go:build linux
+
+package main
+
+import (
+	"cmm/internal/cat"
+	icmm "cmm/internal/cmm"
+	"cmm/internal/hwtarget"
+)
+
+// newHardwareTarget opens the real-machine control surface (msr driver +
+// perf events). Used by -hw; errors fall back to the simulator with a
+// notice.
+func newHardwareTarget(cores int, ghz float64) (icmm.Target, func() error, error) {
+	t, err := hwtarget.New(hwtarget.Config{Cores: cores, CoreGHz: ghz, CAT: cat.DefaultConfig()})
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, t.Close, nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package main
+
+import (
+	"fmt"
+
+	icmm "cmm/internal/cmm"
+)
+
+// newHardwareTarget is unavailable off Linux.
+func newHardwareTarget(cores int, ghz float64) (icmm.Target, func() error, error) {
+	return nil, nil, fmt.Errorf("hardware target requires Linux (msr driver + perf events)")
+}

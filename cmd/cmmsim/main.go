@@ -1,0 +1,182 @@
+// Command cmmsim regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	cmmsim -table1                  # Table I (metric definitions)
+//	cmmsim -fig 1                   # Fig. 1: memory BW w/ and w/o prefetch
+//	cmmsim -fig 3                   # Fig. 3: IPC vs LLC ways
+//	cmmsim -fig 7                   # Fig. 7: PT normalized HS/WS
+//	cmmsim -fig 13 -full            # Fig. 13: all 7 mechanisms, full size
+//	cmmsim -fig comparison -csv     # all policy metrics as CSV
+//
+// Figures 7–15 share one comparison dataset; requesting any of them runs
+// the whole set of policies the figure needs. -quick (default) uses 2
+// mixes per category and short epochs; -full uses the paper's 10 mixes
+// per category and longer windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cmm/internal/cmm"
+	"cmm/internal/experiments"
+	"cmm/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15 or 'comparison'")
+		table1 = flag.Bool("table1", false, "print Table I")
+		full   = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
+		csv    = flag.Bool("csv", false, "emit comparison data as CSV instead of tables")
+		seeds  = flag.Int("seeds", 0, "override the number of run seeds (0 = option default)")
+		mixesN = flag.Int("mixes", 0, "override mixes per category (0 = option default)")
+		out    = flag.String("out", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *table1 {
+		experiments.WriteTable1(w)
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.QuickOptions()
+	if *full {
+		opts = experiments.DefaultOptions()
+	}
+	if *seeds > 0 {
+		opts.Seeds = opts.Seeds[:0]
+		for s := int64(1); s <= int64(*seeds); s++ {
+			opts.Seeds = append(opts.Seeds, s)
+		}
+	}
+	if *mixesN > 0 {
+		opts.MixesPerCategory = *mixesN
+	}
+
+	switch *fig {
+	case "all":
+		f1, f2, err := experiments.Characterize(opts, workload.Suite())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "=== Fig. 1: memory bandwidth, demand vs with-prefetch ===")
+		experiments.WriteFig1(w, f1)
+		fmt.Fprintln(w, "\n=== Fig. 2: IPC speedup from prefetching ===")
+		experiments.WriteFig2(w, f2)
+		f3, err := experiments.Fig3(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "\n=== Fig. 3: IPC vs allocated LLC ways ===")
+		experiments.WriteFig3(w, f3)
+		comp, err := experiments.RunComparison(opts, cmm.Policies()[1:])
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range []string{"7", "8", "9", "10", "11", "12", "13", "14", "15"} {
+			fmt.Fprintln(w, "\n===", "Figure", f, "===")
+			writeFigure(w, comp, f)
+		}
+		fmt.Fprintln(w, "\n=== markdown summary (EXPERIMENTS.md) ===")
+		experiments.WriteMarkdownCharacterization(w, f1, f2, f3)
+		experiments.WriteMarkdownSummary(w, comp)
+		fmt.Fprintln(w, "\n=== raw comparison data (CSV) ===")
+		fmt.Fprint(w, experiments.CSV(comp))
+	case "1":
+		rows, err := experiments.Fig1(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFig1(w, rows)
+	case "2":
+		rows, err := experiments.Fig2(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFig2(w, rows)
+	case "3":
+		rows, err := experiments.Fig3(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFig3(w, rows)
+	case "7", "8", "9", "10", "11", "12", "13", "14", "15", "comparison":
+		comp, err := experiments.RunComparison(opts, cmm.Policies()[1:])
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Fprint(w, experiments.CSV(comp))
+			return
+		}
+		writeFigure(w, comp, *fig)
+	default:
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+func writeFigure(w io.Writer, comp *experiments.Comparison, fig string) {
+	pt := []string{"PT"}
+	cp := []string{"Dunn", "Pref-CP", "Pref-CP2"}
+	cmms := []string{"CMM-a", "CMM-b", "CMM-c"}
+	all := append(append(append([]string{}, pt...), cp...), cmms...)
+	switch fig {
+	case "7":
+		fmt.Fprintln(w, "Fig. 7: normalized HS and WS of PT vs baseline")
+		experiments.WriteHSWS(w, comp, pt...)
+	case "8":
+		fmt.Fprintln(w, "Fig. 8: lowest normalized IPC in each workload under PT")
+		experiments.WriteSingleMetric(w, comp, "worst-case", experiments.MetricWorstCase, pt...)
+	case "9":
+		fmt.Fprintln(w, "Fig. 9: normalized HS and WS of the CP mechanisms")
+		experiments.WriteHSWS(w, comp, cp...)
+	case "10":
+		fmt.Fprintln(w, "Fig. 10: worst-case speedup of the CP mechanisms")
+		experiments.WriteSingleMetric(w, comp, "worst-case", experiments.MetricWorstCase, cp...)
+	case "11":
+		fmt.Fprintln(w, "Fig. 11: normalized HS and WS of CMM-a/b/c")
+		experiments.WriteHSWS(w, comp, cmms...)
+	case "12":
+		fmt.Fprintln(w, "Fig. 12: worst-case speedup of CMM-a/b/c")
+		experiments.WriteSingleMetric(w, comp, "worst-case", experiments.MetricWorstCase, cmms...)
+	case "13":
+		fmt.Fprintln(w, "Fig. 13: all 7 mechanisms, normalized HS and WS")
+		experiments.WriteHSWS(w, comp, all...)
+	case "14":
+		fmt.Fprintln(w, "Fig. 14: normalized memory bandwidth")
+		experiments.WriteSingleMetric(w, comp, "bandwidth", experiments.MetricBW, all...)
+	case "15":
+		fmt.Fprintln(w, "Fig. 15: normalized STALLS_L2_PENDING")
+		experiments.WriteSingleMetric(w, comp, "stalls", experiments.MetricStalls, all...)
+	case "comparison":
+		for _, f := range []string{"13", "14", "15"} {
+			writeFigure(w, comp, f)
+			fmt.Fprintln(w, strings.Repeat("-", 60))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmsim:", err)
+	os.Exit(1)
+}

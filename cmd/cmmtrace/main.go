@@ -1,0 +1,145 @@
+// Command cmmtrace records benchmark reference streams to compact trace
+// files and replays them through the simulated machine — the standard
+// trace-driven workflow for inspecting workloads offline or pinning a
+// stream across generator changes.
+//
+// Usage:
+//
+//	cmmtrace -record bwaves.trc -benchmark 410.bwaves -refs 1000000
+//	cmmtrace -info bwaves.trc
+//	cmmtrace -replay bwaves.trc            # run it through the machine
+//	cmmtrace -replay bwaves.trc -noprefetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmm/internal/msr"
+	"cmm/internal/pmu"
+	"cmm/internal/sim"
+	"cmm/internal/trace"
+	"cmm/internal/workload"
+)
+
+func main() {
+	var (
+		record     = flag.String("record", "", "record a trace to this file")
+		benchmark  = flag.String("benchmark", "", "benchmark to record")
+		refs       = flag.Int("refs", 1_000_000, "references to record")
+		info       = flag.String("info", "", "print a trace file's header and stats")
+		replay     = flag.String("replay", "", "replay a trace through the simulator")
+		noPrefetch = flag.Bool("noprefetch", false, "disable prefetchers during replay")
+		cycles     = flag.Uint64("cycles", 8_000_000, "replay duration in cycles")
+		seed       = flag.Int64("seed", 1, "generator seed for -record")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		spec, ok := workload.ByName(*benchmark)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchmark))
+		}
+		gen, err := workload.New(spec, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Record(f, gen, *refs); err != nil {
+			fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("recorded %d refs of %s to %s (%.2f bytes/ref)\n",
+			*refs, spec.Name, *record, float64(st.Size())/float64(*refs))
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		name, pcs, addrs, err := trace.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+		lines := map[uint64]bool{}
+		for _, a := range addrs {
+			lines[a/64] = true
+		}
+		fmt.Printf("benchmark: %s\nrefs:      %d\nfootprint: %d lines (%.1f MB)\npcs:       %d distinct\n",
+			name, len(addrs), len(lines), float64(len(lines))*64/1e6, distinct(pcs))
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		// Timing parameters come from the recorded benchmark's spec when
+		// known, else conservative defaults.
+		base := workload.Spec{Name: "trace", Pattern: workload.Stream,
+			WorkingSet: 1 << 30, StepBytes: 64, GapInstrs: 2, MLP: 4}
+		rep, err := trace.NewReplayer(f, base)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		spec := rep.Spec()
+		if known, ok := workload.ByName(spec.Name); ok {
+			known.Name = spec.Name
+			rep2, err2 := reopenReplayer(*replay, known)
+			if err2 == nil {
+				rep = rep2
+				spec = known
+			}
+		}
+		sys, err := sim.NewWithGenerators(sim.DefaultConfig(), []workload.Generator{rep})
+		if err != nil {
+			fatal(err)
+		}
+		if *noPrefetch {
+			if err := sys.Bank().Write(0, msr.MiscFeatureControl, msr.DisableAll); err != nil {
+				fatal(err)
+			}
+		}
+		sys.Run(*cycles)
+		s := sys.PMU(0).Snapshot().Delta(pmu.Snapshot{})
+		fmt.Printf("replayed %s for %d cycles\n", spec.Name, *cycles)
+		fmt.Printf("IPC:        %.4f\n", s.IPC())
+		fmt.Printf("L2 PTR:     %.3e /s\n", s.M3L2PTR(sys.Config().CoreGHz))
+		fmt.Printf("PGA:        %.3f\n", s.M4PGA())
+		fmt.Printf("L2 PMR:     %.3f\n", s.M5L2PMR())
+		fmt.Printf("mem BW:     %.3f GB/s\n", s.TotalBandwidthGBs(64, sys.Config().CoreGHz))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func reopenReplayer(path string, spec workload.Spec) (*trace.Replayer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.NewReplayer(f, spec)
+}
+
+func distinct(xs []uint64) int {
+	set := map[uint64]bool{}
+	for _, x := range xs {
+		set[x] = true
+	}
+	return len(set)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command wlgen inspects the synthetic benchmark suite and the paper's
+// workload mixes.
+//
+// Usage:
+//
+//	wlgen -list                 # suite with classifications
+//	wlgen -mixes                # the 40 evaluation mixes
+//	wlgen -characterize         # run the Fig. 1/2 solo characterisation
+//	wlgen -verify               # measured classes vs the static table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmm/internal/experiments"
+	"cmm/internal/mixes"
+	"cmm/internal/workload"
+)
+
+func main() {
+	var (
+		list         = flag.Bool("list", false, "list benchmarks with classes")
+		showMixes    = flag.Bool("mixes", false, "print the 40 evaluation mixes")
+		characterize = flag.Bool("characterize", false, "measure Fig. 1/2 characterisation")
+		verify       = flag.Bool("verify", false, "verify measured classes against the static table")
+		seed         = flag.Int64("seed", 1, "mix construction seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		classes := mixes.Classes()
+		fmt.Printf("%-16s %-10s %10s %6s %8s %9s  %s\n",
+			"benchmark", "pattern", "ws", "agg", "friendly", "sensitive", "analogue")
+		for _, s := range workload.Suite() {
+			c := classes[s.Name]
+			fmt.Printf("%-16s %-10s %10d %6v %8v %9v  %s\n",
+				s.Name, s.Pattern, s.WorkingSet, c.PrefAggressive, c.PrefFriendly, c.LLCSensitive, s.Analogue)
+		}
+	case *showMixes:
+		all, err := mixes.All(mixes.DefaultCores, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range all {
+			fmt.Printf("%-16s %v\n", m.Name, m.BenchmarkNames())
+		}
+	case *characterize:
+		opts := experiments.QuickOptions()
+		f1, f2, err := experiments.Characterize(opts, workload.Suite())
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFig1(os.Stdout, f1)
+		fmt.Println()
+		experiments.WriteFig2(os.Stdout, f2)
+	case *verify:
+		opts := experiments.QuickOptions()
+		opts.SoloWarmCycles = 30_000_000
+		opts.SoloMeasureCycles = 10_000_000
+		f1, f2, err := experiments.Characterize(opts, workload.Suite())
+		if err != nil {
+			fatal(err)
+		}
+		f3, err := experiments.Fig3Of(opts, workload.Suite(), []int{2, 4, 8, 12, 20})
+		if err != nil {
+			fatal(err)
+		}
+		measured := experiments.Classify(f1, f2, f3)
+		static := mixes.Classes()
+		mismatches := 0
+		for _, name := range workload.Names() {
+			if measured[name] != static[name] {
+				fmt.Printf("MISMATCH %-16s measured %+v static %+v\n", name, measured[name], static[name])
+				mismatches++
+			}
+		}
+		fmt.Printf("%d benchmarks, %d mismatches\n", len(workload.Names()), mismatches)
+		if mismatches > 0 {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlgen:", err)
+	os.Exit(1)
+}

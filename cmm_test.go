@@ -1,0 +1,231 @@
+package cmm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksListed(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) < 20 {
+		t.Fatalf("only %d benchmarks", len(bs))
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range bs {
+		byName[b.Name] = b
+		if b.Analogue == "" || b.Pattern == "" || b.WorkingSetBytes <= 0 {
+			t.Errorf("%s: incomplete metadata %+v", b.Name, b)
+		}
+	}
+	if b := byName["410.bwaves"]; !b.PrefetchAggressive || !b.PrefetchFriendly {
+		t.Errorf("bwaves classes wrong: %+v", b)
+	}
+	if b := byName["rand_access"]; !b.PrefetchAggressive || b.PrefetchFriendly {
+		t.Errorf("rand_access classes wrong: %+v", b)
+	}
+	if b := byName["429.mcf"]; !b.LLCSensitive {
+		t.Errorf("mcf classes wrong: %+v", b)
+	}
+}
+
+func TestPoliciesAndCategories(t *testing.T) {
+	ps := Policies()
+	if len(ps) != 8 || ps[0] != "baseline" || ps[len(ps)-1] != "CMM-c" {
+		t.Fatalf("policies = %v", ps)
+	}
+	cs := Categories()
+	if len(cs) != 4 || cs[0] != "Pref Fri" {
+		t.Fatalf("categories = %v", cs)
+	}
+}
+
+func TestMixBenchmarks(t *testing.T) {
+	names, err := MixBenchmarks("Pref Agg", 0, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 8 {
+		t.Fatalf("mix size %d", len(names))
+	}
+	if _, err := MixBenchmarks("nope", 0, 8, 1); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestNewMachineErrors(t *testing.T) {
+	if _, err := NewMachine([]string{"no.such"}, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := NewMachine(nil, 1); err == nil {
+		t.Fatal("empty machine accepted")
+	}
+}
+
+func quadMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewMachine([]string{"410.bwaves", "rand_access", "429.mcf", "453.povray"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineBasics(t *testing.T) {
+	m := quadMachine(t)
+	if m.NumCores() != 4 {
+		t.Fatalf("cores %d", m.NumCores())
+	}
+	names := m.BenchmarkNames()
+	if names[0] != "410.bwaves" || names[3] != "453.povray" {
+		t.Fatalf("names %v", names)
+	}
+	if m.PolicyName() != "baseline" {
+		t.Fatalf("initial policy %q", m.PolicyName())
+	}
+	m.Run(200_000)
+	if m.Cycles() < 200_000 {
+		t.Fatalf("cycles %d", m.Cycles())
+	}
+	ipcs := m.MeasureIPC(200_000)
+	if len(ipcs) != 4 {
+		t.Fatalf("ipcs %v", ipcs)
+	}
+	for i, v := range ipcs {
+		if v <= 0 {
+			t.Errorf("core %d IPC %g", i, v)
+		}
+	}
+	if hm := m.HarmonicMeanIPC(100_000); hm <= 0 {
+		t.Fatalf("hm_ipc %g", hm)
+	}
+	bws := m.BandwidthGBs()
+	if bws[0] <= 0 {
+		t.Errorf("bwaves bandwidth %g", bws[0])
+	}
+	if bws[3] > bws[0] {
+		t.Errorf("povray bandwidth %g above bwaves %g", bws[3], bws[0])
+	}
+}
+
+func TestUsePolicyAndDecisions(t *testing.T) {
+	m := quadMachine(t)
+	if err := m.UsePolicy("CMM-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UsePolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if m.PolicyName() != "CMM-a" {
+		t.Fatalf("policy %q", m.PolicyName())
+	}
+	if err := m.RunEpochs(2); err != nil {
+		t.Fatal(err)
+	}
+	ds := m.Decisions()
+	if len(ds) != 2 {
+		t.Fatalf("%d decisions", len(ds))
+	}
+	last := m.LastDecision()
+	if last.Policy != "CMM-a" {
+		t.Fatalf("decision policy %q", last.Policy)
+	}
+	if last.Summary == "" || m.DecisionSummary() == "" {
+		t.Fatal("empty summary")
+	}
+	// The machine has rand_access aggressive: detection should find at
+	// least one Agg core and partition.
+	if len(last.AggCores) == 0 && !last.FellBackToDunn {
+		t.Errorf("no Agg cores and no fallback: %+v", last)
+	}
+	if last.PartitionMasks != nil {
+		for core, mask := range last.PartitionMasks {
+			if mask == 0 {
+				t.Errorf("core %d has empty partition mask", core)
+			}
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation is slow")
+	}
+	ev, err := Evaluate(
+		[]string{"410.bwaves", "rand_access", "429.mcf", "453.povray"},
+		"PT", 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.PolicyIPC) != 4 || len(ev.BaselineIPC) != 4 {
+		t.Fatalf("IPC vectors %v %v", ev.PolicyIPC, ev.BaselineIPC)
+	}
+	if ev.NormWS <= 0.5 || ev.NormWS >= 2 {
+		t.Fatalf("NormWS %g implausible", ev.NormWS)
+	}
+	if ev.WorstCase <= 0 {
+		t.Fatalf("WorstCase %g", ev.WorstCase)
+	}
+	if _, err := Evaluate([]string{"410.bwaves"}, "nope", 1, 0, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestWithConfigOptions(t *testing.T) {
+	simCfg := SimDefaults()
+	simCfg.RoundCycles = 10_000
+	cmmCfg := CMMDefaults()
+	cmmCfg.ExecutionEpoch = 500_000
+	cmmCfg.SamplingInterval = 50_000
+	m, err := NewMachine([]string{"453.povray", "444.namd", "416.gamess", "445.gobmk"}, 2,
+		WithSimConfig(simCfg), WithCMMConfig(cmmCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UsePolicy("PT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunEpochs(1); err != nil {
+		t.Fatal(err)
+	}
+	// Compute-only machine: Agg set must be empty.
+	if d := m.LastDecision(); len(d.AggCores) != 0 {
+		t.Errorf("compute-only machine detected Agg=%v", d.AggCores)
+	}
+	if !strings.Contains(m.DecisionSummary(), "empty") {
+		t.Errorf("summary %q", m.DecisionSummary())
+	}
+}
+
+func TestControllerOverheadExposed(t *testing.T) {
+	m := quadMachine(t)
+	if err := m.UsePolicy("PT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunEpochs(1); err != nil {
+		t.Fatal(err)
+	}
+	f := m.ControllerOverhead()
+	if f <= 0 || f >= 1 {
+		t.Fatalf("overhead %g", f)
+	}
+}
+
+func TestDecisionsJSON(t *testing.T) {
+	m := quadMachine(t)
+	if err := m.UsePolicy("CMM-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunEpochs(1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.DecisionsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{`"Policy": "CMM-a"`, `"AggCores"`, `"Summary"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package cmm_test
+
+import (
+	"fmt"
+
+	"cmm"
+)
+
+// Inspect the suite and available policies.
+func Example() {
+	for _, b := range cmm.Benchmarks() {
+		if b.Name == "410.bwaves" || b.Name == "rand_access" {
+			fmt.Printf("%s: aggressive=%v friendly=%v\n",
+				b.Name, b.PrefetchAggressive, b.PrefetchFriendly)
+		}
+	}
+	fmt.Println(cmm.Policies())
+	// Output:
+	// 410.bwaves: aggressive=true friendly=true
+	// rand_access: aggressive=true friendly=false
+	// [baseline PT Dunn Pref-CP Pref-CP2 CMM-a CMM-b CMM-c]
+}
+
+// Build a machine, manage it with CMM-a, and read the decision.
+func ExampleNewMachine() {
+	m, err := cmm.NewMachine(
+		[]string{"410.bwaves", "rand_access", "429.mcf", "453.povray"}, 1)
+	if err != nil {
+		panic(err)
+	}
+	if err := m.UsePolicy("CMM-a"); err != nil {
+		panic(err)
+	}
+	if err := m.RunEpochs(2); err != nil {
+		panic(err)
+	}
+	d := m.LastDecision()
+	fmt.Println("policy:", d.Policy)
+	fmt.Println("agg cores:", d.AggCores)
+	fmt.Println("throttled:", d.ThrottledCores)
+	// Output:
+	// policy: CMM-a
+	// agg cores: [0 1]
+	// throttled: [1]
+}

@@ -1,0 +1,64 @@
+// Coordinated: the paper's contribution proper — run CMM-a, CMM-b and
+// CMM-c head-to-head on a Pref Agg mix and trace their per-epoch
+// decisions.
+//
+// All three first detect the prefetch-aggressive cores and split them into
+// prefetch-friendly (keep prefetchers, they barely need LLC) and
+// prefetch-unfriendly (throttle candidates). They differ in the Fig. 6
+// partition layout:
+//
+//	CMM-a: whole Agg set in one small partition
+//	CMM-b: only the friendly cores partitioned; unfriendly roam the LLC
+//	CMM-c: friendly and unfriendly in two disjoint small partitions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmm"
+)
+
+func main() {
+	names, err := cmm.MixBenchmarks("Pref Agg", 1, 8, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mix:", names)
+
+	for _, policy := range []string{"CMM-a", "CMM-b", "CMM-c"} {
+		m, err := cmm.NewMachine(names, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.UsePolicy(policy); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s ---\n", policy)
+		for e := 1; e <= 3; e++ {
+			if err := m.RunEpochs(1); err != nil {
+				log.Fatal(err)
+			}
+			d := m.LastDecision()
+			fmt.Printf("epoch %d: %s\n", e, d.Summary)
+			if d.PartitionMasks != nil {
+				fmt.Print("         masks:")
+				for core, mask := range d.PartitionMasks {
+					fmt.Printf(" c%d=%#x", core, mask)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Printf("hm_ipc over 2M cycles: %.4f\n", m.HarmonicMeanIPC(2_000_000))
+	}
+
+	// Side-by-side evaluation against the baseline.
+	fmt.Printf("\n%-8s %12s %12s\n", "policy", "norm WS", "worst-case")
+	for _, policy := range []string{"CMM-a", "CMM-b", "CMM-c"} {
+		ev, err := cmm.Evaluate(names, policy, 5, 1, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.3f %12.3f\n", policy, ev.NormWS, ev.WorstCase)
+	}
+}

@@ -1,0 +1,57 @@
+// MBA: the bandwidth-throttling extension. Instead of switching the
+// prefetch-unfriendly cores' prefetchers off (CMM-a), CMM-mba keeps every
+// prefetcher running and rate-limits the unfriendly cores' memory
+// interface with Intel Memory Bandwidth Allocation — the direction the
+// paper points to via Liu et al.'s prefetching/bandwidth-partitioning
+// study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmm"
+)
+
+func main() {
+	names := []string{
+		"410.bwaves", "462.libquantum", // prefetch friendly
+		"rand_access", "rand_access.B", // prefetch unfriendly
+		"429.mcf", "450.soplex", // LLC sensitive
+		"453.povray", "444.namd", // compute bound
+	}
+	fmt.Println("mix:", names)
+
+	for _, policy := range []string{"CMM-a", "CMM-mba"} {
+		m, err := cmm.NewMachine(names, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.UsePolicy(policy); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.RunEpochs(3); err != nil {
+			log.Fatal(err)
+		}
+		d := m.LastDecision()
+		fmt.Printf("\n--- %s ---\n", policy)
+		fmt.Println("decision:", d.Summary)
+		if len(d.MBAThrottled) > 0 {
+			fmt.Printf("MBA: cores %v throttled to %d%% delay\n", d.MBAThrottled, d.MBAPercent)
+		}
+		fmt.Printf("bandwidth GB/s:")
+		for _, bw := range m.BandwidthGBs() {
+			fmt.Printf(" %.2f", bw)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%-8s %12s %12s\n", "policy", "norm WS", "worst-case")
+	for _, policy := range []string{"CMM-a", "CMM-mba"} {
+		ev, err := cmm.Evaluate(names, policy, 11, 1, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.3f %12.3f\n", policy, ev.NormWS, ev.WorstCase)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: build an 8-core machine running one of the paper's
+// "Pref Agg" workload mixes, manage it with the coordinated CMM-a policy,
+// and report the resulting performance against the unmanaged baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmm"
+)
+
+func main() {
+	// Draw the first Pref Agg mix of the paper's evaluation: two
+	// prefetch-friendly streamers, two Rand Access aggressors, and four
+	// non-aggressive programs (at least two of them LLC-sensitive).
+	names, err := cmm.MixBenchmarks("Pref Agg", 0, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload mix:", names)
+
+	// Evaluate CMM-a against the baseline (all prefetchers on, no
+	// partitioning): one warmup epoch, three measured epochs.
+	ev, err := cmm.Evaluate(names, "CMM-a", 1, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-16s %10s %10s %9s\n", "benchmark", "baseline", "CMM-a", "speedup")
+	for i, n := range names {
+		fmt.Printf("%-16s %10.3f %10.3f %8.1f%%\n",
+			n, ev.BaselineIPC[i], ev.PolicyIPC[i],
+			(ev.PolicyIPC[i]/ev.BaselineIPC[i]-1)*100)
+	}
+	fmt.Printf("\nnormalized weighted speedup: %.3f\n", ev.NormWS)
+	fmt.Printf("worst-case per-app speedup:  %.3f\n", ev.WorstCase)
+
+	// Peek at what the controller actually decided.
+	m, err := cmm.NewMachine(names, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.UsePolicy("CMM-a"); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.RunEpochs(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncontroller decision:", m.DecisionSummary())
+}

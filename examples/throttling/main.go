@@ -1,0 +1,55 @@
+// Throttling: watch the PT back end work on a prefetch-unfriendly mix.
+//
+// Four Rand Access instances (the paper's microbenchmark: random accesses
+// that keep triggering useless prefetch streams) run next to four quiet
+// programs. PT samples on/off combinations of the aggressive cores'
+// prefetchers each profiling epoch and keeps the combination with the best
+// harmonic-mean IPC — which here means turning the useless prefetchers
+// off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmm"
+)
+
+func main() {
+	names := []string{
+		"rand_access", "rand_access.B", "rand_access.C", "rand_access.D",
+		"429.mcf", "471.omnetpp", "453.povray", "444.namd",
+	}
+	m, err := cmm.NewMachine(names, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mix:", m.BenchmarkNames())
+
+	// Baseline IPC for comparison.
+	m.Run(2_000_000) // warm caches
+	base := m.MeasureIPC(2_000_000)
+
+	if err := m.UsePolicy("PT"); err != nil {
+		log.Fatal(err)
+	}
+	for e := 1; e <= 4; e++ {
+		if err := m.RunEpochs(1); err != nil {
+			log.Fatal(err)
+		}
+		d := m.LastDecision()
+		fmt.Printf("epoch %d: %s\n", e, d.Summary)
+		fmt.Printf("         agg=%v throttled=%v\n", d.AggCores, d.ThrottledCores)
+	}
+
+	after := m.MeasureIPC(2_000_000)
+	fmt.Printf("\n%-16s %10s %10s %9s\n", "benchmark", "before", "after", "change")
+	for i, n := range names {
+		fmt.Printf("%-16s %10.3f %10.3f %8.1f%%\n", n, base[i], after[i], (after[i]/base[i]-1)*100)
+	}
+	fmt.Printf("\nmemory bandwidth per core (GB/s): ")
+	for _, bw := range m.BandwidthGBs() {
+		fmt.Printf("%.2f ", bw)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module cmm
+
+go 1.24

@@ -1,0 +1,353 @@
+// Package cache implements the set-associative caches of the simulated
+// machine: private L1/L2 and the shared, way-partitionable (Intel CAT
+// style) inclusive LLC.
+//
+// CAT semantics follow the SDM: the capacity bitmask of a core's class of
+// service restricts where *fills* may allocate; *hits* are served from any
+// way. Partitions may overlap, which the paper exploits ("note that we are
+// using overlapping partitioning").
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NoOwner marks a line whose owner core is not tracked (private caches).
+const NoOwner = -1
+
+// Config sizes a cache.
+type Config struct {
+	// Sets and Ways define the geometry; capacity = Sets*Ways*LineBytes.
+	Sets, Ways int
+	// LineBytes is the block size (64 on the target platform).
+	LineBytes int
+	// HitLatency is the access latency in core cycles.
+	HitLatency int
+}
+
+// Validate reports a descriptive error for unusable geometries.
+func (c Config) Validate() error {
+	switch {
+	case c.Sets <= 0 || c.Sets&(c.Sets-1) != 0:
+		return fmt.Errorf("cache: Sets %d must be a positive power of two", c.Sets)
+	case c.Ways <= 0 || c.Ways > 64:
+		return fmt.Errorf("cache: Ways %d must be in [1,64]", c.Ways)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: LineBytes %d must be a positive power of two", c.LineBytes)
+	case c.HitLatency <= 0:
+		return fmt.Errorf("cache: HitLatency %d must be positive", c.HitLatency)
+	}
+	return nil
+}
+
+// CapacityBytes returns the total capacity.
+func (c Config) CapacityBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// AllWays returns the mask selecting every way of the cache.
+func (c Config) AllWays() uint64 {
+	if c.Ways == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(c.Ways)) - 1
+}
+
+// Stats counts cache events since the last reset.
+type Stats struct {
+	// Hits and Misses count lookups by result.
+	Hits, Misses uint64
+	// PrefetchHitsUsed counts demand hits on lines brought by a
+	// prefetcher and not yet referenced — "useful prefetches".
+	PrefetchHitsUsed uint64
+	// Evictions counts victims discarded by fills.
+	Evictions uint64
+	// LateHits counts hits that had to wait for an in-flight fill.
+	LateHits uint64
+	// PrefetchedEvictedUnused counts prefetched lines evicted before any
+	// demand touched them — "useless prefetches" (cache pollution).
+	PrefetchedEvictedUnused uint64
+}
+
+const (
+	flagValid    uint8 = 1 << 0
+	flagPrefetch uint8 = 1 << 1
+	flagDirty    uint8 = 1 << 2
+)
+
+// Cache is a set-associative cache with true-LRU replacement. It is not
+// safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	setMask uint64
+
+	tags  []uint64
+	flags []uint8
+	owner []int32
+	stamp []uint64
+	ready []uint64 // cycle at which the line's data arrives (in-flight fills)
+	clock uint64
+
+	stats Stats
+}
+
+// New builds a cache; it panics on invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Sets * cfg.Ways
+	c := &Cache{
+		cfg:     cfg,
+		setMask: uint64(cfg.Sets - 1),
+		tags:    make([]uint64, n),
+		flags:   make([]uint8, n),
+		owner:   make([]int32, n),
+		stamp:   make([]uint64, n),
+		ready:   make([]uint64, n),
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters; contents are preserved.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line and resets the LRU clock. Stats are kept.
+func (c *Cache) Flush() {
+	for i := range c.flags {
+		c.flags[i] = 0
+	}
+	c.clock = 0
+}
+
+func (c *Cache) set(line uint64) int { return int(line & c.setMask) }
+
+// Lookup searches for the line at cycle now. On a hit it updates recency
+// and, if the line had been prefetched and this is a demand access, clears
+// the prefetch bit and counts a useful prefetch. It returns whether the
+// access hit and, for hits on in-flight fills (a prefetch issued recently
+// whose data has not yet arrived — a "late prefetch"), how many cycles
+// remain until the data is usable.
+func (c *Cache) Lookup(line uint64, demand bool, now uint64) (hit bool, wait uint64) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			c.clock++
+			c.stamp[i] = c.clock
+			if demand && c.flags[i]&flagPrefetch != 0 {
+				c.flags[i] &^= flagPrefetch
+				c.stats.PrefetchHitsUsed++
+			}
+			c.stats.Hits++
+			if c.ready[i] > now {
+				wait = c.ready[i] - now
+				c.stats.LateHits++
+			}
+			return true, wait
+		}
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+// Probe reports whether the line is present without changing any state or
+// statistics.
+func (c *Cache) Probe(line uint64) bool {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by Fill.
+type Victim struct {
+	// Line is the displaced line address.
+	Line uint64
+	// Owner is the core that filled it (NoOwner for private caches).
+	Owner int
+	// Valid reports whether a line was actually displaced.
+	Valid bool
+	// WasUnusedPrefetch reports the victim was prefetched and never used.
+	WasUnusedPrefetch bool
+	// Dirty reports the victim held modified data (needs a writeback).
+	Dirty bool
+}
+
+// Fill inserts the line for the given owner core, allocating only within
+// the ways selected by mask (CAT). The line's data becomes usable at cycle
+// readyAt: pass the current time plus the fill's source latency, so that
+// late prefetches make subsequent demand hits wait for the remainder. If
+// the line is already present it is refreshed in place and no victim is
+// produced; a demand fill over a resident prefetched line counts as a
+// useful prefetch. Fill panics if the mask selects no way of this cache.
+func (c *Cache) Fill(line uint64, owner int, prefetch bool, mask uint64, readyAt uint64) Victim {
+	mask &= c.cfg.AllWays()
+	if mask == 0 {
+		panic("cache: Fill with empty way mask")
+	}
+	base := c.set(line) * c.cfg.Ways
+
+	// Already resident (e.g. raced with a prefetch): refresh.
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			c.clock++
+			c.stamp[i] = c.clock
+			if !prefetch && c.flags[i]&flagPrefetch != 0 {
+				c.flags[i] &^= flagPrefetch
+				c.stats.PrefetchHitsUsed++
+			}
+			return Victim{}
+		}
+	}
+
+	// Prefer an invalid way inside the mask.
+	victim := -1
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		i := base + w
+		if c.flags[i]&flagValid == 0 {
+			victim = w
+			break
+		}
+	}
+	// Otherwise LRU within the mask.
+	if victim < 0 {
+		oldest := ^uint64(0)
+		for m := mask; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			i := base + w
+			if c.stamp[i] <= oldest {
+				oldest = c.stamp[i]
+				victim = w
+			}
+		}
+	}
+
+	i := base + victim
+	var v Victim
+	if c.flags[i]&flagValid != 0 {
+		v = Victim{
+			Line:              c.tags[i],
+			Owner:             int(c.owner[i]),
+			Valid:             true,
+			WasUnusedPrefetch: c.flags[i]&flagPrefetch != 0,
+			Dirty:             c.flags[i]&flagDirty != 0,
+		}
+		c.stats.Evictions++
+		if v.WasUnusedPrefetch {
+			c.stats.PrefetchedEvictedUnused++
+		}
+	}
+	c.clock++
+	c.tags[i] = line
+	c.owner[i] = int32(owner)
+	c.stamp[i] = c.clock
+	c.ready[i] = readyAt
+	c.flags[i] = flagValid
+	if prefetch {
+		c.flags[i] |= flagPrefetch
+	}
+	return v
+}
+
+// SetDirty marks a resident line as modified, returning whether the line
+// was found. Stores call this after their lookup/fill.
+func (c *Cache) SetDirty(line uint64) bool {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			c.flags[i] |= flagDirty
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty reports whether a resident line is modified (tests).
+func (c *Cache) IsDirty(line uint64) bool {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			return c.flags[i]&flagDirty != 0
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line if present, returning whether it was found
+// and whether it held modified data (the caller owes a writeback). Used
+// for inclusive back-invalidation from the LLC into L1/L2.
+func (c *Cache) Invalidate(line uint64) (found, dirty bool) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			dirty = c.flags[i]&flagDirty != 0
+			c.flags[i] = 0
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// OwnerOf returns the owner recorded for a resident line, or NoOwner and
+// false when absent.
+func (c *Cache) OwnerOf(line uint64) (int, bool) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			return int(c.owner[i]), true
+		}
+	}
+	return NoOwner, false
+}
+
+// ValidCount returns the number of valid lines (test/diagnostic helper).
+func (c *Cache) ValidCount() int {
+	n := 0
+	for _, f := range c.flags {
+		if f&flagValid != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WayOf returns which way holds the line, or -1 when absent (tests).
+func (c *Cache) WayOf(line uint64) int {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			return w
+		}
+	}
+	return -1
+}
+
+// ContiguousMask returns a way mask of n ways starting at the low bit,
+// clamped to [1, ways]. CAT requires contiguous masks; all policies in this
+// repo build masks through this helper or cat.Mask.
+func ContiguousMask(n, ways int) uint64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > ways {
+		n = ways
+	}
+	return (1 << uint(n)) - 1
+}

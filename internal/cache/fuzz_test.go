@@ -1,0 +1,50 @@
+package cache
+
+import "testing"
+
+// FuzzCacheOps drives a small cache with an arbitrary operation tape and
+// checks structural invariants after every step: a filled line is
+// resident, occupancy never exceeds mask capacity, and hits+misses equals
+// lookups.
+func FuzzCacheOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(0b1111))
+	f.Add([]byte{255, 0, 255, 0}, uint8(0b0001))
+	f.Fuzz(func(t *testing.T, tape []byte, maskByte uint8) {
+		cfg := Config{Sets: 4, Ways: 4, LineBytes: 64, HitLatency: 1}
+		c := New(cfg)
+		mask := uint64(maskByte) & cfg.AllWays()
+		if mask == 0 {
+			mask = 1
+		}
+		lookups := uint64(0)
+		for i, b := range tape {
+			line := uint64(b % 32)
+			switch i % 3 {
+			case 0:
+				c.Fill(line, int(b%4), b&1 == 1, mask, uint64(i))
+				if !c.Probe(line) {
+					t.Fatalf("line %d absent right after fill", line)
+				}
+			case 1:
+				c.Lookup(line, b&2 == 0, uint64(i))
+				lookups++
+			case 2:
+				c.Invalidate(line)
+				if c.Probe(line) {
+					t.Fatalf("line %d survives invalidate", line)
+				}
+			}
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != lookups {
+			t.Fatalf("hits %d + misses %d != lookups %d", s.Hits, s.Misses, lookups)
+		}
+		popMask := 0
+		for m := mask; m != 0; m &= m - 1 {
+			popMask++
+		}
+		if c.ValidCount() > cfg.Sets*popMask {
+			t.Fatalf("%d lines resident with %d-way mask", c.ValidCount(), popMask)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package cat models Intel Cache Allocation Technology on top of the msr
+// register bank: classes of service (CLOS), per-CLOS L3 capacity bitmasks,
+// and core-to-CLOS association.
+//
+// The package enforces the SDM's mask rules (non-empty, contiguous,
+// at-least-MinWays bits) exactly as the real hardware rejects malformed
+// writes with a #GP fault, so policy bugs surface at the point of the write
+// rather than as silent mis-partitioning.
+package cat
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cmm/internal/msr"
+)
+
+// MinWays is the minimum number of ways a CBM must select. Broadwell-EP
+// requires at least 2 consecutive ways per CLOS mask.
+const MinWays = 2
+
+// Config describes the CAT capability of the machine.
+type Config struct {
+	// Ways is the LLC associativity (width of the capacity bitmask).
+	Ways int
+	// NumCLOS is the number of classes of service (16 on the target part).
+	NumCLOS int
+}
+
+// DefaultConfig matches the paper's E5-2620 v4: 20 ways, 16 CLOS.
+func DefaultConfig() Config { return Config{Ways: 20, NumCLOS: 16} }
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Ways < MinWays || c.Ways > 64 {
+		return fmt.Errorf("cat: Ways %d must be in [%d,64]", c.Ways, MinWays)
+	}
+	if c.NumCLOS < 1 {
+		return fmt.Errorf("cat: NumCLOS %d must be >= 1", c.NumCLOS)
+	}
+	return nil
+}
+
+// FullMask returns the CBM selecting the whole LLC.
+func (c Config) FullMask() uint64 { return (1 << uint(c.Ways)) - 1 }
+
+// Mask builds a contiguous capacity bitmask of n ways starting at the
+// given low way. It clamps n to [MinWays, Ways-start] and errors only if
+// start is out of range.
+func (c Config) Mask(start, n int) (uint64, error) {
+	if start < 0 || start >= c.Ways {
+		return 0, fmt.Errorf("cat: mask start %d out of range [0,%d)", start, c.Ways)
+	}
+	if n < MinWays {
+		n = MinWays
+	}
+	if start+n > c.Ways {
+		n = c.Ways - start
+	}
+	// Near the top edge the clamp can leave fewer than MinWays; slide the
+	// window down instead of violating the hardware's minimum.
+	if n < MinWays {
+		n = MinWays
+		start = c.Ways - MinWays
+	}
+	return ((1 << uint(n)) - 1) << uint(start), nil
+}
+
+// CheckMask validates a capacity bitmask per the SDM rules.
+func (c Config) CheckMask(mask uint64) error {
+	if mask == 0 {
+		return fmt.Errorf("cat: empty capacity bitmask")
+	}
+	if mask&^c.FullMask() != 0 {
+		return fmt.Errorf("cat: mask %#x exceeds %d ways", mask, c.Ways)
+	}
+	// Contiguity: shifted-down mask must be of the form 2^k - 1.
+	m := mask >> uint(bits.TrailingZeros64(mask))
+	if m&(m+1) != 0 {
+		return fmt.Errorf("cat: mask %#x is not contiguous", mask)
+	}
+	if bits.OnesCount64(mask) < MinWays {
+		return fmt.Errorf("cat: mask %#x selects fewer than %d ways", mask, MinWays)
+	}
+	return nil
+}
+
+// Allocator programs CLOS masks and core associations through a msr.Bank.
+// It mirrors what the paper's kernel module does with IA32_PQR_ASSOC and
+// IA32_L3_QOS_MASK_n.
+type Allocator struct {
+	cfg  Config
+	bank msr.Bank
+}
+
+// NewAllocator builds an allocator over the bank. It panics on invalid
+// configuration (programmer error), but returns errors for runtime register
+// faults.
+func NewAllocator(cfg Config, bank msr.Bank) *Allocator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Allocator{cfg: cfg, bank: bank}
+}
+
+// Config returns the capability description.
+func (a *Allocator) Config() Config { return a.cfg }
+
+// SetMask programs the capacity bitmask of a CLOS. The mask is validated
+// first; CAT mask registers are replicated per package, so the write goes
+// to cpu 0 (single-socket model, as in the paper).
+func (a *Allocator) SetMask(clos int, mask uint64) error {
+	if clos < 0 || clos >= a.cfg.NumCLOS {
+		return fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
+	}
+	if err := a.cfg.CheckMask(mask); err != nil {
+		return err
+	}
+	return a.bank.Write(0, msr.L3MaskBase+uint32(clos), mask)
+}
+
+// MaskOf reads back the capacity bitmask of a CLOS.
+func (a *Allocator) MaskOf(clos int) (uint64, error) {
+	if clos < 0 || clos >= a.cfg.NumCLOS {
+		return 0, fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
+	}
+	return a.bank.Read(0, msr.L3MaskBase+uint32(clos))
+}
+
+// Assign associates a core with a CLOS via IA32_PQR_ASSOC.
+func (a *Allocator) Assign(core, clos int) error {
+	if clos < 0 || clos >= a.cfg.NumCLOS {
+		return fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
+	}
+	prev, err := a.bank.Read(core, msr.PQRAssoc)
+	if err != nil {
+		return err
+	}
+	return a.bank.Write(core, msr.PQRAssoc, msr.PQRValue(prev, clos))
+}
+
+// ClosOf reads back the CLOS a core is associated with.
+func (a *Allocator) ClosOf(core int) (int, error) {
+	v, err := a.bank.Read(core, msr.PQRAssoc)
+	if err != nil {
+		return 0, err
+	}
+	return msr.ClosOf(v), nil
+}
+
+// EffectiveMask returns the capacity bitmask governing a core's fills:
+// the mask of the CLOS it is associated with.
+func (a *Allocator) EffectiveMask(core int) (uint64, error) {
+	clos, err := a.ClosOf(core)
+	if err != nil {
+		return 0, err
+	}
+	return a.MaskOf(clos)
+}
+
+// Reset restores the power-on state: every core in CLOS0 and every CLOS
+// mask covering the whole cache.
+func (a *Allocator) Reset() error {
+	for c := 0; c < a.cfg.NumCLOS; c++ {
+		if err := a.SetMask(c, a.cfg.FullMask()); err != nil {
+			return err
+		}
+	}
+	for cpu := 0; cpu < a.bank.NumCPU(); cpu++ {
+		if err := a.Assign(cpu, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan is a complete partitioning decision: one mask per CLOS in use and a
+// CLOS per core. Policies build Plans; Apply programs them atomically in
+// the order masks-then-associations (the order the SDM recommends so cores
+// never point at a stale mask narrower than intended).
+type Plan struct {
+	// Masks maps CLOS id to capacity bitmask.
+	Masks map[int]uint64
+	// ClosByCore maps core id to CLOS id.
+	ClosByCore []int
+}
+
+// NewPlan allocates a plan for n cores with all cores in CLOS0.
+func NewPlan(n int, full uint64) Plan {
+	p := Plan{Masks: map[int]uint64{0: full}, ClosByCore: make([]int, n)}
+	return p
+}
+
+// Validate checks internal consistency of the plan against the config.
+func (p Plan) Validate(cfg Config) error {
+	for clos, m := range p.Masks {
+		if clos < 0 || clos >= cfg.NumCLOS {
+			return fmt.Errorf("cat: plan uses CLOS %d outside [0,%d)", clos, cfg.NumCLOS)
+		}
+		if err := cfg.CheckMask(m); err != nil {
+			return fmt.Errorf("cat: plan CLOS %d: %w", clos, err)
+		}
+	}
+	for core, clos := range p.ClosByCore {
+		if _, ok := p.Masks[clos]; !ok {
+			return fmt.Errorf("cat: core %d assigned to CLOS %d with no mask", core, clos)
+		}
+	}
+	return nil
+}
+
+// Apply programs the plan through the allocator.
+func (a *Allocator) Apply(p Plan) error {
+	if err := p.Validate(a.cfg); err != nil {
+		return err
+	}
+	for clos, m := range p.Masks {
+		if err := a.SetMask(clos, m); err != nil {
+			return err
+		}
+	}
+	for core, clos := range p.ClosByCore {
+		if err := a.Assign(core, clos); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package cat
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"cmm/internal/msr"
+)
+
+func newAlloc(t *testing.T) (*Allocator, *msr.Emulated) {
+	t.Helper()
+	bank := msr.NewEmulated(8, 16)
+	return NewAllocator(DefaultConfig(), bank), bank
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FullMask() != (1<<20)-1 {
+		t.Fatalf("FullMask %#x", cfg.FullMask())
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	for _, cfg := range []Config{{Ways: 1, NumCLOS: 4}, {Ways: 65, NumCLOS: 4}, {Ways: 20, NumCLOS: 0}} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("accepted %+v", cfg)
+		}
+	}
+}
+
+func TestMaskBuilder(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := cfg.Mask(0, 3)
+	if err != nil || m != 0b111 {
+		t.Fatalf("Mask(0,3) = %#x, %v", m, err)
+	}
+	m, err = cfg.Mask(4, 2)
+	if err != nil || m != 0b110000 {
+		t.Fatalf("Mask(4,2) = %#x, %v", m, err)
+	}
+	// Clamp to MinWays.
+	m, err = cfg.Mask(0, 1)
+	if err != nil || bits.OnesCount64(m) != MinWays {
+		t.Fatalf("Mask(0,1) = %#x, %v", m, err)
+	}
+	// Clamp at the top end.
+	m, err = cfg.Mask(18, 10)
+	if err != nil || m != 0b11<<18 {
+		t.Fatalf("Mask(18,10) = %#x, %v", m, err)
+	}
+	if _, err := cfg.Mask(-1, 2); err == nil {
+		t.Fatal("Mask(-1,·) accepted")
+	}
+	if _, err := cfg.Mask(20, 2); err == nil {
+		t.Fatal("Mask(20,·) accepted")
+	}
+}
+
+func TestCheckMask(t *testing.T) {
+	cfg := DefaultConfig()
+	good := []uint64{0b11, 0b1111, (1 << 20) - 1, 0b1100, 0b111 << 10}
+	for _, m := range good {
+		if err := cfg.CheckMask(m); err != nil {
+			t.Errorf("CheckMask(%#x): %v", m, err)
+		}
+	}
+	bad := []uint64{0, 0b1, 0b101, 0b1011, 1 << 20, (1 << 21) - 1, 0b11 | 1<<19}
+	for _, m := range bad {
+		if err := cfg.CheckMask(m); err == nil {
+			t.Errorf("CheckMask(%#x) accepted", m)
+		}
+	}
+}
+
+func TestMaskAlwaysPassesCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(start uint8, n uint8) bool {
+		s := int(start) % cfg.Ways
+		m, err := cfg.Mask(s, int(n)%25)
+		if err != nil {
+			return false
+		}
+		return cfg.CheckMask(m) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAndReadMask(t *testing.T) {
+	a, _ := newAlloc(t)
+	if err := a.SetMask(3, 0b1111); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.MaskOf(3)
+	if err != nil || m != 0b1111 {
+		t.Fatalf("MaskOf(3) = %#x, %v", m, err)
+	}
+}
+
+func TestSetMaskRejectsBadInput(t *testing.T) {
+	a, _ := newAlloc(t)
+	if err := a.SetMask(3, 0b101); err == nil {
+		t.Error("non-contiguous mask accepted")
+	}
+	if err := a.SetMask(16, 0b11); err == nil {
+		t.Error("CLOS 16 accepted")
+	}
+	if err := a.SetMask(-1, 0b11); err == nil {
+		t.Error("CLOS -1 accepted")
+	}
+	if _, err := a.MaskOf(99); err == nil {
+		t.Error("MaskOf(99) accepted")
+	}
+}
+
+func TestAssignAndClosOf(t *testing.T) {
+	a, _ := newAlloc(t)
+	if err := a.Assign(5, 7); err != nil {
+		t.Fatal(err)
+	}
+	clos, err := a.ClosOf(5)
+	if err != nil || clos != 7 {
+		t.Fatalf("ClosOf(5) = %d, %v", clos, err)
+	}
+	// Other cores stay in CLOS0.
+	clos, err = a.ClosOf(0)
+	if err != nil || clos != 0 {
+		t.Fatalf("ClosOf(0) = %d, %v", clos, err)
+	}
+	if err := a.Assign(0, 16); err == nil {
+		t.Error("Assign CLOS 16 accepted")
+	}
+}
+
+func TestEffectiveMask(t *testing.T) {
+	a, _ := newAlloc(t)
+	if err := a.SetMask(2, 0b1100); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Assign(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.EffectiveMask(1)
+	if err != nil || m != 0b1100 {
+		t.Fatalf("EffectiveMask = %#x, %v", m, err)
+	}
+	// Unassigned core: CLOS0 = full.
+	m, err = a.EffectiveMask(0)
+	if err != nil || m != DefaultConfig().FullMask() {
+		t.Fatalf("core0 EffectiveMask = %#x, %v", m, err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a, _ := newAlloc(t)
+	if err := a.SetMask(1, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Assign(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	clos, _ := a.ClosOf(3)
+	if clos != 0 {
+		t.Fatalf("core 3 in CLOS %d after reset", clos)
+	}
+	m, _ := a.MaskOf(1)
+	if m != DefaultConfig().FullMask() {
+		t.Fatalf("CLOS1 mask %#x after reset", m)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	p := NewPlan(4, cfg.FullMask())
+	if err := p.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	p.Masks[1] = 0b11
+	p.ClosByCore[2] = 1
+	if err := p.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Core assigned to CLOS without a mask.
+	p.ClosByCore[3] = 5
+	if err := p.Validate(cfg); err == nil {
+		t.Error("dangling CLOS accepted")
+	}
+	// Bad mask in plan.
+	p2 := NewPlan(2, cfg.FullMask())
+	p2.Masks[1] = 0b101
+	if err := p2.Validate(cfg); err == nil {
+		t.Error("non-contiguous plan mask accepted")
+	}
+	// CLOS out of range.
+	p3 := NewPlan(2, cfg.FullMask())
+	p3.Masks[99] = 0b11
+	if err := p3.Validate(cfg); err == nil {
+		t.Error("CLOS 99 accepted")
+	}
+}
+
+func TestApplyPlan(t *testing.T) {
+	a, _ := newAlloc(t)
+	cfg := DefaultConfig()
+	p := NewPlan(8, cfg.FullMask())
+	p.Masks[1] = 0b111
+	p.ClosByCore[4] = 1
+	p.ClosByCore[5] = 1
+	if err := a.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range []int{4, 5} {
+		m, err := a.EffectiveMask(core)
+		if err != nil || m != 0b111 {
+			t.Fatalf("core %d mask %#x, %v", core, m, err)
+		}
+	}
+	m, _ := a.EffectiveMask(0)
+	if m != cfg.FullMask() {
+		t.Fatalf("core 0 mask %#x", m)
+	}
+}
+
+func TestApplyRejectsInvalidPlan(t *testing.T) {
+	a, _ := newAlloc(t)
+	p := NewPlan(8, DefaultConfig().FullMask())
+	p.Masks[2] = 0 // empty
+	p.ClosByCore[0] = 2
+	if err := a.Apply(p); err == nil {
+		t.Fatal("invalid plan applied")
+	}
+}
+
+func TestOverlappingPartitionsAllowed(t *testing.T) {
+	// The paper's coordinated policies rely on overlapping partitions:
+	// Agg cores in a small mask that is a subset of the full mask the
+	// neutral cores keep.
+	a, _ := newAlloc(t)
+	cfg := DefaultConfig()
+	p := NewPlan(8, cfg.FullMask())
+	small, err := cfg.Mask(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Masks[1] = small
+	p.ClosByCore[0] = 1
+	if err := a.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := a.EffectiveMask(0)
+	m1, _ := a.EffectiveMask(1)
+	if m0&m1 != m0 {
+		t.Fatalf("small mask %#x not nested in full %#x", m0, m1)
+	}
+}
+
+func TestMBAValidation(t *testing.T) {
+	if err := CheckMBA(0); err != nil {
+		t.Error(err)
+	}
+	if err := CheckMBA(90); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []uint64{95, 100, 15, 7} {
+		if err := CheckMBA(bad); err == nil {
+			t.Errorf("CheckMBA(%d) accepted", bad)
+		}
+	}
+}
+
+func TestMBASetAndRead(t *testing.T) {
+	a, _ := newAlloc(t)
+	if err := a.SetMBA(2, 40); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.MBAOf(2)
+	if err != nil || v != 40 {
+		t.Fatalf("MBAOf = %d, %v", v, err)
+	}
+	// Other CLOS untouched.
+	v, err = a.MBAOf(0)
+	if err != nil || v != 0 {
+		t.Fatalf("CLOS0 MBA = %d, %v", v, err)
+	}
+	if err := a.SetMBA(2, 95); err == nil {
+		t.Error("invalid percent accepted")
+	}
+	if err := a.SetMBA(99, 10); err == nil {
+		t.Error("bad CLOS accepted")
+	}
+	if _, err := a.MBAOf(-1); err == nil {
+		t.Error("MBAOf(-1) accepted")
+	}
+}

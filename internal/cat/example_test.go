@@ -1,0 +1,32 @@
+package cat_test
+
+import (
+	"fmt"
+
+	"cmm/internal/cat"
+	"cmm/internal/msr"
+)
+
+// Programming an overlapping partition the way the paper's coordinated
+// policies do: aggressive cores confined to 3 ways, everyone else keeps
+// the whole cache.
+func ExampleAllocator_Apply() {
+	bank := msr.NewEmulated(4, 16)
+	alloc := cat.NewAllocator(cat.DefaultConfig(), bank)
+
+	plan := cat.NewPlan(4, cat.DefaultConfig().FullMask())
+	small, _ := cat.DefaultConfig().Mask(0, 3)
+	plan.Masks[1] = small
+	plan.ClosByCore[0] = 1 // the Agg core
+	if err := alloc.Apply(plan); err != nil {
+		panic(err)
+	}
+
+	m0, _ := alloc.EffectiveMask(0)
+	m1, _ := alloc.EffectiveMask(1)
+	fmt.Printf("agg core mask:     %#x\n", m0)
+	fmt.Printf("neutral core mask: %#x\n", m1)
+	// Output:
+	// agg core mask:     0x7
+	// neutral core mask: 0xfffff
+}

@@ -1,0 +1,43 @@
+package cat
+
+import "testing"
+
+// FuzzCheckMask: CheckMask must accept exactly the masks Mask generates
+// and never panic on arbitrary input.
+func FuzzCheckMask(f *testing.F) {
+	f.Add(uint64(0b11), 20)
+	f.Add(uint64(0), 20)
+	f.Add(^uint64(0), 64)
+	f.Fuzz(func(t *testing.T, mask uint64, ways int) {
+		if ways < MinWays || ways > 64 {
+			return
+		}
+		cfg := Config{Ways: ways, NumCLOS: 4}
+		err := cfg.CheckMask(mask)
+		if err == nil {
+			// Accepted masks must be non-empty, within range, contiguous.
+			if mask == 0 || mask&^cfg.FullMask() != 0 {
+				t.Fatalf("CheckMask accepted invalid %#x (ways %d)", mask, ways)
+			}
+		}
+	})
+}
+
+// FuzzMaskBuilder: every mask Mask builds must pass CheckMask.
+func FuzzMaskBuilder(f *testing.F) {
+	f.Add(0, 3, 20)
+	f.Add(19, 1, 20)
+	f.Fuzz(func(t *testing.T, start, n, ways int) {
+		if ways < MinWays || ways > 64 {
+			return
+		}
+		cfg := Config{Ways: ways, NumCLOS: 4}
+		m, err := cfg.Mask(start, n)
+		if err != nil {
+			return // out-of-range start is a legitimate error
+		}
+		if err := cfg.CheckMask(m); err != nil {
+			t.Fatalf("Mask(%d,%d,ways=%d) = %#x fails CheckMask: %v", start, n, ways, m, err)
+		}
+	})
+}

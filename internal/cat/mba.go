@@ -1,0 +1,50 @@
+package cat
+
+import (
+	"fmt"
+
+	"cmm/internal/msr"
+)
+
+// MBA models Intel Memory Bandwidth Allocation, the RDT companion of CAT:
+// per-CLOS request-rate throttling expressed as a delay percentage. The
+// paper's related work (Liu et al.) studies the interaction of prefetching
+// with bandwidth partitioning; the CMM-mba extension policy uses this
+// knob instead of outright prefetcher disabling.
+
+// MBAMaxPercent is the largest supported throttling value.
+const MBAMaxPercent = 90
+
+// MBAStepPercent is the hardware granularity of throttling values.
+const MBAStepPercent = 10
+
+// CheckMBA validates a throttling percentage per the SDM: multiples of 10
+// in [0, 90].
+func CheckMBA(percent uint64) error {
+	if percent > MBAMaxPercent {
+		return fmt.Errorf("cat: MBA percent %d exceeds %d", percent, MBAMaxPercent)
+	}
+	if percent%MBAStepPercent != 0 {
+		return fmt.Errorf("cat: MBA percent %d not a multiple of %d", percent, MBAStepPercent)
+	}
+	return nil
+}
+
+// SetMBA programs the MBA delay of a CLOS.
+func (a *Allocator) SetMBA(clos int, percent uint64) error {
+	if clos < 0 || clos >= a.cfg.NumCLOS {
+		return fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
+	}
+	if err := CheckMBA(percent); err != nil {
+		return err
+	}
+	return a.bank.Write(0, msr.MBAThrottleBase+uint32(clos), percent)
+}
+
+// MBAOf reads back the MBA delay of a CLOS.
+func (a *Allocator) MBAOf(clos int) (uint64, error) {
+	if clos < 0 || clos >= a.cfg.NumCLOS {
+		return 0, fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
+	}
+	return a.bank.Read(0, msr.MBAThrottleBase+uint32(clos))
+}

@@ -1,0 +1,172 @@
+package cmm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Controller drives a policy over a target machine through the paper's
+// epoch structure (Fig. 4): an execution epoch, then a profiling epoch of
+// sampling intervals (run inside the policy), repeated.
+type Controller struct {
+	cfg    Config
+	target Target
+	policy Policy
+
+	decisions []Decision
+
+	// executionCycles and profilingCycles split the machine time the
+	// controller has consumed between execution epochs and the policy's
+	// profiling (sampling intervals). The paper reports its kernel
+	// module's handler overhead below 0.1% of cycles; in this framework
+	// the analogous cost is the profiling share, available from
+	// OverheadFraction.
+	executionCycles uint64
+	profilingCycles uint64
+}
+
+// countingTarget wraps a Target to meter the cycles a policy consumes
+// during profiling.
+type countingTarget struct {
+	Target
+	cycles uint64
+}
+
+func (c *countingTarget) RunCycles(n uint64) {
+	c.cycles += n
+	c.Target.RunCycles(n)
+}
+
+// NewController validates the configuration and binds policy to target.
+func NewController(cfg Config, t Target, p Policy) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if t == nil || p == nil {
+		return nil, fmt.Errorf("cmm: nil target or policy")
+	}
+	return &Controller{cfg: cfg, target: t, policy: p}, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Policy returns the active back end.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Decisions returns every per-epoch decision taken so far.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// LastDecision returns the most recent decision, or a zero Decision.
+func (c *Controller) LastDecision() Decision {
+	if len(c.decisions) == 0 {
+		return Decision{}
+	}
+	return c.decisions[len(c.decisions)-1]
+}
+
+// RunEpochs executes n full execution+profiling epochs.
+func (c *Controller) RunEpochs(n int) error {
+	for i := 0; i < n; i++ {
+		before := snapshots(c.target)
+		c.target.RunCycles(c.cfg.ExecutionEpoch)
+		c.executionCycles += c.cfg.ExecutionEpoch
+		exec := deltas(c.target, before)
+		ct := &countingTarget{Target: c.target}
+		dec, err := c.policy.Epoch(ct, c.cfg, exec)
+		if err != nil {
+			return fmt.Errorf("cmm: epoch %d (%s): %w", i, c.policy.Name(), err)
+		}
+		c.profilingCycles += ct.cycles
+		c.decisions = append(c.decisions, dec)
+	}
+	return nil
+}
+
+// Overhead returns the machine cycles spent in execution epochs and in
+// the policy's profiling (sampling intervals) so far.
+func (c *Controller) Overhead() (execution, profiling uint64) {
+	return c.executionCycles, c.profilingCycles
+}
+
+// OverheadFraction returns the share of machine time consumed by
+// profiling, in [0,1).
+func (c *Controller) OverheadFraction() float64 {
+	total := c.executionCycles + c.profilingCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(c.profilingCycles) / float64(total)
+}
+
+// AggSummary formats a decision's Agg analysis for logs and examples.
+func AggSummary(d Decision) string {
+	if len(d.Detection.Agg) == 0 {
+		note := "agg set empty"
+		if d.FellBackToDunn {
+			note += " (fell back to Dunn partitioning)"
+		}
+		return note
+	}
+	s := fmt.Sprintf("agg=%v", d.Detection.Agg)
+	if d.Friendly != nil || d.Unfriendly != nil {
+		s += fmt.Sprintf(" friendly=%v unfriendly=%v", d.Friendly, d.Unfriendly)
+	}
+	if len(d.Disabled) > 0 {
+		s += fmt.Sprintf(" throttled=%v", d.Disabled)
+	} else {
+		s += " throttled=[]"
+	}
+	return s
+}
+
+// Policies returns all evaluated back ends keyed by their report names, in
+// the paper's presentation order (the "7 throttling mechanisms" of
+// Fig. 13 plus the baseline).
+func Policies() []Policy {
+	return []Policy{
+		Baseline{},
+		PT{},
+		Dunn{},
+		PrefCP{},
+		PrefCP2{},
+		Coordinated{Variant: VariantA},
+		Coordinated{Variant: VariantB},
+		Coordinated{Variant: VariantC},
+	}
+}
+
+// ExtensionPolicies returns back ends beyond the paper's evaluated set:
+// currently PT-fine, the per-prefetcher throttling variant the paper
+// leaves as an option.
+func ExtensionPolicies() []Policy {
+	return []Policy{FinePT{}, CoordinatedMBA{}}
+}
+
+// PolicyByName returns the policy with the given report name, searching
+// the paper's set and the extensions.
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range append(Policies(), ExtensionPolicies()...) {
+		if p.Name() == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// PolicyNames lists the report names in presentation order.
+func PolicyNames() []string {
+	ps := Policies()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// sortedCopy returns a sorted copy of xs (helper for deterministic logs).
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

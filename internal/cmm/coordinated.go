@@ -1,0 +1,156 @@
+package cmm
+
+import (
+	"fmt"
+
+	"cmm/internal/cat"
+	"cmm/internal/pmu"
+)
+
+// Variant selects one of the paper's coordinated partition layouts
+// (Fig. 6): where the friendly and unfriendly Agg cores live.
+type Variant uint8
+
+const (
+	// VariantA puts the whole Agg set into one small partition and
+	// throttles the unfriendly cores inside it (Fig. 6a).
+	VariantA Variant = iota
+	// VariantB puts only the prefetch-friendly cores into the small
+	// partition; unfriendly cores share the whole cache but are
+	// throttled (Fig. 6b).
+	VariantB
+	// VariantC gives friendly and unfriendly cores two separate small
+	// partitions, throttling the unfriendly ones (Fig. 6c).
+	VariantC
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantA:
+		return "CMM-a"
+	case VariantB:
+		return "CMM-b"
+	case VariantC:
+		return "CMM-c"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Coordinated is the paper's contribution proper: coordinated throttling —
+// first partition the cache around the Agg set, then apply group-level
+// prefetch throttling to the prefetch-unfriendly cores only. Friendly
+// cores always keep their prefetchers (their performance comes from
+// prefetching, not cache space); when the Agg set is empty the policy
+// falls back to the Dunn partitioning (Fig. 6d).
+type Coordinated struct {
+	// Variant selects the Fig. 6 layout (default VariantA).
+	Variant Variant
+}
+
+// Name implements Policy.
+func (p Coordinated) Name() string { return p.Variant.String() }
+
+// Epoch implements Policy.
+func (p Coordinated) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
+	// Sampling interval 1: all prefetchers on — detection statistics.
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	probe := sampleInterval(t, cfg.SamplingInterval)
+	det := DetectAgg(probe, t.CoreGHz(), cfg)
+	dec := Decision{Policy: p.Name(), Detection: det, SampledCombos: 1}
+
+	if len(det.Agg) == 0 {
+		// Fig. 6(d): nothing aggressive — Dunn partitioning instead.
+		plan, err := dunnPlan(t, exec)
+		if err != nil {
+			return Decision{}, err
+		}
+		if err := applyPlan(t, plan); err != nil {
+			return Decision{}, err
+		}
+		dec.Plan = &plan
+		dec.FellBackToDunn = true
+		return dec, nil
+	}
+
+	// Sampling interval 2: Agg prefetchers off — friendliness split.
+	ipcOn := ipcsOf(probe)
+	if err := setPrefetchers(t, det.Agg); err != nil {
+		return Decision{}, err
+	}
+	off := sampleInterval(t, cfg.SamplingInterval)
+	dec.SampledCombos++
+	ipcOff := ipcsOf(off)
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	dec.Friendly, dec.Unfriendly = SplitFriendly(det.Agg, ipcOn, ipcOff, cfg.FriendlyThreshold)
+
+	// Partition per the variant.
+	plan, err := p.plan(t, cfg, dec.Friendly, dec.Unfriendly, det.Agg)
+	if err != nil {
+		return Decision{}, err
+	}
+	if err := applyPlan(t, plan); err != nil {
+		return Decision{}, err
+	}
+	dec.Plan = &plan
+
+	// Group-level throttling of the unfriendly cores only.
+	if len(dec.Unfriendly) > 0 {
+		ents := entitiesOf(dec.Unfriendly, det.PTR, cfg)
+		best, score, _, _, sampled, err := comboSearch(t, cfg, ents)
+		if err != nil {
+			return Decision{}, err
+		}
+		dec.SampledCombos += sampled
+		dec.BestScore = score
+		dec.Disabled = disabledFor(ents, best)
+		if err := setPrefetchers(t, dec.Disabled); err != nil {
+			return Decision{}, err
+		}
+	}
+	return dec, nil
+}
+
+// plan builds the Fig. 6 layout for the variant.
+func (p Coordinated) plan(t Target, cfg Config, friendly, unfriendly, agg []int) (cat.Plan, error) {
+	catCfg := t.CATConfig()
+	switch p.Variant {
+	case VariantA:
+		return planPartitions(t, []partitionGroup{{
+			cores: agg,
+			start: 0,
+			ways:  aggWays(cfg, catCfg, len(agg)),
+		}})
+	case VariantB:
+		return planPartitions(t, []partitionGroup{{
+			cores: friendly,
+			start: 0,
+			ways:  aggWays(cfg, catCfg, len(friendly)),
+		}})
+	case VariantC:
+		wF := aggWays(cfg, catCfg, len(friendly))
+		wU := aggWays(cfg, catCfg, len(unfriendly))
+		groups := []partitionGroup{}
+		if len(friendly) > 0 {
+			groups = append(groups, partitionGroup{cores: friendly, start: 0, ways: wF})
+		}
+		if len(unfriendly) > 0 {
+			start := 0
+			if len(friendly) > 0 {
+				start = wF
+			}
+			if start+wU > catCfg.Ways {
+				start = catCfg.Ways - wU
+			}
+			groups = append(groups, partitionGroup{cores: unfriendly, start: start, ways: wU})
+		}
+		return planPartitions(t, groups)
+	default:
+		return cat.Plan{}, fmt.Errorf("cmm: unknown variant %d", p.Variant)
+	}
+}

@@ -1,0 +1,80 @@
+package cmm
+
+// Failure injection: hardware register writes can fault (the msr driver
+// returns EIO on some parts, CLOS counts differ across SKUs). Every policy
+// must surface such errors instead of panicking or half-applying a plan.
+
+import (
+	"errors"
+	"testing"
+)
+
+var errInjected = errors.New("injected MSR fault")
+
+// faultyTarget wraps the fake target and fails register writes after a
+// countdown, simulating a mid-decision hardware fault.
+type faultyTarget struct {
+	*fakeTarget
+	writesLeft int
+}
+
+func (f *faultyTarget) WriteMSR(cpu int, reg uint32, v uint64) error {
+	if f.writesLeft <= 0 {
+		return errInjected
+	}
+	f.writesLeft--
+	return f.fakeTarget.WriteMSR(cpu, reg, v)
+}
+
+func aggressivePair() []fakeCore {
+	return []fakeCore{
+		{ipcOn: 2.0, ipcOff: 0.5, aggressive: true},
+		{ipcOn: 0.5, ipcOff: 0.7, aggressive: true, victimPenalty: 0.3},
+		{ipcOn: 1, ipcOff: 1},
+	}
+}
+
+func TestPoliciesSurfaceMSRFaults(t *testing.T) {
+	policies := append(Policies(), ExtensionPolicies()...)
+	for _, p := range policies {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			// Sweep the failure point across the whole decision
+			// sequence: every prefix must fail cleanly with the injected
+			// error, never panic.
+			sawError := false
+			for cut := 0; cut < 60; cut++ {
+				ft := &faultyTarget{fakeTarget: newFakeTarget(aggressivePair()), writesLeft: cut}
+				ctrl, err := NewController(DefaultConfig(), ft, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = ctrl.RunEpochs(1)
+				if err != nil {
+					if !errors.Is(err, errInjected) {
+						t.Fatalf("cut %d: error %v does not wrap the injected fault", cut, err)
+					}
+					sawError = true
+				}
+			}
+			if !sawError {
+				t.Fatalf("%s never hit the injected fault — sweep too short?", p.Name())
+			}
+		})
+	}
+}
+
+func TestControllerStopsAfterPolicyError(t *testing.T) {
+	ft := &faultyTarget{fakeTarget: newFakeTarget(aggressivePair()), writesLeft: 2}
+	ctrl, err := NewController(DefaultConfig(), ft, PT{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RunEpochs(3); err == nil {
+		t.Fatal("controller swallowed the policy error")
+	}
+	// No decision is recorded for the failed epoch.
+	if len(ctrl.Decisions()) != 0 {
+		t.Fatalf("%d decisions recorded for failed epochs", len(ctrl.Decisions()))
+	}
+}

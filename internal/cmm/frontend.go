@@ -1,0 +1,87 @@
+package cmm
+
+import "cmm/internal/pmu"
+
+// Detection is the front end's per-epoch analysis (Fig. 5 of the paper).
+type Detection struct {
+	// Agg lists the prefetch-aggressive cores, ascending.
+	Agg []int
+	// PGA, PMR, PTR, LLCPT hold the per-core Table-I metrics the
+	// decision used (M-4, M-5, M-3, M-7 as a rate), indexed by core.
+	PGA, PMR, PTR, LLCPT []float64
+	// MeanPGA is the cross-core average PGA candidates must exceed.
+	MeanPGA float64
+}
+
+// InAgg reports whether core is in the Agg set.
+func (d Detection) InAgg(core int) bool {
+	for _, c := range d.Agg {
+		if c == core {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectAgg runs the paper's three-step Agg-core identification on one
+// window of per-core samples (collected with all prefetchers enabled):
+//
+//  1. PGA (M-4) above PGAMeanFraction of the all-core average →
+//     candidate: the core's access patterns make the L2 prefetchers
+//     generate requests.
+//  2. L2 PMR (M-5) at or above the threshold → kept: its prefetches
+//     actually leave L2 (low prefetch locality).
+//  3. L2 PTR (M-3) at or above the threshold → kept: the resulting
+//     traffic puts real bandwidth pressure on the LLC.
+//  4. LLC PT (M-7, as a rate) at or above the threshold → kept: the
+//     prefetches reach memory, not just the LLC (the paper's Sec. III-A
+//     note on identifying "cores that issue a large number of prefetch
+//     requests to memory").
+func DetectAgg(samples []pmu.Sample, ghz float64, cfg Config) Detection {
+	n := len(samples)
+	d := Detection{
+		PGA:   make([]float64, n),
+		PMR:   make([]float64, n),
+		PTR:   make([]float64, n),
+		LLCPT: make([]float64, n),
+	}
+	sum := 0.0
+	for i, s := range samples {
+		d.PGA[i] = s.M4PGA()
+		d.PMR[i] = s.M5L2PMR()
+		d.PTR[i] = s.M3L2PTR(ghz)
+		seconds := float64(s.Value(pmu.Cycles)) / (ghz * 1e9)
+		if seconds > 0 {
+			d.LLCPT[i] = float64(s.Value(pmu.L3PrefMiss)) / seconds
+		}
+		sum += d.PGA[i]
+	}
+	if n > 0 {
+		d.MeanPGA = sum / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		if d.PGA[i] > cfg.PGAMeanFraction*d.MeanPGA &&
+			d.PMR[i] >= cfg.PMRThreshold &&
+			d.PTR[i] >= cfg.PTRThreshold &&
+			d.LLCPT[i] >= cfg.LLCPTThreshold {
+			d.Agg = append(d.Agg, i)
+		}
+	}
+	return d
+}
+
+// SplitFriendly divides Agg cores into prefetch-friendly and -unfriendly
+// by the measured IPC speedup from prefetching: cores whose
+// ipcOn/ipcOff - 1 meets the threshold keep their prefetchers (friendly);
+// the rest are candidates for throttling. Cores with unmeasurable off-IPC
+// are treated as unfriendly (throttling them is then harmless).
+func SplitFriendly(agg []int, ipcOn, ipcOff []float64, threshold float64) (friendly, unfriendly []int) {
+	for _, c := range agg {
+		if ipcOff[c] > 0 && ipcOn[c]/ipcOff[c]-1 >= threshold {
+			friendly = append(friendly, c)
+		} else {
+			unfriendly = append(unfriendly, c)
+		}
+	}
+	return friendly, unfriendly
+}

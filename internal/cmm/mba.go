@@ -1,0 +1,118 @@
+package cmm
+
+import (
+	"cmm/internal/cat"
+	"cmm/internal/pmu"
+)
+
+// CoordinatedMBA is an extension back end exploring the direction the
+// paper cites via Liu et al. (prefetching × bandwidth partitioning):
+// instead of disabling the prefetch-unfriendly cores' prefetchers, it
+// keeps all prefetchers on and rate-limits the unfriendly cores' memory
+// interface with Intel MBA. The cache side is the Fig. 6(c) layout:
+// friendly and unfriendly cores in two disjoint small partitions.
+//
+// Useful prefetches (even from unfriendly cores) still happen, but their
+// bandwidth cost is bounded — a gentler trade than PT's on/off, at the
+// price of requiring MBA-capable hardware.
+type CoordinatedMBA struct{}
+
+// Name implements Policy.
+func (CoordinatedMBA) Name() string { return "CMM-mba" }
+
+// mbaCLOSFriendly and mbaCLOSUnfriendly are the classes of service the
+// policy uses for the two partitions.
+const (
+	mbaCLOSFriendly   = 1
+	mbaCLOSUnfriendly = 2
+)
+
+// Epoch implements Policy.
+func (p CoordinatedMBA) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	probe := sampleInterval(t, cfg.SamplingInterval)
+	det := DetectAgg(probe, t.CoreGHz(), cfg)
+	dec := Decision{Policy: p.Name(), Detection: det, SampledCombos: 1}
+	alloc := allocatorFor(t)
+
+	if len(det.Agg) == 0 {
+		plan, err := dunnPlan(t, exec)
+		if err != nil {
+			return Decision{}, err
+		}
+		if err := applyPlan(t, plan); err != nil {
+			return Decision{}, err
+		}
+		if err := alloc.SetMBA(mbaCLOSUnfriendly, 0); err != nil {
+			return Decision{}, err
+		}
+		dec.Plan = &plan
+		dec.FellBackToDunn = true
+		return dec, nil
+	}
+
+	// Friendliness split over the second sampling interval.
+	ipcOn := ipcsOf(probe)
+	if err := setPrefetchers(t, det.Agg); err != nil {
+		return Decision{}, err
+	}
+	off := sampleInterval(t, cfg.SamplingInterval)
+	dec.SampledCombos++
+	ipcOff := ipcsOf(off)
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	dec.Friendly, dec.Unfriendly = SplitFriendly(det.Agg, ipcOn, ipcOff, cfg.FriendlyThreshold)
+
+	// Fig. 6(c) partitions via fixed CLOS ids so the MBA knob targets
+	// exactly the unfriendly class.
+	catCfg := t.CATConfig()
+	plan := cat.NewPlan(t.NumCores(), catCfg.FullMask())
+	wF := aggWays(cfg, catCfg, len(dec.Friendly))
+	if len(dec.Friendly) > 0 {
+		mask, err := catCfg.Mask(0, wF)
+		if err != nil {
+			return Decision{}, err
+		}
+		plan.Masks[mbaCLOSFriendly] = mask
+		for _, c := range dec.Friendly {
+			plan.ClosByCore[c] = mbaCLOSFriendly
+		}
+	}
+	if len(dec.Unfriendly) > 0 {
+		start := 0
+		if len(dec.Friendly) > 0 {
+			start = wF
+		}
+		wU := aggWays(cfg, catCfg, len(dec.Unfriendly))
+		if start+wU > catCfg.Ways {
+			start = catCfg.Ways - wU
+		}
+		mask, err := catCfg.Mask(start, wU)
+		if err != nil {
+			return Decision{}, err
+		}
+		plan.Masks[mbaCLOSUnfriendly] = mask
+		for _, c := range dec.Unfriendly {
+			plan.ClosByCore[c] = mbaCLOSUnfriendly
+		}
+	}
+	if err := applyPlan(t, plan); err != nil {
+		return Decision{}, err
+	}
+	dec.Plan = &plan
+
+	// Bandwidth-throttle the unfriendly class; release it when empty.
+	pct := cfg.MBAPercent
+	if len(dec.Unfriendly) == 0 {
+		pct = 0
+	}
+	if err := alloc.SetMBA(mbaCLOSUnfriendly, pct); err != nil {
+		return Decision{}, err
+	}
+	dec.MBAThrottled = sortedCopy(dec.Unfriendly)
+	dec.MBAPercent = pct
+	return dec, nil
+}

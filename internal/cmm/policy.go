@@ -1,0 +1,257 @@
+package cmm
+
+import (
+	"fmt"
+	"sort"
+
+	"cmm/internal/cat"
+	"cmm/internal/kmeans"
+	"cmm/internal/metrics"
+	"cmm/internal/msr"
+	"cmm/internal/pmu"
+)
+
+// Decision records what a policy programmed for the next execution epoch;
+// the controller keeps these for inspection and the examples print them.
+type Decision struct {
+	// Policy is the back end that produced the decision.
+	Policy string
+	// Detection is the front end's analysis for the epoch.
+	Detection Detection
+	// Friendly and Unfriendly partition the Agg set where the policy
+	// measured prefetch usefulness (nil otherwise).
+	Friendly, Unfriendly []int
+	// Disabled lists cores whose prefetchers are off for the next epoch.
+	Disabled []int
+	// Plan is the CAT partitioning programmed (nil when untouched).
+	Plan *cat.Plan
+	// SampledCombos is how many prefetch combinations were profiled.
+	SampledCombos int
+	// BestScore is the hm_ipc of the chosen combination (0 if none).
+	BestScore float64
+	// FellBackToDunn reports the Agg-empty fallback (Fig. 6(d)).
+	FellBackToDunn bool
+	// MBAThrottled lists cores whose memory bandwidth is MBA-limited
+	// (CMM-mba extension), with MBAPercent the programmed delay value.
+	MBAThrottled []int
+	MBAPercent   uint64
+}
+
+// Policy is one CMM back end. Epoch runs the profiling phase (sampling
+// intervals) and programs the machine for the next execution epoch.
+type Policy interface {
+	// Name identifies the policy in reports ("PT", "Pref-CP", "CMM-a"...).
+	Name() string
+	// Epoch consumes the finished execution epoch's samples, profiles as
+	// needed, and applies a resource allocation.
+	Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error)
+}
+
+// targetBank adapts a Target to msr.Bank so cat.Allocator can program CAT
+// through the same register path the policies use.
+type targetBank struct{ t Target }
+
+func (b targetBank) Read(cpu int, reg uint32) (uint64, error)  { return b.t.ReadMSR(cpu, reg) }
+func (b targetBank) Write(cpu int, reg uint32, v uint64) error { return b.t.WriteMSR(cpu, reg, v) }
+func (b targetBank) NumCPU() int                               { return b.t.NumCores() }
+
+// allocatorFor returns a CAT allocator driving the target.
+func allocatorFor(t Target) *cat.Allocator {
+	return cat.NewAllocator(t.CATConfig(), targetBank{t})
+}
+
+// setPrefetchers programs every core's MiscFeatureControl: cores in the
+// disabled set get all four prefetchers off, everyone else on.
+func setPrefetchers(t Target, disabled []int) error {
+	off := map[int]bool{}
+	for _, c := range disabled {
+		off[c] = true
+	}
+	for c := 0; c < t.NumCores(); c++ {
+		v := uint64(0)
+		if off[c] {
+			v = msr.DisableAll
+		}
+		if err := t.WriteMSR(c, msr.MiscFeatureControl, v); err != nil {
+			return fmt.Errorf("cmm: program prefetchers of core %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// resetCAT restores all cores to CLOS0 with a full-cache mask.
+func resetCAT(t Target) error {
+	a := allocatorFor(t)
+	plan := cat.NewPlan(t.NumCores(), t.CATConfig().FullMask())
+	return a.Apply(plan)
+}
+
+// Baseline is the paper's baseline: all prefetchers enabled, no prefetch
+// control, no cache partitioning.
+type Baseline struct{}
+
+// Name implements Policy.
+func (Baseline) Name() string { return "baseline" }
+
+// Epoch implements Policy: it (re)asserts the reset state.
+func (Baseline) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	if err := resetCAT(t); err != nil {
+		return Decision{}, err
+	}
+	return Decision{Policy: "baseline"}, nil
+}
+
+// entity is a unit of throttling: one core, or one K-Means group of cores
+// with similar L2 PTR (group-level throttling for large Agg sets).
+type entity struct {
+	Cores []int
+}
+
+// entitiesOf builds throttle entities for the given cores: individual
+// entities when few, K-Means groups by L2 PTR (M-3) otherwise.
+func entitiesOf(cores []int, ptr []float64, cfg Config) []entity {
+	if len(cores) <= cfg.MaxIndividual {
+		ents := make([]entity, len(cores))
+		for i, c := range cores {
+			ents[i] = entity{Cores: []int{c}}
+		}
+		return ents
+	}
+	k := cfg.Groups
+	if k > len(cores) {
+		k = len(cores)
+	}
+	pts := make([]float64, len(cores))
+	for i, c := range cores {
+		pts[i] = ptr[c]
+	}
+	res, err := kmeans.Cluster(pts, k)
+	if err != nil {
+		// Unreachable for k<=len, but degrade to one entity per core.
+		ents := make([]entity, len(cores))
+		for i, c := range cores {
+			ents[i] = entity{Cores: []int{c}}
+		}
+		return ents
+	}
+	ents := make([]entity, res.K())
+	for i, c := range cores {
+		g := res.Assign[i]
+		ents[g].Cores = append(ents[g].Cores, c)
+	}
+	// Drop empty groups (possible when identical PTRs collapse).
+	out := ents[:0]
+	for _, e := range ents {
+		if len(e.Cores) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// disabledFor expands a combo bitmask over entities into the sorted list
+// of cores whose prefetchers are off (bit i set = entity i throttled).
+func disabledFor(ents []entity, combo uint) []int {
+	var cores []int
+	for i, e := range ents {
+		if combo&(1<<uint(i)) != 0 {
+			cores = append(cores, e.Cores...)
+		}
+	}
+	sort.Ints(cores)
+	return cores
+}
+
+// comboSearch profiles prefetch on/off combinations of the entities, each
+// for one sampling interval, scoring by hm_ipc (the paper's proxy for
+// ANTT). Combo 0 (all on) is sampled first — the paper always starts with
+// an all-on interval so PMU statistics reflect full prefetching — and the
+// all-off combo second, which also yields the per-core IPC-without-
+// prefetching needed for the friendliness split. It returns the best
+// combo, its score, the on/off IPC vectors, and how many intervals ran.
+func comboSearch(t Target, cfg Config, ents []entity) (best uint, bestScore float64, ipcOn, ipcOff []float64, sampled int, err error) {
+	nCombos := uint(1) << uint(len(ents))
+	allOff := nCombos - 1
+
+	order := make([]uint, 0, nCombos)
+	order = append(order, 0)
+	if allOff != 0 {
+		order = append(order, allOff)
+	}
+	for c := uint(1); c < nCombos; c++ {
+		if c != allOff {
+			order = append(order, c)
+		}
+	}
+
+	best, bestScore = 0, -1.0
+	for _, combo := range order {
+		if err := setPrefetchers(t, disabledFor(ents, combo)); err != nil {
+			return 0, 0, nil, nil, sampled, err
+		}
+		samples := sampleInterval(t, cfg.SamplingInterval)
+		ipcs := ipcsOf(samples)
+		switch combo {
+		case 0:
+			ipcOn = ipcs
+		case allOff:
+			ipcOff = ipcs
+		}
+		if score := metrics.HarmonicMeanIPC(ipcs); score > bestScore {
+			best, bestScore = combo, score
+		}
+		sampled++
+	}
+	return best, bestScore, ipcOn, ipcOff, sampled, nil
+}
+
+// PT is the prefetch-throttling back end (Sec. III-B1): profile on/off
+// combinations of the Agg cores' prefetchers and keep the best by hm_ipc.
+// It never touches cache partitioning.
+type PT struct{}
+
+// Name implements Policy.
+func (PT) Name() string { return "PT" }
+
+// Epoch implements Policy.
+func (PT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
+	// The first sampling interval always runs all-on (cores throttled in
+	// the previous epoch would otherwise show zero PTR/PGA).
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	probe := sampleInterval(t, cfg.SamplingInterval)
+	det := DetectAgg(probe, t.CoreGHz(), cfg)
+	dec := Decision{Policy: "PT", Detection: det, SampledCombos: 1}
+	if len(det.Agg) == 0 {
+		return dec, nil // nothing aggressive: leave prefetchers on
+	}
+
+	ents := entitiesOf(det.Agg, det.PTR, cfg)
+	best, score, ipcOn, ipcOff, sampled, err := comboSearch(t, cfg, ents)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec.SampledCombos = sampled + 1
+	dec.BestScore = score
+	if ipcOn != nil && ipcOff != nil {
+		dec.Friendly, dec.Unfriendly = SplitFriendly(det.Agg, ipcOn, ipcOff, cfg.FriendlyThreshold)
+	}
+	dec.Disabled = disabledFor(ents, best)
+	if err := setPrefetchers(t, dec.Disabled); err != nil {
+		return Decision{}, err
+	}
+	return dec, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+// Package cmm implements the paper's contribution: CMM, a coordinated
+// multi-resource management framework that treats hardware prefetchers and
+// the shared LLC as two allocatable resources.
+//
+// The framework is decoupled exactly as in the paper: a front end that
+// identifies prefetch-aggressive (Agg) cores from PMU metrics (Table I /
+// Fig. 5), and interchangeable back ends that allocate resources —
+// prefetch throttling (PT), cache partitioning (Pref-CP, Pref-CP2, and the
+// prior-art Dunn policy), and the coordinated CMM-a/b/c mechanisms.
+//
+// Policies talk to the machine only through the Target interface (MSR
+// writes, PMU reads, elapse time), mirroring how the paper's kernel module
+// touches hardware; the same policy code drives the simulator or — with a
+// suitable Target implementation — a real Intel machine.
+package cmm
+
+import (
+	"cmm/internal/cat"
+	"cmm/internal/pmu"
+	"cmm/internal/sim"
+)
+
+// Target is the hardware abstraction the policies control.
+type Target interface {
+	// NumCores returns the number of managed cores.
+	NumCores() int
+	// WriteMSR stores an MSR on one cpu (prefetch control, CAT).
+	WriteMSR(cpu int, reg uint32, v uint64) error
+	// ReadMSR loads an MSR from one cpu.
+	ReadMSR(cpu int, reg uint32) (uint64, error)
+	// ReadPMU captures one core's performance counters.
+	ReadPMU(cpu int) pmu.Snapshot
+	// RunCycles lets the machine execute for n core cycles (on real
+	// hardware this is a timed sleep; on the simulator it advances the
+	// clock).
+	RunCycles(n uint64)
+	// CoreGHz returns the core clock for cycle→second conversions.
+	CoreGHz() float64
+	// CATConfig describes the partitioning capability.
+	CATConfig() cat.Config
+}
+
+// SimTarget adapts a sim.System to the Target interface.
+type SimTarget struct {
+	Sys *sim.System
+}
+
+// NewSimTarget wraps a simulated machine.
+func NewSimTarget(s *sim.System) *SimTarget { return &SimTarget{Sys: s} }
+
+// NumCores implements Target.
+func (t *SimTarget) NumCores() int { return t.Sys.NumCores() }
+
+// WriteMSR implements Target.
+func (t *SimTarget) WriteMSR(cpu int, reg uint32, v uint64) error {
+	return t.Sys.Bank().Write(cpu, reg, v)
+}
+
+// ReadMSR implements Target.
+func (t *SimTarget) ReadMSR(cpu int, reg uint32) (uint64, error) {
+	return t.Sys.Bank().Read(cpu, reg)
+}
+
+// ReadPMU implements Target.
+func (t *SimTarget) ReadPMU(cpu int) pmu.Snapshot { return t.Sys.PMU(cpu).Snapshot() }
+
+// RunCycles implements Target.
+func (t *SimTarget) RunCycles(n uint64) { t.Sys.Run(n) }
+
+// CoreGHz implements Target.
+func (t *SimTarget) CoreGHz() float64 { return t.Sys.Config().CoreGHz }
+
+// CATConfig implements Target.
+func (t *SimTarget) CATConfig() cat.Config { return t.Sys.Config().CAT }
+
+// snapshots captures all cores' PMU state.
+func snapshots(t Target) []pmu.Snapshot {
+	out := make([]pmu.Snapshot, t.NumCores())
+	for i := range out {
+		out[i] = t.ReadPMU(i)
+	}
+	return out
+}
+
+// deltas returns the per-core samples since the given snapshots.
+func deltas(t Target, since []pmu.Snapshot) []pmu.Sample {
+	out := make([]pmu.Sample, t.NumCores())
+	for i := range out {
+		out[i] = t.ReadPMU(i).Delta(since[i])
+	}
+	return out
+}
+
+// sampleInterval runs the machine for the given cycles and returns what
+// each core did during the window.
+func sampleInterval(t Target, cycles uint64) []pmu.Sample {
+	before := snapshots(t)
+	t.RunCycles(cycles)
+	return deltas(t, before)
+}
+
+// ipcsOf extracts per-core IPCs from samples.
+func ipcsOf(samples []pmu.Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.IPC()
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmm/internal/mem"
+	"cmm/internal/mixes"
+	"cmm/internal/msr"
+	"cmm/internal/pmu"
+	"cmm/internal/sim"
+	"cmm/internal/workload"
+)
+
+// soloRun measures one benchmark running alone: IPC, memory bandwidth and
+// the PMU sample over the window. msrVal programs the prefetchers; ways>0
+// restricts the core to a CAT partition of that many ways.
+type soloRun struct {
+	IPC     float64
+	TotalBW float64 // GB/s, demand+prefetch
+	Sample  pmu.Sample
+}
+
+func runSolo(opts Options, spec workload.Spec, seed int64, msrVal uint64, ways int) (soloRun, error) {
+	sys, err := sim.New(opts.Sim, []workload.Spec{spec}, seed)
+	if err != nil {
+		return soloRun{}, err
+	}
+	if err := sys.Bank().Write(0, msr.MiscFeatureControl, msrVal); err != nil {
+		return soloRun{}, err
+	}
+	if ways > 0 {
+		m, err := sys.Config().CAT.Mask(0, ways)
+		if err != nil {
+			return soloRun{}, err
+		}
+		if err := sys.CAT().SetMask(1, m); err != nil {
+			return soloRun{}, err
+		}
+		if err := sys.CAT().Assign(0, 1); err != nil {
+			return soloRun{}, err
+		}
+	}
+	sys.Run(opts.SoloWarmCycles)
+	snap := sys.Snapshots()
+	bytesBefore := sys.Memory().TotalBytes(0)
+	sys.Run(opts.SoloMeasureCycles)
+	s := sys.Deltas(snap)[0]
+	bytes := sys.Memory().TotalBytes(0) - bytesBefore
+	return soloRun{
+		IPC:     s.IPC(),
+		TotalBW: mem.BandwidthGBs(bytes, s.Value(pmu.Cycles), opts.Sim.CoreGHz),
+		Sample:  s,
+	}, nil
+}
+
+// Fig1Row is one bar of Fig. 1: a benchmark's demand memory bandwidth
+// (prefetchers off) and its total bandwidth with prefetching.
+type Fig1Row struct {
+	Benchmark   string
+	DemandGBs   float64 // bandwidth with prefetchers disabled
+	PrefetchGBs float64 // bandwidth with prefetchers enabled
+	IncreasePct float64 // (PrefetchGBs-DemandGBs)/DemandGBs * 100
+	DemandMBs   float64 // DemandGBs in MB/s (the paper's 1500 MB/s cut)
+}
+
+// Characterize runs each benchmark solo with prefetchers on and off and
+// derives both Fig. 1 (bandwidth) and Fig. 2 (speedup) rows from the same
+// pair of runs.
+func Characterize(opts Options, specs []workload.Spec) ([]Fig1Row, []Fig2Row, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var f1 []Fig1Row
+	var f2 []Fig2Row
+	for _, spec := range specs {
+		off, err := runSolo(opts, spec, opts.BaseSeed, msr.DisableAll, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("characterize %s off: %w", spec.Name, err)
+		}
+		on, err := runSolo(opts, spec, opts.BaseSeed, 0, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("characterize %s on: %w", spec.Name, err)
+		}
+		r1 := Fig1Row{
+			Benchmark:   spec.Name,
+			DemandGBs:   off.TotalBW,
+			PrefetchGBs: on.TotalBW,
+			DemandMBs:   off.TotalBW * 1000,
+		}
+		if off.TotalBW > 0 {
+			r1.IncreasePct = (on.TotalBW - off.TotalBW) / off.TotalBW * 100
+		}
+		f1 = append(f1, r1)
+		r2 := Fig2Row{Benchmark: spec.Name, IPCOn: on.IPC, IPCOff: off.IPC}
+		if off.IPC > 0 {
+			r2.SpeedupPct = (on.IPC/off.IPC - 1) * 100
+		}
+		f2 = append(f2, r2)
+	}
+	return f1, f2, nil
+}
+
+// Fig1 measures memory bandwidth with and without prefetching for every
+// benchmark in the suite.
+func Fig1(opts Options) ([]Fig1Row, error) {
+	f1, _, err := Characterize(opts, workload.Suite())
+	return f1, err
+}
+
+// Fig2Row is one bar of Fig. 2: IPC speedup from prefetching.
+type Fig2Row struct {
+	Benchmark  string
+	IPCOn      float64
+	IPCOff     float64
+	SpeedupPct float64 // (on/off - 1) * 100
+}
+
+// Fig2 measures the solo IPC speedup from prefetching for every benchmark.
+func Fig2(opts Options) ([]Fig2Row, error) {
+	_, f2, err := Characterize(opts, workload.Suite())
+	return f2, err
+}
+
+// Fig3Ways is the way sweep used for Fig. 3.
+var Fig3Ways = []int{1, 2, 4, 6, 8, 10, 12, 16, 20}
+
+// Fig3Row is one line of Fig. 3: IPC as a function of allocated LLC ways,
+// prefetchers on.
+type Fig3Row struct {
+	Benchmark string
+	Ways      []int
+	IPC       []float64
+	// NeedsForFrac[f] is the smallest swept way count reaching fraction f
+	// of the peak IPC; the paper uses 0.8 and 0.9.
+	Needs80, Needs90 int
+}
+
+// Fig3 sweeps LLC ways for every benchmark with prefetching enabled.
+func Fig3(opts Options) ([]Fig3Row, error) {
+	return Fig3Of(opts, workload.Suite(), Fig3Ways)
+}
+
+// Fig3Of sweeps the given way counts for the given benchmarks.
+func Fig3Of(opts Options, specs []workload.Spec, ways []int) ([]Fig3Row, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []Fig3Row
+	for _, spec := range specs {
+		row := Fig3Row{Benchmark: spec.Name, Ways: ways}
+		peak := 0.0
+		for _, w := range ways {
+			r, err := runSolo(opts, spec, opts.BaseSeed, 0, w)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %d ways: %w", spec.Name, w, err)
+			}
+			row.IPC = append(row.IPC, r.IPC)
+			if r.IPC > peak {
+				peak = r.IPC
+			}
+		}
+		row.Needs80 = needsWays(row, 0.8*peak)
+		row.Needs90 = needsWays(row, 0.9*peak)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func needsWays(row Fig3Row, threshold float64) int {
+	for i, ipc := range row.IPC {
+		if ipc >= threshold {
+			return row.Ways[i]
+		}
+	}
+	return row.Ways[len(row.Ways)-1]
+}
+
+// Classify applies the paper's Sec. IV-B criteria to the measured
+// characterisation: aggressive if demand BW > 1500 MB/s and prefetch BW
+// increase > 50%; friendly if IPC speedup > 30%; LLC sensitive if >= 8
+// ways are needed for 80% of peak.
+func Classify(f1 []Fig1Row, f2 []Fig2Row, f3 []Fig3Row) map[string]mixes.Class {
+	out := map[string]mixes.Class{}
+	bw := map[string]Fig1Row{}
+	for _, r := range f1 {
+		bw[r.Benchmark] = r
+	}
+	speedup := map[string]Fig2Row{}
+	for _, r := range f2 {
+		speedup[r.Benchmark] = r
+	}
+	for _, r := range f3 {
+		c := mixes.Class{}
+		b := bw[r.Benchmark]
+		c.PrefAggressive = b.DemandMBs > 1500 && b.IncreasePct > 50
+		c.PrefFriendly = c.PrefAggressive && speedup[r.Benchmark].SpeedupPct > 30
+		c.LLCSensitive = r.Needs80 >= 8
+		out[r.Benchmark] = c
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"cmm/internal/mixes"
+	"cmm/internal/workload"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Cores = 2
+	if err := o.Validate(); err == nil {
+		t.Error("2 cores accepted")
+	}
+	o = DefaultOptions()
+	o.Seeds = nil
+	if err := o.Validate(); err == nil {
+		t.Error("no seeds accepted")
+	}
+	o = DefaultOptions()
+	o.MeasureEpochs = 0
+	if err := o.Validate(); err == nil {
+		t.Error("0 measure epochs accepted")
+	}
+}
+
+// TestClassificationMatchesStaticTable is the end-to-end calibration gate:
+// the measured Fig. 1–3 characterisation must classify benchmarks the way
+// the static table in internal/mixes says (the paper's Sec. IV-B classes),
+// otherwise the 40 mixes would not be what the figures assume. One
+// representative per class is checked here with windows long enough for
+// the multi-MB working sets to populate the LLC; the full-suite sweep runs
+// in the bench harness.
+func TestClassificationMatchesStaticTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterisation is slow")
+	}
+	opts := QuickOptions()
+	opts.SoloWarmCycles = 30_000_000
+	opts.SoloMeasureCycles = 10_000_000
+
+	subset := []string{
+		"410.bwaves",  // prefetch friendly + aggressive
+		"rand_access", // prefetch unfriendly + aggressive
+		"471.omnetpp", // LLC sensitive
+		"429.mcf",     // LLC sensitive (random reuse)
+		"453.povray",  // compute bound
+		"464.h264ref", // L2-resident streams: the PMR-filter case
+	}
+	var specs []workload.Spec
+	for _, n := range subset {
+		s, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", n)
+		}
+		specs = append(specs, s)
+	}
+
+	f1, f2, err := Characterize(opts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := Fig3Of(opts, specs, []int{2, 4, 8, 12, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := Classify(f1, f2, f3)
+	want := mixes.Classes()
+	for _, name := range subset {
+		mc := measured[name]
+		wc := want[name]
+		if mc != wc {
+			t.Errorf("%s: measured %+v, static table %+v", name, mc, wc)
+		}
+	}
+	if t.Failed() {
+		var b bytes.Buffer
+		WriteFig1(&b, f1)
+		WriteFig2(&b, f2)
+		WriteFig3(&b, f3)
+		t.Logf("characterisation:\n%s", b.String())
+	}
+}
+
+func TestWriteTable1(t *testing.T) {
+	var b bytes.Buffer
+	WriteTable1(&b)
+	out := b.String()
+	for _, want := range []string{"M-1", "M-7", "PGA", "L2 PMR", "l2_pref_miss"} {
+		if !bytes.Contains(b.Bytes(), []byte(want)) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}

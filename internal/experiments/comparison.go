@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmm/internal/cmm"
+	"cmm/internal/metrics"
+	"cmm/internal/mixes"
+	"cmm/internal/pmu"
+	"cmm/internal/sim"
+	"cmm/internal/workload"
+)
+
+// policyRun is the raw measurement of one (mix, policy, seed) run.
+type policyRun struct {
+	IPC    []float64 // per core, over the measurement window
+	Bytes  uint64    // memory bytes moved during the window
+	Stalls uint64    // summed STALLS_L2_PENDING deltas
+	Cycles uint64    // wall cycles of the window
+}
+
+// runPolicy executes the controller-driven run for one mix.
+func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (policyRun, error) {
+	sys, err := sim.New(opts.Sim, mix.Specs, seed)
+	if err != nil {
+		return policyRun{}, err
+	}
+	target := cmm.NewSimTarget(sys)
+	ctrl, err := cmm.NewController(opts.CMM, target, policy)
+	if err != nil {
+		return policyRun{}, err
+	}
+	if opts.WarmEpochs > 0 {
+		if err := ctrl.RunEpochs(opts.WarmEpochs); err != nil {
+			return policyRun{}, err
+		}
+	}
+	snaps := sys.Snapshots()
+	bytesBefore := uint64(0)
+	for c := 0; c < sys.NumCores(); c++ {
+		bytesBefore += sys.Memory().TotalBytes(c)
+	}
+	start := sys.Now()
+	if err := ctrl.RunEpochs(opts.MeasureEpochs); err != nil {
+		return policyRun{}, err
+	}
+	deltas := sys.Deltas(snaps)
+	run := policyRun{
+		IPC:    sim.IPCs(deltas),
+		Cycles: sys.Now() - start,
+	}
+	for c := 0; c < sys.NumCores(); c++ {
+		run.Bytes += sys.Memory().TotalBytes(c)
+		run.Stalls += deltas[c].Value(pmu.StallsL2Pending)
+	}
+	run.Bytes -= bytesBefore
+	return run, nil
+}
+
+// MixResult is one mix's scores for one policy — one point of each of
+// Figs. 7–15, already normalized to the baseline run of the same seed and
+// median-reduced across seeds.
+type MixResult struct {
+	Mix      string
+	Category mixes.Category
+	// NormHS is HS(policy)/HS(baseline) (Figs. 7/9/11/13, left bars).
+	NormHS float64
+	// NormWS is the normalized weighted speedup over baseline, divided
+	// by the core count (Figs. 7/9/11/13, right bars).
+	NormWS float64
+	// WorstCase is min-over-apps IPC(policy)/IPC(baseline)
+	// (Figs. 8/10/12).
+	WorstCase float64
+	// NormBW is bytes-per-cycle relative to baseline (Fig. 14).
+	NormBW float64
+	// NormStalls is summed STALLS_L2_PENDING per cycle relative to
+	// baseline (Fig. 15).
+	NormStalls float64
+	// WorstBenchmark names the application behind WorstCase — the
+	// "at least one application is significantly reduced" discussion
+	// around Fig. 8 (taken from the last seed's run).
+	WorstBenchmark string
+}
+
+// Comparison holds the full policy-comparison dataset.
+type Comparison struct {
+	Options  Options
+	Mixes    []mixes.Mix
+	Policies []string
+	// Results[policy][i] scores mix i under the policy.
+	Results map[string][]MixResult
+}
+
+// soloIPCCache memoizes per-benchmark alone-IPC (needed by HS).
+type soloIPCCache struct {
+	opts Options
+	m    map[string]float64
+}
+
+func (c *soloIPCCache) get(spec workload.Spec) (float64, error) {
+	if v, ok := c.m[spec.Name]; ok {
+		return v, nil
+	}
+	r, err := runSolo(c.opts, spec, c.opts.BaseSeed, 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	c.m[spec.Name] = r.IPC
+	return r.IPC, nil
+}
+
+// RunComparison measures every mix under every given policy (plus the
+// baseline), computing all Figs. 7–15 metrics. Policies are identified by
+// their report names; pass cmm.Policies()[1:] for the paper's full set.
+func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	all, err := mixes.All(opts.Cores, opts.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+	// Honor reduced mix counts for quick runs.
+	var selected []mixes.Mix
+	for c := mixes.Category(0); c < mixes.NumCategories; c++ {
+		kept := 0
+		for _, m := range all {
+			if m.Category == c && kept < opts.MixesPerCategory {
+				selected = append(selected, m)
+				kept++
+			}
+		}
+	}
+
+	solo := &soloIPCCache{opts: opts, m: map[string]float64{}}
+	comp := &Comparison{Options: opts, Mixes: selected, Results: map[string][]MixResult{}}
+	for _, p := range policies {
+		comp.Policies = append(comp.Policies, p.Name())
+	}
+
+	for _, mix := range selected {
+		alone := make([]float64, len(mix.Specs))
+		for i, spec := range mix.Specs {
+			a, err := solo.get(spec)
+			if err != nil {
+				return nil, fmt.Errorf("alone IPC %s: %w", spec.Name, err)
+			}
+			alone[i] = a
+		}
+		// Baseline runs, one per seed.
+		base := make([]policyRun, len(opts.Seeds))
+		for si, seed := range opts.Seeds {
+			b, err := runPolicy(opts, mix, cmm.Baseline{}, seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s baseline: %w", mix.Name, err)
+			}
+			base[si] = b
+		}
+		for _, p := range policies {
+			res, err := scorePolicy(opts, mix, p, alone, base)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", mix.Name, p.Name(), err)
+			}
+			comp.Results[p.Name()] = append(comp.Results[p.Name()], res)
+		}
+	}
+	return comp, nil
+}
+
+// scorePolicy runs a policy across all seeds and reduces to the median.
+func scorePolicy(opts Options, mix mixes.Mix, p cmm.Policy, alone []float64, base []policyRun) (MixResult, error) {
+	var hs, ws, wc, bw, st []float64
+	worstBench := ""
+	for si, seed := range opts.Seeds {
+		run, err := runPolicy(opts, mix, p, seed)
+		if err != nil {
+			return MixResult{}, err
+		}
+		b := base[si]
+		worstCore, worstRatio := 0, run.IPC[0]/b.IPC[0]
+		for c := 1; c < len(run.IPC); c++ {
+			if r := run.IPC[c] / b.IPC[c]; r < worstRatio {
+				worstCore, worstRatio = c, r
+			}
+		}
+		worstBench = mix.Specs[worstCore].Name
+		hsP, err := metrics.HarmonicSpeedup(alone, run.IPC)
+		if err != nil {
+			return MixResult{}, err
+		}
+		hsB, err := metrics.HarmonicSpeedup(alone, b.IPC)
+		if err != nil {
+			return MixResult{}, err
+		}
+		wsN, err := metrics.NormalizedWS(run.IPC, b.IPC)
+		if err != nil {
+			return MixResult{}, err
+		}
+		worst, err := metrics.WorstCaseSpeedup(run.IPC, b.IPC)
+		if err != nil {
+			return MixResult{}, err
+		}
+		hs = append(hs, hsP/hsB)
+		ws = append(ws, wsN)
+		wc = append(wc, worst)
+		bw = append(bw, perCycle(run.Bytes, run.Cycles)/perCycle(b.Bytes, b.Cycles))
+		st = append(st, perCycle(run.Stalls, run.Cycles)/perCycle(b.Stalls, b.Cycles))
+	}
+	return MixResult{
+		Mix:            mix.Name,
+		Category:       mix.Category,
+		NormHS:         metrics.Median(hs),
+		NormWS:         metrics.Median(ws),
+		WorstCase:      metrics.Median(wc),
+		NormBW:         metrics.Median(bw),
+		NormStalls:     metrics.Median(st),
+		WorstBenchmark: worstBench,
+	}, nil
+}
+
+func perCycle(v, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(v) / float64(cycles)
+}
+
+// CategoryMeans averages a metric per workload category (the grey bars of
+// the paper's figures).
+func (c *Comparison) CategoryMeans(policy string, metric func(MixResult) float64) map[mixes.Category]float64 {
+	sums := map[mixes.Category]float64{}
+	counts := map[mixes.Category]int{}
+	for _, r := range c.Results[policy] {
+		sums[r.Category] += metric(r)
+		counts[r.Category]++
+	}
+	out := map[mixes.Category]float64{}
+	for cat, s := range sums {
+		out[cat] = s / float64(counts[cat])
+	}
+	return out
+}
+
+// Metric selectors for CategoryMeans and the table printers.
+var (
+	MetricHS        = func(r MixResult) float64 { return r.NormHS }
+	MetricWS        = func(r MixResult) float64 { return r.NormWS }
+	MetricWorstCase = func(r MixResult) float64 { return r.WorstCase }
+	MetricBW        = func(r MixResult) float64 { return r.NormBW }
+	MetricStalls    = func(r MixResult) float64 { return r.NormStalls }
+)

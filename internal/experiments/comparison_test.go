@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cmm/internal/cmm"
+	"cmm/internal/mixes"
+)
+
+// shapeOptions keeps the end-to-end shape test affordable: one mix per
+// category, short epochs.
+func shapeOptions() Options {
+	o := QuickOptions()
+	o.MixesPerCategory = 1
+	return o
+}
+
+// TestComparisonShapes is the end-to-end check that the paper's headline
+// qualitative results hold on the simulator (EXPERIMENTS.md records the
+// full-size numbers):
+//
+//   - PT gains the most on Pref Unfri mixes and is ~flat on Pref No Agg
+//     (Fig. 7), while it can hurt individual applications badly (Fig. 8).
+//   - The prefetch-aware partitionings beat Dunn on Pref Fri mixes, and
+//     Dunn's worst-case speedup is far below Pref-CP's (Figs. 9, 10).
+//   - The coordinated CMM mechanisms improve Pref Unfri mixes and keep
+//     every application within a bounded worst-case loss (Figs. 11, 12).
+//   - PT consumes the least memory bandwidth (Fig. 14).
+func TestComparisonShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison runs are slow")
+	}
+	opts := shapeOptions()
+	comp, err := RunComparison(opts, cmm.Policies()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(policy string, cat mixes.Category, metric func(MixResult) float64) float64 {
+		return comp.CategoryMeans(policy, metric)[cat]
+	}
+
+	// Fig. 7: PT helps Pref Unfri clearly, stays near baseline on No Agg.
+	if got := mean("PT", mixes.PrefUnfri, MetricHS); got < 1.02 {
+		t.Errorf("PT on Pref Unfri: HS %.3f, want > 1.02", got)
+	}
+	if got := mean("PT", mixes.PrefNoAgg, MetricHS); got < 0.97 || got > 1.06 {
+		t.Errorf("PT on Pref No Agg: HS %.3f, want ~1", got)
+	}
+
+	// Fig. 9/10: prefetch-aware CP beats Dunn where prefetching matters,
+	// and Dunn's worst case is clearly below Pref-CP's.
+	if cp, dunn := mean("Pref-CP", mixes.PrefFri, MetricHS), mean("Dunn", mixes.PrefFri, MetricHS); cp <= dunn {
+		t.Errorf("Pref-CP (%.3f) not above Dunn (%.3f) on Pref Fri", cp, dunn)
+	}
+	if cp, dunn := mean("Pref-CP", mixes.PrefFri, MetricWorstCase), mean("Dunn", mixes.PrefFri, MetricWorstCase); cp <= dunn+0.1 {
+		t.Errorf("Pref-CP worst-case (%.3f) not clearly above Dunn (%.3f)", cp, dunn)
+	}
+
+	// Fig. 11/12: CMM-a improves Pref Unfri and bounds per-app loss.
+	if got := mean("CMM-a", mixes.PrefUnfri, MetricHS); got < 1.02 {
+		t.Errorf("CMM-a on Pref Unfri: HS %.3f, want > 1.02", got)
+	}
+	for _, p := range []string{"CMM-a", "CMM-b", "CMM-c"} {
+		for _, r := range comp.Results[p] {
+			if r.WorstCase < 0.75 {
+				t.Errorf("%s %s: worst-case %.3f below 0.75", p, r.Mix, r.WorstCase)
+			}
+		}
+	}
+
+	// Fig. 14: PT has the lowest bandwidth on Pref Unfri mixes.
+	pt := mean("PT", mixes.PrefUnfri, MetricBW)
+	for _, p := range []string{"Dunn", "Pref-CP", "Pref-CP2"} {
+		if other := mean(p, mixes.PrefUnfri, MetricBW); other < pt-0.02 {
+			t.Errorf("%s bandwidth (%.3f) below PT (%.3f) on Pref Unfri", p, other, pt)
+		}
+	}
+
+	// The CSV dump covers every policy and mix.
+	csv := CSV(comp)
+	for _, p := range comp.Policies {
+		if !strings.Contains(csv, "\""+p+"\"") {
+			t.Errorf("CSV missing policy %s", p)
+		}
+	}
+	if got := strings.Count(csv, "\n"); got != 1+len(comp.Policies)*len(comp.Mixes) {
+		t.Errorf("CSV has %d lines", got)
+	}
+}
+
+func TestRunComparisonValidation(t *testing.T) {
+	bad := QuickOptions()
+	bad.Seeds = nil
+	if _, err := RunComparison(bad, cmm.Policies()[1:]); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

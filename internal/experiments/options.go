@@ -1,0 +1,93 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the solo characterisation behind Figs. 1–3 (and Table I via
+// the pmu package), and the 40-mix policy comparison behind Figs. 7–15.
+//
+// Absolute numbers come from the simulator, not the authors' Xeon, so the
+// harness targets the paper's *shapes*: who wins, by what rough factor,
+// and where the crossovers fall. EXPERIMENTS.md records the side-by-side.
+package experiments
+
+import (
+	"fmt"
+
+	"cmm/internal/cmm"
+	"cmm/internal/sim"
+)
+
+// Options sizes an experiment run.
+type Options struct {
+	// Sim is the machine configuration.
+	Sim sim.Config
+	// CMM is the controller configuration.
+	CMM cmm.Config
+	// Cores is the mix width (paper: 8).
+	Cores int
+	// WarmEpochs is how many controller epochs to discard before
+	// measuring.
+	WarmEpochs int
+	// MeasureEpochs is how many controller epochs the measurement spans.
+	MeasureEpochs int
+	// SoloWarmCycles/SoloMeasureCycles size the solo characterisation
+	// runs (Figs. 1–3 and IPC-alone for HS).
+	SoloWarmCycles, SoloMeasureCycles uint64
+	// Seeds are the run seeds; the paper reports the median of three.
+	Seeds []int64
+	// MixesPerCategory lets quick runs use fewer than the paper's 10.
+	MixesPerCategory int
+	// BaseSeed feeds mix construction.
+	BaseSeed int64
+}
+
+// DefaultOptions returns the full-fidelity configuration used by the
+// bench harness: paper-shaped mixes, median of three seeds.
+func DefaultOptions() Options {
+	return Options{
+		Sim:               sim.DefaultConfig(),
+		CMM:               cmm.DefaultConfig(),
+		Cores:             8,
+		WarmEpochs:        1,
+		MeasureEpochs:     3,
+		SoloWarmCycles:    8_000_000,
+		SoloMeasureCycles: 8_000_000,
+		Seeds:             []int64{1, 2, 3},
+		MixesPerCategory:  10,
+		BaseSeed:          1,
+	}
+}
+
+// QuickOptions returns a cut-down configuration for tests and smoke runs:
+// fewer mixes, one seed, shorter windows.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.CMM.ExecutionEpoch = 1_500_000
+	o.CMM.SamplingInterval = 100_000
+	o.MeasureEpochs = 2
+	o.SoloWarmCycles = 3_000_000
+	o.SoloMeasureCycles = 3_000_000
+	o.Seeds = []int64{1}
+	o.MixesPerCategory = 2
+	return o
+}
+
+// Validate reports a descriptive error for unusable options.
+func (o Options) Validate() error {
+	if err := o.Sim.Validate(); err != nil {
+		return err
+	}
+	if err := o.CMM.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case o.Cores < 4:
+		return fmt.Errorf("experiments: Cores %d < 4", o.Cores)
+	case o.WarmEpochs < 0 || o.MeasureEpochs < 1:
+		return fmt.Errorf("experiments: bad epoch counts %d/%d", o.WarmEpochs, o.MeasureEpochs)
+	case o.SoloMeasureCycles == 0:
+		return fmt.Errorf("experiments: SoloMeasureCycles must be positive")
+	case len(o.Seeds) == 0:
+		return fmt.Errorf("experiments: no seeds")
+	case o.MixesPerCategory < 1:
+		return fmt.Errorf("experiments: MixesPerCategory %d < 1", o.MixesPerCategory)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+//go:build linux
+
+// Package hwtarget implements the cmm.Target interface for real Intel
+// hardware: MSR access through /dev/cpu/*/msr (prefetch control, CAT,
+// MBA) and PMU sampling through perf events. It is the deployment path of
+// the paper — the same controller and policies that drive the simulator
+// drive silicon through this target.
+//
+// Requirements: the msr kernel module (CAP_SYS_RAWIO), perf events with
+// system-wide scope (perf_event_paranoid <= 0 or CAP_PERFMON), and an
+// Intel core with CAT (Broadwell-EP or later) for the partitioning
+// policies. New fails with a descriptive error when any piece is missing;
+// callers fall back to the simulator.
+package hwtarget
+
+import (
+	"fmt"
+	"time"
+
+	"cmm/internal/cat"
+	"cmm/internal/msr"
+	"cmm/internal/perf"
+	"cmm/internal/pmu"
+)
+
+// Config describes the machine being driven.
+type Config struct {
+	// Cores is the number of logical CPUs to manage.
+	Cores int
+	// CoreGHz is the nominal clock, for cycle↔time conversion.
+	CoreGHz float64
+	// CAT describes the part's L3 allocation capability (ways, CLOS).
+	CAT cat.Config
+}
+
+// Target drives real hardware. Construct with New; Close releases the
+// MSR handles and perf descriptors.
+type Target struct {
+	cfg  Config
+	bank *msr.DevCPU
+	// counters[cpu][event] is the perf descriptor backing a pmu.Event.
+	counters [][]counterSlot
+}
+
+type counterSlot struct {
+	event pmu.Event
+	c     *perf.Counter
+}
+
+// perfMap lists the PMU events the front end needs and their perf
+// encodings on Broadwell.
+var perfMap = []struct {
+	event  pmu.Event
+	typ    uint32
+	config uint64
+}{
+	{pmu.Instructions, perf.TypeHardware, perf.CountHWInstructions},
+	{pmu.Cycles, perf.TypeHardware, perf.CountHWCPUCycles},
+	{pmu.L2PrefReq, perf.TypeRaw, perf.RawL2PrefReq},
+	{pmu.L2PrefMiss, perf.TypeRaw, perf.RawL2PrefMiss},
+	{pmu.L2DmReq, perf.TypeRaw, perf.RawL2DmReq},
+	{pmu.L2DmMiss, perf.TypeRaw, perf.RawL2DmMiss},
+	{pmu.L3LoadMiss, perf.TypeRaw, perf.RawL3LoadMiss},
+	{pmu.StallsL2Pending, perf.TypeRaw, perf.RawStallsL2Pending},
+}
+
+// New opens the hardware control surface. It fails (closing everything it
+// opened) if the msr driver or perf events are unavailable.
+func New(cfg Config) (*Target, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("hwtarget: Cores %d", cfg.Cores)
+	}
+	if cfg.CoreGHz <= 0 {
+		return nil, fmt.Errorf("hwtarget: CoreGHz %g", cfg.CoreGHz)
+	}
+	if err := cfg.CAT.Validate(); err != nil {
+		return nil, err
+	}
+	bank, err := msr.NewDevCPU(cfg.Cores)
+	if err != nil {
+		return nil, fmt.Errorf("hwtarget: %w (is the msr module loaded?)", err)
+	}
+	t := &Target{cfg: cfg, bank: bank, counters: make([][]counterSlot, cfg.Cores)}
+	for cpu := 0; cpu < cfg.Cores; cpu++ {
+		for _, m := range perfMap {
+			c, err := perf.Open(cpu, m.typ, m.config)
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("hwtarget: perf %v on cpu %d: %w", m.event, cpu, err)
+			}
+			t.counters[cpu] = append(t.counters[cpu], counterSlot{event: m.event, c: c})
+		}
+	}
+	return t, nil
+}
+
+// Close releases every descriptor.
+func (t *Target) Close() error {
+	var first error
+	for _, slots := range t.counters {
+		for _, s := range slots {
+			if err := s.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	t.counters = nil
+	if t.bank != nil {
+		if err := t.bank.Close(); err != nil && first == nil {
+			first = err
+		}
+		t.bank = nil
+	}
+	return first
+}
+
+// NumCores implements cmm.Target.
+func (t *Target) NumCores() int { return t.cfg.Cores }
+
+// WriteMSR implements cmm.Target.
+func (t *Target) WriteMSR(cpu int, reg uint32, v uint64) error {
+	return t.bank.Write(cpu, reg, v)
+}
+
+// ReadMSR implements cmm.Target.
+func (t *Target) ReadMSR(cpu int, reg uint32) (uint64, error) {
+	return t.bank.Read(cpu, reg)
+}
+
+// ReadPMU implements cmm.Target: it snapshots the perf counters into the
+// pmu event space the front end consumes. Events without a perf mapping
+// stay zero (M-7 uses L3PrefMiss, approximated on hardware by OFFCORE
+// events that are part-specific; extend perfMap for the target part).
+func (t *Target) ReadPMU(cpu int) pmu.Snapshot {
+	var c pmu.Counters
+	if cpu < 0 || cpu >= len(t.counters) {
+		return c.Snapshot()
+	}
+	for _, s := range t.counters[cpu] {
+		v, err := s.c.Read()
+		if err != nil {
+			continue // surface as a stuck counter rather than a panic
+		}
+		c.Add(s.event, v)
+	}
+	return c.Snapshot()
+}
+
+// RunCycles implements cmm.Target: on hardware, letting the machine run
+// is just waiting wall-clock time.
+func (t *Target) RunCycles(n uint64) {
+	seconds := float64(n) / (t.cfg.CoreGHz * 1e9)
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+}
+
+// CoreGHz implements cmm.Target.
+func (t *Target) CoreGHz() float64 { return t.cfg.CoreGHz }
+
+// CATConfig implements cmm.Target.
+func (t *Target) CATConfig() cat.Config { return t.cfg.CAT }

@@ -1,0 +1,62 @@
+//go:build linux
+
+package hwtarget
+
+import (
+	"testing"
+
+	"cmm/internal/cat"
+	"cmm/internal/perf"
+	"cmm/internal/pmu"
+)
+
+func testConfig() Config {
+	return Config{Cores: 1, CoreGHz: 2.1, CAT: cat.DefaultConfig()}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Cores: 0, CoreGHz: 2.1, CAT: cat.DefaultConfig()}); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := New(Config{Cores: 1, CoreGHz: 0, CAT: cat.DefaultConfig()}); err == nil {
+		t.Error("0 GHz accepted")
+	}
+	if _, err := New(Config{Cores: 1, CoreGHz: 2.1, CAT: cat.Config{Ways: 1}}); err == nil {
+		t.Error("bad CAT accepted")
+	}
+}
+
+func TestNewOnThisMachine(t *testing.T) {
+	tg, err := New(testConfig())
+	if err != nil {
+		// Expected on machines without the msr module or perf access;
+		// the error must say what is missing.
+		t.Skipf("hardware target unavailable: %v", err)
+	}
+	defer tg.Close()
+	if tg.NumCores() != 1 || tg.CoreGHz() != 2.1 {
+		t.Fatal("config not carried through")
+	}
+	snap := tg.ReadPMU(0)
+	if snap.Value(pmu.Cycles) == 0 && perf.Available() {
+		t.Error("cycle counter read zero")
+	}
+	// Out-of-range CPU must not panic.
+	_ = tg.ReadPMU(99)
+}
+
+func TestPerfMapCoversFrontEndInputs(t *testing.T) {
+	// The Fig. 5 detection flow needs PGA (L2PrefReq, L2DmReq), L2 PMR
+	// (L2PrefMiss), L2 PTR (L2PrefMiss, Cycles) — all must be mapped.
+	need := []pmu.Event{pmu.Cycles, pmu.Instructions, pmu.L2PrefReq,
+		pmu.L2PrefMiss, pmu.L2DmReq, pmu.StallsL2Pending}
+	mapped := map[pmu.Event]bool{}
+	for _, m := range perfMap {
+		mapped[m.event] = true
+	}
+	for _, e := range need {
+		if !mapped[e] {
+			t.Errorf("front-end event %v missing from perfMap", e)
+		}
+	}
+}

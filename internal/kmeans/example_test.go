@@ -1,0 +1,34 @@
+package kmeans_test
+
+import (
+	"fmt"
+
+	"cmm/internal/kmeans"
+)
+
+// Group-level throttling clusters Agg cores by their L2 prefetch traffic
+// rate so similar cores are throttled as one unit.
+func ExampleCluster() {
+	ptr := []float64{52e6, 48e6, 91e6, 95e6, 12e6} // per-core L2 PTR
+	res, err := kmeans.Cluster(ptr, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("assignments:", res.Assign)
+	fmt.Println("group of core 0:", res.Members(res.Assign[0]))
+	// Output:
+	// assignments: [1 1 2 2 0]
+	// group of core 0: [0 1]
+}
+
+// The Dunn partitioning policy picks the cluster count by maximising the
+// Dunn index over candidate clusterings.
+func ExampleBestByDunn() {
+	stalls := []float64{1e6, 1.1e6, 0.9e6, 40e6, 41e6, 39e6}
+	res := kmeans.BestByDunn(stalls, 2, 4)
+	fmt.Println("k =", res.K())
+	fmt.Println("assignments:", res.Assign)
+	// Output:
+	// k = 2
+	// assignments: [0 0 0 1 1 1]
+}

@@ -1,0 +1,211 @@
+// Package kmeans provides 1-D K-Means clustering and the Dunn index.
+//
+// The paper uses K-Means (Hartigan & Wong) to group Agg-set cores by their
+// L2 prefetch traffic rate for group-level throttling, and the prior-art
+// "Dunn" partitioning policy (Selfa et al.) selects its cluster count by
+// maximising the Dunn index over candidate clusterings of the cores'
+// STALLS_L2_PENDING counts.
+package kmeans
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxIter bounds the Lloyd iterations; 1-D K-Means converges far sooner.
+const MaxIter = 100
+
+// Result is a clustering of 1-D points.
+type Result struct {
+	// Assign maps each input point index to its cluster id in [0,K).
+	// Cluster ids are ordered by ascending centroid.
+	Assign []int
+	// Centroids are the cluster means, ascending.
+	Centroids []float64
+}
+
+// K returns the number of clusters.
+func (r Result) K() int { return len(r.Centroids) }
+
+// Members returns the point indices assigned to cluster k.
+func (r Result) Members(k int) []int {
+	var m []int
+	for i, c := range r.Assign {
+		if c == k {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// Cluster runs 1-D K-Means on points with k clusters. Initial centroids
+// are the k-quantiles of the sorted input (deterministic; no RNG), which
+// for 1-D data converges to the optimum in practice. It returns an error
+// if k < 1 or k > len(points).
+func Cluster(points []float64, k int) (Result, error) {
+	n := len(points)
+	if k < 1 {
+		return Result{}, fmt.Errorf("kmeans: k=%d must be >= 1", k)
+	}
+	if k > n {
+		return Result{}, fmt.Errorf("kmeans: k=%d exceeds %d points", k, n)
+	}
+
+	// Deterministic quantile seeding over the sorted values.
+	sorted := append([]float64(nil), points...)
+	sort.Float64s(sorted)
+	centroids := make([]float64, k)
+	for i := 0; i < k; i++ {
+		centroids[i] = sorted[(2*i+1)*n/(2*k)]
+	}
+	dedupeAscending(centroids)
+
+	assign := make([]int, n)
+	for iter := 0; iter < MaxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, abs(p-centroids[0])
+			for c := 1; c < k; c++ {
+				if d := abs(p - centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for i, p := range points {
+			sum[assign[i]] += p
+			cnt[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if cnt[c] > 0 {
+				centroids[c] = sum[c] / float64(cnt[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	// Order clusters by centroid so callers can rely on cluster 0 being
+	// the lowest group.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centroids[order[a]] < centroids[order[b]] })
+	rank := make([]int, k)
+	for newID, old := range order {
+		rank[old] = newID
+	}
+	res := Result{Assign: make([]int, n), Centroids: make([]float64, k)}
+	for i := range assign {
+		res.Assign[i] = rank[assign[i]]
+	}
+	for old, newID := range rank {
+		res.Centroids[newID] = centroids[old]
+	}
+	return res, nil
+}
+
+// dedupeAscending nudges equal seeds apart so clusters do not collapse at
+// initialization when many points are identical.
+func dedupeAscending(c []float64) {
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			c[i] = c[i-1] + 1e-9
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DunnIndex computes the Dunn validity index of a clustering: minimum
+// inter-cluster distance divided by maximum intra-cluster diameter. Larger
+// is better. Singleton-only clusterings have diameter 0; the index is then
+// +Inf conventionally, which this function reports as a large finite value
+// so comparisons remain total. Returns 0 for degenerate (k < 2) input.
+func DunnIndex(points []float64, r Result) float64 {
+	k := r.K()
+	if k < 2 {
+		return 0
+	}
+	minInter := -1.0
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			for _, i := range r.Members(a) {
+				for _, j := range r.Members(b) {
+					d := abs(points[i] - points[j])
+					if minInter < 0 || d < minInter {
+						minInter = d
+					}
+				}
+			}
+		}
+	}
+	if minInter < 0 {
+		return 0 // some cluster empty
+	}
+	maxIntra := 0.0
+	for c := 0; c < k; c++ {
+		m := r.Members(c)
+		for x := 0; x < len(m); x++ {
+			for y := x + 1; y < len(m); y++ {
+				if d := abs(points[m[x]] - points[m[y]]); d > maxIntra {
+					maxIntra = d
+				}
+			}
+		}
+	}
+	if maxIntra == 0 {
+		return 1e18
+	}
+	return minInter / maxIntra
+}
+
+// BestByDunn clusters points for every k in [kmin, kmax] and returns the
+// clustering with the highest Dunn index, as the Selfa et al. policy does.
+// kmax is clamped to len(points); if fewer than 2 points are supplied a
+// single-cluster result is returned.
+func BestByDunn(points []float64, kmin, kmax int) Result {
+	n := len(points)
+	if kmin < 2 {
+		kmin = 2
+	}
+	if kmax > n {
+		kmax = n
+	}
+	if n < 2 || kmax < kmin {
+		r, _ := Cluster(points, minInt(1, n))
+		return r
+	}
+	var best Result
+	bestScore := -1.0
+	for k := kmin; k <= kmax; k++ {
+		r, err := Cluster(points, k)
+		if err != nil {
+			continue
+		}
+		if s := DunnIndex(points, r); s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package kmeans
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster([]float64{1, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster([]float64{1, 2}, 3); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestClusterK1(t *testing.T) {
+	r, err := Cluster([]float64{5, 7, 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Assign {
+		if a != 0 {
+			t.Fatal("k=1 must assign everything to cluster 0")
+		}
+	}
+	if got := r.Centroids[0]; got != 7 {
+		t.Fatalf("centroid %g, want 7", got)
+	}
+}
+
+func TestClusterWellSeparated(t *testing.T) {
+	pts := []float64{1, 2, 1.5, 100, 101, 99, 1000, 1001}
+	r, err := Cluster(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2}
+	for i, a := range r.Assign {
+		if a != want[i] {
+			t.Fatalf("assign = %v, want %v", r.Assign, want)
+		}
+	}
+	if !sort.Float64sAreSorted(r.Centroids) {
+		t.Fatalf("centroids not ascending: %v", r.Centroids)
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	pts := []float64{4, 4, 4, 4}
+	r, err := Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Assign) != 4 {
+		t.Fatal("bad assign length")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	r := Result{Assign: []int{0, 1, 0, 1, 1}, Centroids: []float64{1, 2}}
+	m := r.Members(1)
+	if len(m) != 3 || m[0] != 1 || m[1] != 3 || m[2] != 4 {
+		t.Fatalf("Members(1) = %v", m)
+	}
+	if got := r.Members(5); got != nil {
+		t.Fatalf("Members(5) = %v, want nil", got)
+	}
+}
+
+func TestDunnIndexPrefersNaturalK(t *testing.T) {
+	// Two tight, far-apart groups: Dunn must prefer k=2 over k=3.
+	pts := []float64{1, 1.1, 0.9, 50, 50.1, 49.9}
+	r2, _ := Cluster(pts, 2)
+	r3, _ := Cluster(pts, 3)
+	if DunnIndex(pts, r2) <= DunnIndex(pts, r3) {
+		t.Fatalf("Dunn(k=2)=%g <= Dunn(k=3)=%g", DunnIndex(pts, r2), DunnIndex(pts, r3))
+	}
+}
+
+func TestDunnIndexDegenerate(t *testing.T) {
+	r1, _ := Cluster([]float64{1, 2, 3}, 1)
+	if DunnIndex([]float64{1, 2, 3}, r1) != 0 {
+		t.Fatal("Dunn of k=1 must be 0")
+	}
+}
+
+func TestDunnIndexSingletons(t *testing.T) {
+	pts := []float64{1, 100}
+	r, _ := Cluster(pts, 2)
+	if got := DunnIndex(pts, r); got < 1e17 {
+		t.Fatalf("singleton clustering Dunn = %g, want huge", got)
+	}
+}
+
+func TestBestByDunnPicksTwoGroups(t *testing.T) {
+	pts := []float64{1, 1.2, 0.8, 60, 59, 61, 60.5}
+	r := BestByDunn(pts, 2, 4)
+	if r.K() != 2 {
+		t.Fatalf("BestByDunn chose k=%d, want 2", r.K())
+	}
+	// Low group must be cluster 0.
+	if r.Assign[0] != 0 || r.Assign[3] != 1 {
+		t.Fatalf("assign = %v", r.Assign)
+	}
+}
+
+func TestBestByDunnSmallInputs(t *testing.T) {
+	r := BestByDunn([]float64{3}, 2, 4)
+	if r.K() != 1 || r.Assign[0] != 0 {
+		t.Fatalf("single point: %+v", r)
+	}
+	r = BestByDunn(nil, 2, 4)
+	if r.K() != 0 {
+		t.Fatalf("empty input: %+v", r)
+	}
+}
+
+func TestPropertyAssignmentsComplete(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64() * 1000
+		}
+		k := 1 + int(kRaw)%n
+		r, err := Cluster(pts, k)
+		if err != nil {
+			return false
+		}
+		if len(r.Assign) != n || r.K() != k {
+			return false
+		}
+		for _, a := range r.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return sort.Float64sAreSorted(r.Centroids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNearestCentroid(t *testing.T) {
+	// Every point is assigned to (one of) its nearest centroid(s).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(12)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64() * 100
+		}
+		r, err := Cluster(pts, 3)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			d := abs(p - r.Centroids[r.Assign[i]])
+			for _, c := range r.Centroids {
+				if abs(p-c) < d-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero latency", func(c *Config) { c.BaseLatency = 0 }},
+		{"negative latency", func(c *Config) { c.BaseLatency = -1 }},
+		{"zero peak", func(c *Config) { c.PeakBytesPerCycle = 0 }},
+		{"zero line", func(c *Config) { c.LineBytes = 0 }},
+		{"util 0", func(c *Config) { c.MaxUtilization = 0 }},
+		{"util 1", func(c *Config) { c.MaxUtilization = 1 }},
+		{"negative queue", func(c *Config) { c.QueueScale = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate accepted bad config")
+			}
+		})
+	}
+}
+
+func TestNewControllerPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 cores")
+		}
+	}()
+	NewController(0, DefaultConfig())
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	m := NewController(2, DefaultConfig())
+	if got := m.Access(0, Demand); got != DefaultConfig().BaseLatency {
+		t.Fatalf("unloaded latency %d, want %d", got, DefaultConfig().BaseLatency)
+	}
+}
+
+func TestIdleWindowKeepsBaseLatency(t *testing.T) {
+	m := NewController(1, DefaultConfig())
+	m.Tick(10000)
+	if m.LoadedLatency() != DefaultConfig().BaseLatency {
+		t.Fatalf("idle latency %d, want base %d", m.LoadedLatency(), DefaultConfig().BaseLatency)
+	}
+	if m.Utilization() != 0 {
+		t.Fatalf("idle utilization %g, want 0", m.Utilization())
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewController(1, cfg)
+	lowLoad, highLoad := 100, 4000
+	for i := 0; i < lowLoad; i++ {
+		m.Access(0, Demand)
+	}
+	m.Tick(10000)
+	low := m.LoadedLatency()
+	for i := 0; i < highLoad; i++ {
+		m.Access(0, Demand)
+	}
+	m.Tick(10000)
+	high := m.LoadedLatency()
+	if !(high > low) {
+		t.Fatalf("latency did not rise with load: low=%d high=%d", low, high)
+	}
+	if low < cfg.BaseLatency || high < cfg.BaseLatency {
+		t.Fatalf("latencies below base: %d %d", low, high)
+	}
+}
+
+func TestUtilizationCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewController(1, cfg)
+	for i := 0; i < 1_000_000; i++ {
+		m.Access(0, Prefetch)
+	}
+	m.Tick(100)
+	if m.Utilization() > cfg.MaxUtilization {
+		t.Fatalf("utilization %g above cap %g", m.Utilization(), cfg.MaxUtilization)
+	}
+	if math.IsInf(float64(m.LoadedLatency()), 1) || m.LoadedLatency() < cfg.BaseLatency {
+		t.Fatalf("bad saturated latency %d", m.LoadedLatency())
+	}
+}
+
+func TestTickResetsWindow(t *testing.T) {
+	m := NewController(1, DefaultConfig())
+	for i := 0; i < 5000; i++ {
+		m.Access(0, Demand)
+	}
+	m.Tick(10000)
+	loaded := m.LoadedLatency()
+	m.Tick(10000) // empty window: back to base
+	if m.LoadedLatency() != DefaultConfig().BaseLatency {
+		t.Fatalf("window not reset: latency %d (was %d)", m.LoadedLatency(), loaded)
+	}
+}
+
+func TestTickIgnoresNonPositiveWindow(t *testing.T) {
+	m := NewController(1, DefaultConfig())
+	m.Access(0, Demand)
+	m.Tick(0)
+	m.Tick(-5)
+	if m.Utilization() != 0 {
+		t.Fatal("Tick(<=0) must not compute utilization")
+	}
+}
+
+func TestPerCorePerKindAccounting(t *testing.T) {
+	m := NewController(3, DefaultConfig())
+	m.Access(0, Demand)
+	m.Access(0, Demand)
+	m.Access(1, Prefetch)
+	line := uint64(DefaultConfig().LineBytes)
+	if got := m.Bytes(0, Demand); got != 2*line {
+		t.Errorf("core0 demand bytes = %d, want %d", got, 2*line)
+	}
+	if got := m.Bytes(0, Prefetch); got != 0 {
+		t.Errorf("core0 prefetch bytes = %d, want 0", got)
+	}
+	if got := m.Bytes(1, Prefetch); got != line {
+		t.Errorf("core1 prefetch bytes = %d, want %d", got, line)
+	}
+	if got := m.TotalBytes(2); got != 0 {
+		t.Errorf("core2 total = %d, want 0", got)
+	}
+	if got := m.TotalBytes(0); got != 2*line {
+		t.Errorf("core0 total = %d, want %d", got, 2*line)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := NewController(2, DefaultConfig())
+	m.Access(0, Demand)
+	m.Access(1, Prefetch)
+	m.ResetStats()
+	for c := 0; c < 2; c++ {
+		if m.TotalBytes(c) != 0 {
+			t.Fatalf("core %d bytes survive ResetStats", c)
+		}
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	// 64 bytes every 32 cycles at 2 GHz = 4 GB/s.
+	got := BandwidthGBs(64, 32, 2.0)
+	if math.Abs(got-4.0) > 1e-9 {
+		t.Fatalf("BandwidthGBs = %g, want 4", got)
+	}
+	if BandwidthGBs(100, 0, 2.0) != 0 {
+		t.Fatal("zero cycles must give zero bandwidth")
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	// Property: for any pair of loads a <= b, latency(a) <= latency(b).
+	f := func(a, b uint16) bool {
+		la, lb := int(a), int(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		m := NewController(1, DefaultConfig())
+		for i := 0; i < la; i++ {
+			m.Access(0, Demand)
+		}
+		m.Tick(10000)
+		lat1 := m.LoadedLatency()
+		for i := 0; i < lb; i++ {
+			m.Access(0, Demand)
+		}
+		m.Tick(10000)
+		return m.LoadedLatency() >= lat1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Demand.String() != "demand" || Prefetch.String() != "prefetch" {
+		t.Fatal("RequestKind.String broken")
+	}
+	if RequestKind(9).String() == "" {
+		t.Fatal("unknown kind must still stringify")
+	}
+}
+
+func TestMBAThrottleAddsLatency(t *testing.T) {
+	m := NewController(2, DefaultConfig())
+	base := m.Access(0, Demand)
+	m.SetThrottle(0, 0.5)
+	throttled := m.Access(0, Demand)
+	want := base + DefaultConfig().BaseLatency/2
+	if throttled != want {
+		t.Fatalf("throttled latency %d, want %d", throttled, want)
+	}
+	// Other core unaffected.
+	if got := m.Access(1, Demand); got != base {
+		t.Fatalf("core 1 latency %d, want %d", got, base)
+	}
+	if m.Throttle(0) != 0.5 || m.Throttle(1) != 0 {
+		t.Fatal("Throttle getters wrong")
+	}
+}
+
+func TestMBAThrottleClamped(t *testing.T) {
+	m := NewController(1, DefaultConfig())
+	m.SetThrottle(0, 2.0)
+	if m.Throttle(0) != 0.9 {
+		t.Fatalf("clamp high: %g", m.Throttle(0))
+	}
+	m.SetThrottle(0, -1)
+	if m.Throttle(0) != 0 {
+		t.Fatalf("clamp low: %g", m.Throttle(0))
+	}
+}

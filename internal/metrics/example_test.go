@@ -1,0 +1,40 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"cmm/internal/metrics"
+)
+
+// The paper's system metrics over a 4-core run: harmonic speedup against
+// running-alone IPCs, weighted speedup against a baseline policy.
+func Example() {
+	alone := []float64{1.0, 0.8, 0.5, 2.0}    // each program by itself
+	together := []float64{0.5, 0.6, 0.4, 1.6} // under contention
+	baseline := []float64{0.4, 0.5, 0.3, 1.7} // unmanaged machine
+
+	hs, _ := metrics.HarmonicSpeedup(alone, together)
+	antt, _ := metrics.ANTT(alone, together)
+	ws, _ := metrics.NormalizedWS(together, baseline)
+	worst, _ := metrics.WorstCaseSpeedup(together, baseline)
+
+	fmt.Printf("HS    %.3f\n", hs)
+	fmt.Printf("ANTT  %.3f\n", antt)
+	fmt.Printf("WS    %.3f\n", ws)
+	fmt.Printf("worst %.3f\n", worst)
+	// Output:
+	// HS    0.686
+	// ANTT  1.458
+	// WS    1.181
+	// worst 0.941
+}
+
+// hm_ipc is the back end's fairness-aware proxy: a starved core drags the
+// harmonic mean down much harder than the arithmetic mean.
+func ExampleHarmonicMeanIPC() {
+	fmt.Printf("balanced %.3f\n", metrics.HarmonicMeanIPC([]float64{1.0, 1.0}))
+	fmt.Printf("starved  %.3f\n", metrics.HarmonicMeanIPC([]float64{1.8, 0.2}))
+	// Output:
+	// balanced 1.000
+	// starved  0.360
+}

@@ -1,0 +1,159 @@
+// Package metrics implements the multiprogram performance/fairness metrics
+// of the paper's Sec. IV-C: harmonic speedup (HS), weighted speedup (WS),
+// average normalized turnaround time (ANTT = 1/HS), the hm_ipc proxy the
+// PT back end optimizes, and worst-case per-application speedup (Figs. 8,
+// 10, 12).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HarmonicSpeedup returns HS = N / Σ (IPC_alone_i / IPC_together_i).
+// It returns an error when the slices mismatch, are empty, or contain a
+// non-positive together-IPC with positive alone-IPC (undefined slowdown).
+func HarmonicSpeedup(alone, together []float64) (float64, error) {
+	if err := checkPair(alone, together); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range alone {
+		if together[i] <= 0 {
+			return 0, fmt.Errorf("metrics: core %d together IPC %g not positive", i, together[i])
+		}
+		sum += alone[i] / together[i]
+	}
+	if sum == 0 {
+		return 0, fmt.Errorf("metrics: zero slowdown sum")
+	}
+	return float64(len(alone)) / sum, nil
+}
+
+// ANTT returns the average normalized turnaround time, the reciprocal of
+// the harmonic speedup (Eyerman & Eeckhout).
+func ANTT(alone, together []float64) (float64, error) {
+	hs, err := HarmonicSpeedup(alone, together)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / hs, nil
+}
+
+// WeightedSpeedup returns WS = Σ (IPC_x_i / IPC_baseline_i), the
+// "normalized weighted speedup over baseline" of the paper.
+func WeightedSpeedup(policy, baseline []float64) (float64, error) {
+	if err := checkPair(policy, baseline); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range policy {
+		if baseline[i] <= 0 {
+			return 0, fmt.Errorf("metrics: core %d baseline IPC %g not positive", i, baseline[i])
+		}
+		sum += policy[i] / baseline[i]
+	}
+	return sum, nil
+}
+
+// NormalizedWS returns WS divided by the core count, so 1.0 means parity
+// with the baseline — the form plotted in Figs. 7/9/11/13.
+func NormalizedWS(policy, baseline []float64) (float64, error) {
+	ws, err := WeightedSpeedup(policy, baseline)
+	if err != nil {
+		return 0, err
+	}
+	return ws / float64(len(policy)), nil
+}
+
+// HarmonicMeanIPC is the paper's hm_ipc proxy: the harmonic mean of the
+// cores' IPCs, used by the back end to score sampling intervals without
+// knowing running-alone IPCs. Zero IPCs contribute as a tiny epsilon so an
+// idle core does not produce division by zero.
+func HarmonicMeanIPC(ipc []float64) float64 {
+	if len(ipc) == 0 {
+		return 0
+	}
+	const eps = 1e-12
+	sum := 0.0
+	for _, v := range ipc {
+		if v < eps {
+			v = eps
+		}
+		sum += 1 / v
+	}
+	return float64(len(ipc)) / sum
+}
+
+// WorstCaseSpeedup returns min_i (policy_i / baseline_i), the per-workload
+// "lowest normalized IPC" of Figs. 8/10/12.
+func WorstCaseSpeedup(policy, baseline []float64) (float64, error) {
+	if err := checkPair(policy, baseline); err != nil {
+		return 0, err
+	}
+	worst := math.Inf(1)
+	for i := range policy {
+		if baseline[i] <= 0 {
+			return 0, fmt.Errorf("metrics: core %d baseline IPC %g not positive", i, baseline[i])
+		}
+		if s := policy[i] / baseline[i]; s < worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}
+
+// Median returns the median of xs (mean of the middle two for even
+// lengths); the paper reports the median of three runs. It returns 0 for
+// empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; entries <= 0 are
+// an error.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: GeoMean of empty slice")
+	}
+	sum := 0.0
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: GeoMean element %d = %g not positive", i, x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+func checkPair(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("metrics: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return fmt.Errorf("metrics: empty input")
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHarmonicSpeedupIdentity(t *testing.T) {
+	// Together == alone: HS = 1.
+	hs, err := HarmonicSpeedup([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || !almost(hs, 1) {
+		t.Fatalf("HS = %g, %v", hs, err)
+	}
+}
+
+func TestHarmonicSpeedupHalf(t *testing.T) {
+	// Everyone at half speed: HS = 0.5.
+	hs, err := HarmonicSpeedup([]float64{2, 4}, []float64{1, 2})
+	if err != nil || !almost(hs, 0.5) {
+		t.Fatalf("HS = %g, %v", hs, err)
+	}
+}
+
+func TestHarmonicSpeedupPunishesUnfairness(t *testing.T) {
+	// Same total throughput, one core starved: HS must be lower than the
+	// balanced case.
+	balanced, _ := HarmonicSpeedup([]float64{1, 1}, []float64{0.5, 0.5})
+	unfair, _ := HarmonicSpeedup([]float64{1, 1}, []float64{0.9, 0.1})
+	if unfair >= balanced {
+		t.Fatalf("HS unfair %g >= balanced %g", unfair, balanced)
+	}
+}
+
+func TestHarmonicSpeedupErrors(t *testing.T) {
+	if _, err := HarmonicSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := HarmonicSpeedup(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := HarmonicSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero together IPC accepted")
+	}
+}
+
+func TestANTTReciprocal(t *testing.T) {
+	alone, together := []float64{2, 2}, []float64{1, 1}
+	hs, _ := HarmonicSpeedup(alone, together)
+	antt, err := ANTT(alone, together)
+	if err != nil || !almost(antt, 1/hs) {
+		t.Fatalf("ANTT = %g, want %g", antt, 1/hs)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{1, 1})
+	if err != nil || !almost(ws, 3) {
+		t.Fatalf("WS = %g, %v", ws, err)
+	}
+	n, err := NormalizedWS([]float64{1, 2}, []float64{1, 1})
+	if err != nil || !almost(n, 1.5) {
+		t.Fatalf("normWS = %g, %v", n, err)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestHarmonicMeanIPC(t *testing.T) {
+	if got := HarmonicMeanIPC([]float64{1, 1, 1}); !almost(got, 1) {
+		t.Fatalf("hm = %g", got)
+	}
+	if got := HarmonicMeanIPC([]float64{2, 2}); !almost(got, 2) {
+		t.Fatalf("hm = %g", got)
+	}
+	// 1 and 3: 2/(1+1/3) = 1.5
+	if got := HarmonicMeanIPC([]float64{1, 3}); !almost(got, 1.5) {
+		t.Fatalf("hm = %g", got)
+	}
+	if got := HarmonicMeanIPC(nil); got != 0 {
+		t.Fatalf("hm(nil) = %g", got)
+	}
+	// Zero IPC tolerated (epsilon), result tiny but finite.
+	got := HarmonicMeanIPC([]float64{0, 1})
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("hm with zero = %g", got)
+	}
+}
+
+func TestHarmonicMeanPunishesStarvation(t *testing.T) {
+	fair := HarmonicMeanIPC([]float64{1, 1})
+	unfair := HarmonicMeanIPC([]float64{1.8, 0.2})
+	if unfair >= fair {
+		t.Fatalf("hm unfair %g >= fair %g", unfair, fair)
+	}
+}
+
+func TestWorstCaseSpeedup(t *testing.T) {
+	w, err := WorstCaseSpeedup([]float64{1, 0.4, 2}, []float64{1, 1, 1})
+	if err != nil || !almost(w, 0.4) {
+		t.Fatalf("worst = %g, %v", w, err)
+	}
+	if _, err := WorstCaseSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); !almost(got, 2) {
+		t.Fatalf("median odd = %g", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); !almost(got, 2.5) {
+		t.Fatalf("median even = %g", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("median empty = %g", got)
+	}
+	// Median must not reorder the caller's slice.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Fatalf("mean = %g", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean empty")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || !almost(g, 2) {
+		t.Fatalf("geomean = %g, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+// Property: HS is the reciprocal of the arithmetic mean of slowdowns, so
+// it always lies between min and max per-core speedup.
+func TestPropertyHSBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		alone := make([]float64, n)
+		together := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range alone {
+			alone[i] = 0.1 + rng.Float64()*3
+			together[i] = 0.1 + rng.Float64()*3
+			s := together[i] / alone[i]
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+		hs, err := HarmonicSpeedup(alone, together)
+		if err != nil {
+			return false
+		}
+		return hs >= lo-1e-9 && hs <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WS is linear — scaling all policy IPCs by c scales WS by c.
+func TestPropertyWSLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		pol := make([]float64, n)
+		base := make([]float64, n)
+		for i := range pol {
+			pol[i] = 0.1 + rng.Float64()
+			base[i] = 0.1 + rng.Float64()
+		}
+		ws1, err1 := WeightedSpeedup(pol, base)
+		scaled := make([]float64, n)
+		for i := range pol {
+			scaled[i] = pol[i] * 2
+		}
+		ws2, err2 := WeightedSpeedup(scaled, base)
+		return err1 == nil && err2 == nil && almost(ws2, 2*ws1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hm_ipc <= mean ipc (harmonic <= arithmetic).
+func TestPropertyHarmonicLEArithmetic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.05 + rng.Float64()*4
+		}
+		return HarmonicMeanIPC(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+//go:build linux
+
+package msr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DevCPU is a Bank backed by the Linux msr driver (/dev/cpu/N/msr). It is
+// the deployment path the paper used (ring-0 MSR access); on machines
+// without the msr module loaded NewDevCPU fails and callers fall back to
+// the emulated machine. Reads and writes require CAP_SYS_RAWIO.
+type DevCPU struct {
+	mu    sync.Mutex
+	files []*os.File
+}
+
+// NewDevCPU opens /dev/cpu/<i>/msr for cpus [0,n). It fails if any device
+// node is missing or unopenable, closing whatever it opened.
+func NewDevCPU(n int) (*DevCPU, error) {
+	d := &DevCPU{files: make([]*os.File, 0, n)}
+	for i := 0; i < n; i++ {
+		f, err := os.OpenFile(fmt.Sprintf("/dev/cpu/%d/msr", i), os.O_RDWR, 0)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("msr: open cpu %d: %w", i, err)
+		}
+		d.files = append(d.files, f)
+	}
+	return d, nil
+}
+
+// Close releases the device files.
+func (d *DevCPU) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for _, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.files = nil
+	return first
+}
+
+// NumCPU implements Bank.
+func (d *DevCPU) NumCPU() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files)
+}
+
+// Read implements Bank. The msr driver addresses registers by file offset.
+func (d *DevCPU) Read(cpu int, reg uint32) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cpu < 0 || cpu >= len(d.files) {
+		return 0, &BadCPUError{CPU: cpu, N: len(d.files)}
+	}
+	var buf [8]byte
+	if _, err := d.files[cpu].ReadAt(buf[:], int64(reg)); err != nil {
+		return 0, fmt.Errorf("msr: read cpu %d reg %#x: %w", cpu, reg, err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Write implements Bank.
+func (d *DevCPU) Write(cpu int, reg uint32, v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cpu < 0 || cpu >= len(d.files) {
+		return &BadCPUError{CPU: cpu, N: len(d.files)}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if _, err := d.files[cpu].WriteAt(buf[:], int64(reg)); err != nil {
+		return fmt.Errorf("msr: write cpu %d reg %#x: %w", cpu, reg, err)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package msr models the model-specific registers (MSRs) that CMM uses to
+// control hardware prefetchers and Intel Cache Allocation Technology (CAT).
+//
+// The paper's controller is a Linux kernel module writing MSRs directly.
+// Here the same register-level protocol is expressed behind the Bank
+// interface so that the controller code is identical whether it drives the
+// cycle-level simulator (Emulated) or real hardware via /dev/cpu/*/msr
+// (DevCPU). Only the Bank implementation changes.
+package msr
+
+import "fmt"
+
+// Architectural MSR addresses used by this work. Values follow the Intel
+// SDM Vol. 3B / 4 for Broadwell-EP (the paper's E5-2620 v4).
+const (
+	// MiscFeatureControl (0x1A4) holds the four per-core prefetcher
+	// disable bits. A set bit DISABLES the corresponding prefetcher.
+	MiscFeatureControl uint32 = 0x1A4
+
+	// PQRAssoc (IA32_PQR_ASSOC, 0xC8F) associates the logical CPU with a
+	// class of service (CLOS). Bits 63:32 hold the CLOS id.
+	PQRAssoc uint32 = 0xC8F
+
+	// L3MaskBase (IA32_L3_QOS_MASK_0, 0xC90) is the first of the per-CLOS
+	// capacity bitmask registers; CLOS n lives at L3MaskBase+n.
+	L3MaskBase uint32 = 0xC90
+
+	// MBAThrottleBase (IA32_L2_QoS_Ext_BW_Thrtl_0, 0xD50) is the first of
+	// the per-CLOS Memory Bandwidth Allocation delay registers; the value
+	// is a throttling percentage (0, 10, …, 90).
+	MBAThrottleBase uint32 = 0xD50
+)
+
+// Prefetcher disable bits inside MiscFeatureControl.
+const (
+	// DisableL2Stream disables the L2 hardware (stream) prefetcher.
+	DisableL2Stream uint64 = 1 << 0
+	// DisableL2Adjacent disables the L2 adjacent cache line prefetcher.
+	DisableL2Adjacent uint64 = 1 << 1
+	// DisableL1NextLine disables the L1 DCU (next line) prefetcher.
+	DisableL1NextLine uint64 = 1 << 2
+	// DisableL1IP disables the L1 DCU IP (stride) prefetcher.
+	DisableL1IP uint64 = 1 << 3
+
+	// DisableAll disables all four data prefetchers, the granularity at
+	// which the paper's throttling operates ("All four prefetchers per
+	// core are either on or off").
+	DisableAll = DisableL2Stream | DisableL2Adjacent | DisableL1NextLine | DisableL1IP
+)
+
+// ClosOf extracts the class of service from an IA32_PQR_ASSOC value.
+func ClosOf(pqr uint64) int { return int(pqr >> 32) }
+
+// PQRValue builds an IA32_PQR_ASSOC value for the given CLOS, preserving
+// the RMID field of the previous value.
+func PQRValue(prev uint64, clos int) uint64 {
+	const rmidMask = (1 << 10) - 1
+	return uint64(clos)<<32 | prev&rmidMask
+}
+
+// Bank is read/write access to the MSRs of every logical CPU in a machine.
+// Implementations must be safe for concurrent use by a single controller
+// goroutine per CPU; cross-CPU serialization is the caller's concern.
+type Bank interface {
+	// Read returns the 64-bit value of reg on the given cpu.
+	Read(cpu int, reg uint32) (uint64, error)
+	// Write stores a 64-bit value into reg on the given cpu.
+	Write(cpu int, reg uint32, v uint64) error
+	// NumCPU reports how many logical CPUs the bank spans.
+	NumCPU() int
+}
+
+// UnknownRegError reports an access to a register an emulated bank does not
+// model.
+type UnknownRegError struct {
+	CPU int
+	Reg uint32
+}
+
+func (e *UnknownRegError) Error() string {
+	return fmt.Sprintf("msr: cpu %d: unknown register %#x", e.CPU, e.Reg)
+}
+
+// BadCPUError reports an out-of-range CPU index.
+type BadCPUError struct {
+	CPU, N int
+}
+
+func (e *BadCPUError) Error() string {
+	return fmt.Sprintf("msr: cpu %d out of range [0,%d)", e.CPU, e.N)
+}

@@ -1,0 +1,71 @@
+//go:build linux
+
+package perf
+
+import "testing"
+
+func TestOpenReadOrSkip(t *testing.T) {
+	if !Available() {
+		t.Skip("perf events unavailable (kernel support or paranoid level)")
+	}
+	c, err := Open(0, TypeHardware, CountHWCPUCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU; the cycle counter must advance.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	b, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a {
+		t.Fatalf("cycle counter went backwards: %d -> %d", a, b)
+	}
+}
+
+func TestOpenInvalidCPU(t *testing.T) {
+	if !Available() {
+		t.Skip("perf events unavailable")
+	}
+	if _, err := Open(4096, TypeHardware, CountHWCPUCycles); err == nil {
+		t.Fatal("cpu 4096 accepted")
+	}
+}
+
+func TestRawEncodings(t *testing.T) {
+	// The Broadwell encodings must carry event in bits 0:7 and umask in
+	// bits 8:15 (SDM layout).
+	cases := []struct {
+		name         string
+		config       uint64
+		event, umask uint64
+	}{
+		{"L2PrefReq", RawL2PrefReq, 0x24, 0xF8},
+		{"L2PrefMiss", RawL2PrefMiss, 0x24, 0x38},
+		{"L2DmReq", RawL2DmReq, 0x24, 0xE1},
+		{"L2DmMiss", RawL2DmMiss, 0x24, 0x21},
+		{"L3LoadMiss", RawL3LoadMiss, 0x2E, 0x41},
+		{"StallsL2Pending", RawStallsL2Pending, 0xA3, 0x05},
+	}
+	for _, tc := range cases {
+		if tc.config&0xFF != tc.event {
+			t.Errorf("%s: event byte %#x, want %#x", tc.name, tc.config&0xFF, tc.event)
+		}
+		if (tc.config>>8)&0xFF != tc.umask {
+			t.Errorf("%s: umask byte %#x, want %#x", tc.name, (tc.config>>8)&0xFF, tc.umask)
+		}
+	}
+	// STALLS_L2_PENDING needs cmask 5.
+	if (RawStallsL2Pending>>24)&0xFF != 5 {
+		t.Error("StallsL2Pending cmask missing")
+	}
+}

@@ -1,0 +1,64 @@
+package pmu
+
+// Table I of the paper: metrics derived from the raw events. Each function
+// takes a Sample (counter deltas over a window) plus, where the metric is a
+// rate, the core clock in GHz to convert cycles to seconds.
+
+// M1L2LLCTraffic (M-1) is the total request traffic between L2 and LLC:
+// L2 pref miss + L2 dm miss.
+func (s Sample) M1L2LLCTraffic() uint64 {
+	return s.c[L2PrefMiss] + s.c[L2DmMiss]
+}
+
+// M2PrefMissFrac (M-2) is the fraction of the L2→LLC traffic that is
+// prefetch: L2 pref miss / (L2 pref miss + L2 dm miss).
+func (s Sample) M2PrefMissFrac() float64 {
+	return ratio(float64(s.c[L2PrefMiss]), float64(s.M1L2LLCTraffic()))
+}
+
+// M3L2PTR (M-3) is the L2 prefetch miss traffic rate: L2 prefetch requests
+// arriving at LLC per second. It measures the bandwidth pressure a core's
+// prefetching puts on the LLC.
+func (s Sample) M3L2PTR(ghz float64) float64 {
+	seconds := float64(s.c[Cycles]) / (ghz * 1e9)
+	return ratio(float64(s.c[L2PrefMiss]), seconds)
+}
+
+// M4PGA (M-4) is the prefetch generation ability: L2 pref req / L2 dm req.
+// It measures whether a core's access patterns trigger the L2 prefetchers.
+func (s Sample) M4PGA() float64 {
+	return ratio(float64(s.c[L2PrefReq]), float64(s.c[L2DmReq]))
+}
+
+// M5L2PMR (M-5) is the L2 prefetch miss rate: L2 pref miss / L2 pref req,
+// i.e. the fraction of prefetches that leave L2 for the LLC. A low value
+// means high prefetch locality (prefetches largely hit L2).
+func (s Sample) M5L2PMR() float64 {
+	return ratio(float64(s.c[L2PrefMiss]), float64(s.c[L2PrefReq]))
+}
+
+// M6L2PPM (M-6) is prefetches issued per demand miss: L2 pref req /
+// L2 dm miss — the metric SPAC (Panda et al.) classifies with.
+func (s Sample) M6L2PPM() float64 {
+	return ratio(float64(s.c[L2PrefReq]), float64(s.c[L2DmMiss]))
+}
+
+// M7LLCPT (M-7) approximates the LLC→memory prefetch bandwidth in bytes:
+// prefetch requests missing the LLC times the line size.
+func (s Sample) M7LLCPT(lineBytes int) uint64 {
+	return s.c[L3PrefMiss] * uint64(lineBytes)
+}
+
+// DemandBandwidthGBs returns the demand-side memory bandwidth over the
+// window in GB/s: L3 load misses × line size / time.
+func (s Sample) DemandBandwidthGBs(lineBytes int, ghz float64) float64 {
+	seconds := float64(s.c[Cycles]) / (ghz * 1e9)
+	return ratio(float64(s.c[L3LoadMiss]*uint64(lineBytes)), seconds) / 1e9
+}
+
+// TotalBandwidthGBs returns demand+prefetch memory bandwidth in GB/s.
+func (s Sample) TotalBandwidthGBs(lineBytes int, ghz float64) float64 {
+	seconds := float64(s.c[Cycles]) / (ghz * 1e9)
+	misses := s.c[L3LoadMiss] + s.c[L3PrefMiss]
+	return ratio(float64(misses*uint64(lineBytes)), seconds) / 1e9
+}

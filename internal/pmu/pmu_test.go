@@ -1,0 +1,198 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNamesCoverAllEvents(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" {
+			t.Errorf("event %d has empty name", e)
+		}
+	}
+	if Event(-1).String() != "Event(-1)" {
+		t.Error("negative event string")
+	}
+	if Event(int(NumEvents)+5).String() == "" {
+		t.Error("overflow event string")
+	}
+}
+
+func TestCountersAddIncValue(t *testing.T) {
+	var c Counters
+	c.Inc(L2PrefReq)
+	c.Add(L2PrefReq, 9)
+	if got := c.Value(L2PrefReq); got != 10 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+	if got := c.Value(L2DmReq); got != 0 {
+		t.Fatalf("untouched counter = %d", got)
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	var c Counters
+	c.Add(Cycles, 100)
+	c.Reset()
+	if c.Value(Cycles) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	var c Counters
+	c.Add(Instructions, 1000)
+	c.Add(Cycles, 500)
+	s0 := c.Snapshot()
+	c.Add(Instructions, 200)
+	c.Add(Cycles, 100)
+	d := c.Snapshot().Delta(s0)
+	if d.Value(Instructions) != 200 || d.Value(Cycles) != 100 {
+		t.Fatalf("delta = %d/%d", d.Value(Instructions), d.Value(Cycles))
+	}
+	if math.Abs(d.IPC()-2.0) > 1e-12 {
+		t.Fatalf("IPC = %g, want 2", d.IPC())
+	}
+}
+
+func TestSnapshotImmutable(t *testing.T) {
+	var c Counters
+	c.Add(Cycles, 5)
+	s := c.Snapshot()
+	c.Add(Cycles, 5)
+	if s.Value(Cycles) != 5 {
+		t.Fatal("snapshot mutated by later counting")
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	var s Sample
+	s.Set(Instructions, 100)
+	if s.IPC() != 0 {
+		t.Fatal("IPC with zero cycles must be 0")
+	}
+}
+
+func mkSample(kv map[Event]uint64) Sample {
+	var s Sample
+	for e, v := range kv {
+		s.Set(e, v)
+	}
+	return s
+}
+
+func TestM1Traffic(t *testing.T) {
+	s := mkSample(map[Event]uint64{L2PrefMiss: 30, L2DmMiss: 20})
+	if got := s.M1L2LLCTraffic(); got != 50 {
+		t.Fatalf("M-1 = %d, want 50", got)
+	}
+}
+
+func TestM2PrefMissFrac(t *testing.T) {
+	s := mkSample(map[Event]uint64{L2PrefMiss: 30, L2DmMiss: 20})
+	if got := s.M2PrefMissFrac(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("M-2 = %g, want 0.6", got)
+	}
+	var empty Sample
+	if empty.M2PrefMissFrac() != 0 {
+		t.Fatal("M-2 of empty sample must be 0")
+	}
+}
+
+func TestM3L2PTR(t *testing.T) {
+	// 1000 pref misses over 2.1e9 cycles at 2.1GHz = 1 second → 1000/s.
+	s := mkSample(map[Event]uint64{L2PrefMiss: 1000, Cycles: 2_100_000_000})
+	if got := s.M3L2PTR(2.1); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("M-3 = %g, want 1000", got)
+	}
+	var empty Sample
+	if empty.M3L2PTR(2.1) != 0 {
+		t.Fatal("M-3 of empty sample must be 0")
+	}
+}
+
+func TestM4PGA(t *testing.T) {
+	s := mkSample(map[Event]uint64{L2PrefReq: 400, L2DmReq: 100})
+	if got := s.M4PGA(); math.Abs(got-4.0) > 1e-12 {
+		t.Fatalf("M-4 = %g, want 4", got)
+	}
+}
+
+func TestM5L2PMR(t *testing.T) {
+	s := mkSample(map[Event]uint64{L2PrefMiss: 75, L2PrefReq: 100})
+	if got := s.M5L2PMR(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("M-5 = %g, want 0.75", got)
+	}
+}
+
+func TestM6L2PPM(t *testing.T) {
+	s := mkSample(map[Event]uint64{L2PrefReq: 60, L2DmMiss: 20})
+	if got := s.M6L2PPM(); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("M-6 = %g, want 3", got)
+	}
+}
+
+func TestM7LLCPT(t *testing.T) {
+	s := mkSample(map[Event]uint64{L3PrefMiss: 10})
+	if got := s.M7LLCPT(64); got != 640 {
+		t.Fatalf("M-7 = %d, want 640", got)
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	// 2.1e9 cycles at 2.1 GHz = 1s; 1e6 line misses × 64B = 64 MB → 0.064 GB/s.
+	s := mkSample(map[Event]uint64{L3LoadMiss: 1_000_000, Cycles: 2_100_000_000})
+	if got := s.DemandBandwidthGBs(64, 2.1); math.Abs(got-0.064) > 1e-9 {
+		t.Fatalf("demand BW = %g, want 0.064", got)
+	}
+	s.Set(L3PrefMiss, 1_000_000)
+	if got := s.TotalBandwidthGBs(64, 2.1); math.Abs(got-0.128) > 1e-9 {
+		t.Fatalf("total BW = %g, want 0.128", got)
+	}
+}
+
+// Property: M-2 is always in [0,1]; M-5 likewise when req >= miss.
+func TestPropertyFractionBounds(t *testing.T) {
+	f := func(pm, dm, pr uint32) bool {
+		prefMiss := uint64(pm)
+		prefReq := prefMiss + uint64(pr) // req >= miss by construction
+		s := mkSample(map[Event]uint64{
+			L2PrefMiss: prefMiss, L2DmMiss: uint64(dm), L2PrefReq: prefReq,
+		})
+		m2, m5 := s.M2PrefMissFrac(), s.M5L2PMR()
+		return m2 >= 0 && m2 <= 1 && m5 >= 0 && m5 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Delta is inverse of accumulation — for any pair of update
+// sequences, snapshot-delta equals the second sequence's sums.
+func TestPropertyDeltaMatchesUpdates(t *testing.T) {
+	f := func(a, b [5]uint16) bool {
+		var c Counters
+		for i, v := range a {
+			c.Add(Event(i%int(NumEvents)), uint64(v))
+		}
+		s0 := c.Snapshot()
+		want := map[Event]uint64{}
+		for i, v := range b {
+			e := Event((i + 3) % int(NumEvents))
+			c.Add(e, uint64(v))
+			want[e] += uint64(v)
+		}
+		d := c.Snapshot().Delta(s0)
+		for e := Event(0); e < NumEvents; e++ {
+			if d.Value(e) != want[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,364 @@
+package prefetch
+
+import (
+	"testing"
+
+	"cmm/internal/msr"
+)
+
+func newUnit() *Unit { return NewUnit(DefaultParams()) }
+
+func collectL2(u *Unit, lines []uint64) []Request {
+	var all []Request
+	for _, l := range lines {
+		all = append(all, u.ObserveL2(l, true, true)...)
+	}
+	return all
+}
+
+func TestAllEnabledAtReset(t *testing.T) {
+	u := newUnit()
+	for _, bit := range []uint64{msr.DisableL1IP, msr.DisableL1NextLine, msr.DisableL2Stream, msr.DisableL2Adjacent} {
+		if !u.Enabled(bit) {
+			t.Fatalf("prefetcher with disable bit %#x off at reset", bit)
+		}
+	}
+}
+
+func TestNextLineOnMiss(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL1IP) // isolate next-line
+	reqs := u.ObserveL1(0x400, 64*10, false)
+	if len(reqs) != 1 || reqs[0].Line != 11 || reqs[0].Level != L1 {
+		t.Fatalf("reqs = %+v, want line 11 L1", reqs)
+	}
+	// No prefetch on hit.
+	if got := u.ObserveL1(0x400, 64*12, true); len(got) != 0 {
+		t.Fatalf("next-line fired on hit: %+v", got)
+	}
+	if u.Stats().NextLineIssued != 1 {
+		t.Fatalf("stats %+v", u.Stats())
+	}
+}
+
+func TestIPStrideTrainsAndPrefetches(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL1NextLine)
+	pc := uint64(0x1234)
+	stride := uint64(4096) // one page per access: distinct lines
+	var got []Request
+	for i := uint64(0); i < 6; i++ {
+		got = append(got, u.ObserveL1(pc, i*stride, true)...)
+	}
+	if len(got) == 0 {
+		t.Fatal("IP prefetcher never fired on steady stride")
+	}
+	// Targets must be IPDistance strides ahead.
+	p := DefaultParams()
+	last := got[len(got)-1]
+	wantLine := (5*stride + stride*uint64(p.IPDistance)) / 64
+	if last.Line != wantLine {
+		t.Fatalf("IP target line %d, want %d", last.Line, wantLine)
+	}
+	if u.Stats().IPIssued == 0 {
+		t.Fatal("IPIssued not counted")
+	}
+}
+
+func TestIPStrideRetrainsOnStrideChange(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL1NextLine)
+	pc := uint64(7)
+	for i := uint64(0); i < 4; i++ {
+		u.ObserveL1(pc, i*4096, true)
+	}
+	before := u.Stats().IPIssued
+	// Change stride: must stop prefetching until retrained.
+	if got := u.ObserveL1(pc, 100*4096, true); len(got) != 0 {
+		t.Fatalf("fired immediately on stride change: %+v", got)
+	}
+	if got := u.ObserveL1(pc, 100*4096+128, true); len(got) != 0 {
+		t.Fatalf("fired after one new-stride observation: %+v", got)
+	}
+	_ = before
+}
+
+func TestIPIgnoresZeroStride(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL1NextLine)
+	for i := 0; i < 10; i++ {
+		if got := u.ObserveL1(9, 640, true); len(got) != 0 {
+			t.Fatalf("prefetch on repeated same address: %+v", got)
+		}
+	}
+}
+
+func TestIPSuppressesSameLineTargets(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL1NextLine)
+	// Stride of 8 bytes: target within (near) the same line for small
+	// distances; unit must not emit a same-line prefetch.
+	for i := uint64(0); i < 3; i++ {
+		if got := u.ObserveL1(11, i*8, true); len(got) != 0 {
+			for _, r := range got {
+				if r.Line == (i*8)/64 {
+					t.Fatalf("same-line prefetch emitted: %+v", r)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjacentLinePairs(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Stream)
+	reqs := u.ObserveL2(10, true, true)
+	if len(reqs) != 1 || reqs[0].Line != 11 || reqs[0].Level != L2 {
+		t.Fatalf("adjacent of 10 = %+v, want 11", reqs)
+	}
+	reqs = u.ObserveL2(11, true, true)
+	if len(reqs) != 1 || reqs[0].Line != 10 {
+		t.Fatalf("adjacent of 11 = %+v, want 10 (buddy pair)", reqs)
+	}
+	// Adjacent prefetcher ignores non-demand traffic.
+	if got := u.ObserveL2(20, false, true); len(got) != 0 {
+		t.Fatalf("adjacent fired on prefetch traffic: %+v", got)
+	}
+}
+
+func TestStreamerTrainsAscending(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	got := collectL2(u, []uint64{100, 101, 102, 103})
+	if len(got) == 0 {
+		t.Fatal("streamer never fired on ascending stream")
+	}
+	for _, r := range got {
+		if r.Level != L2 {
+			t.Fatalf("stream request at wrong level: %+v", r)
+		}
+		if r.Line <= 102 {
+			t.Fatalf("stream prefetched backwards/now: %+v", r)
+		}
+	}
+}
+
+func TestStreamerTrainsDescending(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	got := collectL2(u, []uint64{200, 199, 198, 197})
+	if len(got) == 0 {
+		t.Fatal("streamer never fired on descending stream")
+	}
+	for _, r := range got {
+		if r.Line >= 198 {
+			t.Fatalf("descending stream prefetched ahead: %+v", r)
+		}
+	}
+}
+
+func TestStreamerStaysInPage(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	lpp := DefaultParams().linesPerPage()
+	// Stream right up to the page end.
+	var lines []uint64
+	for off := lpp - 6; off < lpp; off++ {
+		lines = append(lines, 5*lpp+off)
+	}
+	got := collectL2(u, lines)
+	for _, r := range got {
+		if r.Line/lpp != 5 {
+			t.Fatalf("stream crossed page: line %d", r.Line)
+		}
+	}
+}
+
+func TestStreamerRunAheadBounded(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	p := DefaultParams()
+	var lines []uint64
+	for i := uint64(0); i < 20; i++ {
+		lines = append(lines, i)
+	}
+	got := collectL2(u, lines)
+	for i, r := range got {
+		_ = i
+		// No prefetch may run further than StreamDistance ahead of the
+		// triggering access; conservatively check against the max line.
+		if r.Line > 19+uint64(p.StreamDistance) {
+			t.Fatalf("runahead too far: %d", r.Line)
+		}
+	}
+}
+
+func TestStreamerNoDuplicateTargets(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	seen := map[uint64]int{}
+	for i := uint64(0); i < 30; i++ {
+		for _, r := range u.ObserveL2(i, true, true) {
+			seen[r.Line]++
+		}
+	}
+	for line, n := range seen {
+		if n > 1 {
+			t.Fatalf("line %d prefetched %d times", line, n)
+		}
+	}
+}
+
+func TestStreamerRandomAccessMostlySilent(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	// Far-apart random pages, one access each: should never train.
+	issued := 0
+	for i := uint64(0); i < 100; i++ {
+		issued += len(u.ObserveL2(i*977+13, true, true))
+	}
+	if issued != 0 {
+		t.Fatalf("streamer issued %d prefetches on random accesses", issued)
+	}
+}
+
+func TestStreamerTrackerEviction(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	p := DefaultParams()
+	lpp := p.linesPerPage()
+	// Train one stream, then touch more pages than there are trackers,
+	// then continue the old stream: it must need retraining.
+	collectL2(u, []uint64{0, 1, 2, 3})
+	for pg := uint64(1); pg <= uint64(p.StreamTrackers); pg++ {
+		u.ObserveL2(pg*lpp, true, true)
+	}
+	got := u.ObserveL2(4, true, true)
+	if len(got) != 0 {
+		t.Fatalf("stream survived tracker eviction: %+v", got)
+	}
+}
+
+func TestMSRDisablesEachPrefetcher(t *testing.T) {
+	cases := []struct {
+		name string
+		bit  uint64
+		trig func(u *Unit) int
+	}{
+		{"ip", msr.DisableL1IP, func(u *Unit) int {
+			n := 0
+			for i := uint64(0); i < 8; i++ {
+				n += len(u.ObserveL1(3, i*4096, true))
+			}
+			return n
+		}},
+		{"nextline", msr.DisableL1NextLine, func(u *Unit) int {
+			return len(u.ObserveL1(3, 640, false))
+		}},
+		{"stream", msr.DisableL2Stream, func(u *Unit) int {
+			n := 0
+			for i := uint64(0); i < 8; i++ {
+				n += len(u.ObserveL2(i, false, true))
+			}
+			return n
+		}},
+		{"adjacent", msr.DisableL2Adjacent, func(u *Unit) int {
+			return len(u.ObserveL2(100, true, true))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := newUnit()
+			u.SetMSR(msr.DisableAll &^ tc.bit) // only this prefetcher on
+			if tc.trig(u) == 0 {
+				t.Fatal("prefetcher silent when enabled")
+			}
+			u2 := newUnit()
+			u2.SetMSR(tc.bit) // only this prefetcher off
+			u2.SetMSR(msr.DisableAll)
+			if tc.trig(u2) != 0 {
+				t.Fatal("prefetcher fired when disabled")
+			}
+		})
+	}
+}
+
+func TestSetMSRMasksUnknownBits(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(^uint64(0))
+	if u.MSR() != msr.DisableAll {
+		t.Fatalf("MSR = %#x, want %#x", u.MSR(), msr.DisableAll)
+	}
+}
+
+func TestResetStatsKeepsTraining(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	collectL2(u, []uint64{50, 51, 52, 53})
+	u.ResetStats()
+	if u.Stats() != (Stats{}) {
+		t.Fatal("stats survive reset")
+	}
+	// Stream remains trained: next access still prefetches.
+	if got := u.ObserveL2(54, true, true); len(got) == 0 {
+		t.Fatal("training lost on ResetStats")
+	}
+}
+
+func TestResetTraining(t *testing.T) {
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	collectL2(u, []uint64{50, 51, 52, 53})
+	u.ResetTraining()
+	if got := u.ObserveL2(54, true, true); len(got) != 0 {
+		t.Fatalf("training survived ResetTraining: %+v", got)
+	}
+}
+
+func TestStatsSums(t *testing.T) {
+	s := Stats{IPIssued: 1, NextLineIssued: 2, StreamIssued: 3, AdjacentIssued: 4}
+	if s.L1Issued() != 3 || s.L2Issued() != 7 {
+		t.Fatalf("sums wrong: %d %d", s.L1Issued(), s.L2Issued())
+	}
+}
+
+func BenchmarkStreamerSteadyState(b *testing.B) {
+	u := newUnit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.ObserveL2(uint64(i), true, true)
+	}
+}
+
+func BenchmarkIPStride(b *testing.B) {
+	u := newUnit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.ObserveL1(0x42, uint64(i)*128, true)
+	}
+}
+
+func TestStreamerFullCoverageNoGaps(t *testing.T) {
+	// Regression: once trained, a steadily advancing stream must get
+	// every upcoming line prefetched exactly once — the ahead pointer
+	// must not skip lines when the distance cap truncates a burst.
+	u := newUnit()
+	u.SetMSR(msr.DisableL2Adjacent)
+	issued := map[uint64]bool{}
+	const last = 60
+	for i := uint64(0); i <= last; i++ {
+		for _, r := range u.ObserveL2(i, true, true) {
+			if issued[r.Line] {
+				t.Fatalf("line %d issued twice", r.Line)
+			}
+			issued[r.Line] = true
+		}
+	}
+	// Every line from just-after-training to the current access must be
+	// covered (they are all within the page).
+	for l := uint64(3); l <= last; l++ {
+		if !issued[l] {
+			t.Fatalf("line %d never prefetched (coverage gap)", l)
+		}
+	}
+}

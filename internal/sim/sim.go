@@ -1,0 +1,306 @@
+// Package sim assembles the full machine: N cores (cpu.Core) with private
+// L1/L2 and prefetchers, a shared inclusive LLC partitioned by CAT way
+// masks, a bandwidth-limited memory controller, an emulated MSR bank, and
+// the CAT allocator. It is the stand-in for the paper's Xeon E5-2620 v4.
+//
+// Control flows exactly as on hardware: policies write MSRs (prefetcher
+// disable bits, CLOS masks, core associations) through the msr.Bank, and
+// the system reacts to those writes via a register watcher — the policies
+// never reach into simulator internals.
+package sim
+
+import (
+	"fmt"
+
+	"cmm/internal/cache"
+	"cmm/internal/cat"
+	"cmm/internal/cpu"
+	"cmm/internal/mem"
+	"cmm/internal/msr"
+	"cmm/internal/pmu"
+	"cmm/internal/prefetch"
+	"cmm/internal/workload"
+)
+
+// Config describes the machine.
+type Config struct {
+	// CoreGHz is the core clock, used to convert cycles to seconds.
+	CoreGHz float64
+	// Core is the core timing model.
+	Core cpu.Params
+	// L1, L2 are per-core private cache geometries; LLC is shared.
+	L1, L2, LLC cache.Config
+	// Mem is the memory controller model.
+	Mem mem.Config
+	// Prefetch tunes the per-core prefetchers.
+	Prefetch prefetch.Params
+	// CAT describes the partitioning capability; CAT.Ways must equal
+	// LLC.Ways.
+	CAT cat.Config
+	// RoundCycles is the lockstep window in which cores advance; smaller
+	// values interleave cores more finely but run slower.
+	RoundCycles uint64
+}
+
+// DefaultConfig returns the paper's platform: 8 cores at 2.1 GHz, 32KB/8w
+// L1D, 256KB/8w L2, 20MB/20w inclusive LLC, DDR4-2400 at 68.3 GB/s.
+func DefaultConfig() Config {
+	return Config{
+		CoreGHz:     2.1,
+		Core:        cpu.DefaultParams(),
+		L1:          cache.Config{Sets: 64, Ways: 8, LineBytes: 64, HitLatency: 4},
+		L2:          cache.Config{Sets: 512, Ways: 8, LineBytes: 64, HitLatency: 12},
+		LLC:         cache.Config{Sets: 16384, Ways: 20, LineBytes: 64, HitLatency: 40},
+		Mem:         mem.DefaultConfig(),
+		Prefetch:    prefetch.DefaultParams(),
+		CAT:         cat.DefaultConfig(),
+		RoundCycles: 20_000,
+	}
+}
+
+// Validate reports a descriptive error for inconsistent configurations.
+func (c Config) Validate() error {
+	if c.CoreGHz <= 0 {
+		return fmt.Errorf("sim: CoreGHz %g must be positive", c.CoreGHz)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []struct {
+		name string
+		cfg  cache.Config
+	}{{"L1", c.L1}, {"L2", c.L2}, {"LLC", c.LLC}} {
+		if err := cc.cfg.Validate(); err != nil {
+			return fmt.Errorf("sim: %s: %w", cc.name, err)
+		}
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := c.CAT.Validate(); err != nil {
+		return err
+	}
+	if c.CAT.Ways != c.LLC.Ways {
+		return fmt.Errorf("sim: CAT ways %d != LLC ways %d", c.CAT.Ways, c.LLC.Ways)
+	}
+	if c.L1.LineBytes != c.LLC.LineBytes || c.L2.LineBytes != c.LLC.LineBytes {
+		return fmt.Errorf("sim: line sizes differ across levels")
+	}
+	if c.RoundCycles == 0 {
+		return fmt.Errorf("sim: RoundCycles must be positive")
+	}
+	return nil
+}
+
+// System is the whole machine. Not safe for concurrent use.
+type System struct {
+	cfg   Config
+	cores []*cpu.Core
+	llc   *cache.Cache
+	memc  *mem.Controller
+	bank  *msr.Emulated
+	alloc *cat.Allocator
+
+	// masks caches each core's effective CAT fill mask, refreshed on
+	// every relevant MSR write.
+	masks []uint64
+
+	now    uint64
+	rotate int
+}
+
+// New builds a machine running one workload spec per core. Generators are
+// seeded with seed+core so multiprogrammed runs are deterministic but
+// decorrelated. It returns an error for invalid configuration or specs.
+func New(cfg Config, specs []workload.Spec, seed int64) (*System, error) {
+	gens := make([]workload.Generator, len(specs))
+	for i, spec := range specs {
+		gen, err := workload.New(spec, seed+int64(i)*1_000_003)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = gen
+	}
+	return NewWithGenerators(cfg, gens)
+}
+
+// NewWithGenerators builds a machine from pre-built reference-stream
+// generators (one per core) — the entry point for trace replay and custom
+// workloads. Each generator's Spec supplies the core's timing parameters.
+func NewWithGenerators(cfg Config, gens []workload.Generator) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(gens)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no workloads")
+	}
+	s := &System{
+		cfg:   cfg,
+		llc:   cache.New(cfg.LLC),
+		memc:  mem.NewController(n, cfg.Mem),
+		bank:  msr.NewEmulated(n, cfg.CAT.NumCLOS),
+		masks: make([]uint64, n),
+	}
+	s.alloc = cat.NewAllocator(cfg.CAT, s.bank)
+	for i := range s.masks {
+		s.masks[i] = cfg.CAT.FullMask()
+	}
+	for i, gen := range gens {
+		if gen == nil {
+			return nil, fmt.Errorf("sim: nil generator for core %d", i)
+		}
+		core, err := cpu.New(i, cfg.Core, gen.Spec(), gen,
+			cache.New(cfg.L1), cache.New(cfg.L2), prefetch.NewUnit(cfg.Prefetch), s)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, core)
+	}
+	s.bank.AddWatcher(msr.WatcherFunc(s.msrWritten))
+	return s, nil
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NumCores returns the core count.
+func (s *System) NumCores() int { return len(s.cores) }
+
+// Core returns core i.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// PMU returns core i's counters.
+func (s *System) PMU(i int) *pmu.Counters { return s.cores[i].PMU() }
+
+// LLC returns the shared cache (stats/diagnostics).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// Memory returns the memory controller (stats/diagnostics).
+func (s *System) Memory() *mem.Controller { return s.memc }
+
+// Bank returns the emulated MSR bank — the control surface policies write.
+func (s *System) Bank() *msr.Emulated { return s.bank }
+
+// CAT returns the allocator bound to the machine's MSR bank.
+func (s *System) CAT() *cat.Allocator { return s.alloc }
+
+// Now returns the global cycle count (round-granular).
+func (s *System) Now() uint64 { return s.now }
+
+// msrWritten reacts to control-register writes the way hardware does.
+func (s *System) msrWritten(cpuID int, reg uint32, v uint64) {
+	switch {
+	case reg == msr.MiscFeatureControl:
+		s.cores[cpuID].SetPrefetchMSR(v)
+	case reg == msr.PQRAssoc,
+		reg >= msr.L3MaskBase && reg < msr.L3MaskBase+uint32(s.cfg.CAT.NumCLOS),
+		reg >= msr.MBAThrottleBase && reg < msr.MBAThrottleBase+uint32(s.cfg.CAT.NumCLOS):
+		s.refreshMasks()
+	}
+}
+
+func (s *System) refreshMasks() {
+	for i := range s.cores {
+		m, err := s.alloc.EffectiveMask(i)
+		if err != nil || m == 0 {
+			m = s.cfg.CAT.FullMask()
+		}
+		s.masks[i] = m
+		clos, err := s.alloc.ClosOf(i)
+		if err != nil {
+			continue
+		}
+		if pct, err := s.alloc.MBAOf(clos); err == nil {
+			s.memc.SetThrottle(i, float64(pct)/100)
+		}
+	}
+}
+
+// AccessShared implements cpu.Shared: LLC lookup, memory on miss, fill
+// under the core's CAT mask, and inclusive back-invalidation of the
+// victim's owner. Hits on in-flight fills (another core's — or an earlier
+// prefetch's — data still on its way) wait out the remainder.
+func (s *System) AccessShared(core int, line uint64, kind mem.RequestKind, now uint64) (int, bool) {
+	demand := kind == mem.Demand
+	if hit, wait := s.llc.Lookup(line, demand, now); hit {
+		return s.cfg.LLC.HitLatency + int(wait), false
+	}
+	lat := s.cfg.LLC.HitLatency + s.memc.Access(core, kind)
+	victim := s.llc.Fill(line, core, !demand, s.masks[core], now+uint64(lat))
+	if victim.Valid {
+		dirty := victim.Dirty
+		if victim.Owner >= 0 && victim.Owner < len(s.cores) {
+			// Inclusive back-invalidation; a dirty private copy also
+			// owes memory a writeback.
+			if s.cores[victim.Owner].InvalidatePrivate(victim.Line) {
+				dirty = true
+			}
+		}
+		if dirty {
+			owner := victim.Owner
+			if owner < 0 || owner >= len(s.cores) {
+				owner = core
+			}
+			s.memc.Access(owner, mem.Writeback)
+		}
+	}
+	return lat, true
+}
+
+// WritebackShared implements cpu.Shared: a dirty private-cache victim is
+// marked dirty in the (inclusive) LLC, or written to memory if the LLC no
+// longer holds it.
+func (s *System) WritebackShared(core int, line uint64) {
+	if s.llc.SetDirty(line) {
+		return
+	}
+	s.memc.Access(core, mem.Writeback)
+}
+
+// Run advances the whole machine by d cycles in lockstep rounds, rotating
+// the core service order each round to avoid ordering bias, and ticking
+// the memory controller's utilization window at round boundaries.
+func (s *System) Run(d uint64) {
+	end := s.now + d
+	for s.now < end {
+		next := s.now + s.cfg.RoundCycles
+		if next > end {
+			next = end
+		}
+		n := len(s.cores)
+		for i := 0; i < n; i++ {
+			s.cores[(i+s.rotate)%n].RunUntil(next)
+		}
+		s.rotate++
+		s.memc.Tick(int(next - s.now))
+		s.now = next
+	}
+}
+
+// Snapshots captures every core's PMU state at once.
+func (s *System) Snapshots() []pmu.Snapshot {
+	out := make([]pmu.Snapshot, len(s.cores))
+	for i, c := range s.cores {
+		out[i] = c.PMU().Snapshot()
+	}
+	return out
+}
+
+// Deltas returns per-core samples since the given snapshots.
+func (s *System) Deltas(since []pmu.Snapshot) []pmu.Sample {
+	out := make([]pmu.Sample, len(s.cores))
+	for i, c := range s.cores {
+		out[i] = c.PMU().Snapshot().Delta(since[i])
+	}
+	return out
+}
+
+// IPCs extracts each core's IPC from a slice of samples.
+func IPCs(samples []pmu.Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, sm := range samples {
+		out[i] = sm.IPC()
+	}
+	return out
+}

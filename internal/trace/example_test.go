@@ -1,0 +1,30 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cmm/internal/trace"
+	"cmm/internal/workload"
+)
+
+// Record a benchmark's reference stream and replay it as a generator.
+func ExampleRecord() {
+	spec, _ := workload.ByName("462.libquantum")
+	gen, _ := workload.New(spec, 1)
+
+	var buf bytes.Buffer
+	if err := trace.Record(&buf, gen, 1000); err != nil {
+		panic(err)
+	}
+
+	rep, err := trace.NewReplayer(bytes.NewReader(buf.Bytes()), spec)
+	if err != nil {
+		panic(err)
+	}
+	pc, addr := rep.Next()
+	fmt.Printf("benchmark %s, %d refs, first ref pc=%#x addr=%#x\n",
+		rep.Spec().Name, rep.Len(), pc, addr)
+	// Output:
+	// benchmark 462.libquantum, 1000 refs, first ref pc=0x400000 addr=0x0
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the trace reader: it must never
+// panic or loop, only return data or an error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := tw.Add(i, i*64); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[1:])
+	f.Add([]byte{})
+	f.Add([]byte("CMMTRC\x00\x01\x04seedgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, pcs, addrs, err := ReadAll(bytes.NewReader(data))
+		if err == nil && len(pcs) != len(addrs) {
+			t.Fatalf("pc/addr length mismatch: %d vs %d", len(pcs), len(addrs))
+		}
+	})
+}
+
+// FuzzRoundTrip checks arbitrary reference pairs survive encode/decode.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1), uint64(64))
+	f.Add(^uint64(0), uint64(0), uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, pc1, addr1, pc2, addr2 uint64) {
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, "fz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Add(pc1, addr1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Add(pc2, addr2); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		_, pcs, addrs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pcs[0] != pc1 || addrs[0] != addr1 || pcs[1] != pc2 || addrs[1] != addr2 {
+			t.Fatalf("round trip lost data: %v %v", pcs, addrs)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package workload
+
+// The benchmark suite: synthetic analogues of the SPEC CPU2006 programs the
+// paper characterises in Figs. 1–3, plus its "Rand Access" microbenchmark.
+// Parameters are calibrated so the *classification* the paper's mechanisms
+// depend on comes out the same way (see internal/experiments and the
+// calibration tests), not so absolute numbers match a proprietary binary.
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// Suite returns the full benchmark table. The returned slice is fresh on
+// every call; callers may reorder it.
+func Suite() []Spec {
+	return []Spec{
+		// --- Prefetch friendly AND aggressive: large streaming codes.
+		{Name: "410.bwaves", Analogue: "SPEC fluid dynamics, multi-stream", Pattern: Stream,
+			WorkingSet: 64 * mb, StepBytes: 16, Streams: 3, StoreFrac: 0.25, GapInstrs: 2, MLP: 6},
+		{Name: "462.libquantum", Analogue: "SPEC quantum sim, single hot stream", Pattern: Stream,
+			WorkingSet: 48 * mb, StepBytes: 8, Streams: 1, StoreFrac: 0.2, GapInstrs: 1, MLP: 8},
+		{Name: "437.leslie3d", Analogue: "SPEC CFD, several concurrent streams", Pattern: Stream,
+			WorkingSet: 64 * mb, StepBytes: 16, Streams: 4, StoreFrac: 0.25, GapInstrs: 3, MLP: 5},
+		{Name: "459.GemsFDTD", Analogue: "SPEC EM solver, long sweeps", Pattern: Stream,
+			WorkingSet: 96 * mb, StepBytes: 16, Streams: 2, StoreFrac: 0.25, GapInstrs: 2, MLP: 6},
+		{Name: "481.wrf", Analogue: "SPEC weather model", Pattern: Stream,
+			WorkingSet: 48 * mb, StepBytes: 32, Streams: 2, StoreFrac: 0.2, GapInstrs: 4, MLP: 4},
+		{Name: "433.milc", Analogue: "SPEC lattice QCD", Pattern: Stream,
+			WorkingSet: 64 * mb, StepBytes: 32, Streams: 2, StoreFrac: 0.3, GapInstrs: 3, MLP: 4},
+		{Name: "470.lbm", Analogue: "SPEC lattice Boltzmann", Pattern: Stream,
+			WorkingSet: 64 * mb, StepBytes: 16, Streams: 2, StoreFrac: 0.4, GapInstrs: 2, MLP: 6},
+		{Name: "434.zeusmp", Analogue: "SPEC astrophysics CFD", Pattern: Stream,
+			WorkingSet: 32 * mb, StepBytes: 32, Streams: 3, StoreFrac: 0.3, GapInstrs: 4, MLP: 4},
+		{Name: "482.sphinx3", Analogue: "SPEC speech recognition", Pattern: Stream,
+			WorkingSet: 24 * mb, StepBytes: 16, Streams: 1, StoreFrac: 0.15, GapInstrs: 3, MLP: 4},
+		{Name: "436.cactusADM", Analogue: "SPEC relativity, strided grid walk", Pattern: Strided,
+			WorkingSet: 48 * mb, StrideBytes: 192, StoreFrac: 0.3, GapInstrs: 4, MLP: 4},
+
+		// --- Prefetch unfriendly AND aggressive: the paper's Rand Access
+		// microbenchmark ("random access in a large memory region" whose
+		// short runs keep triggering useless prefetch streams), in three
+		// sizes so Pref Unfri mixes can draw four distinct instances.
+		{Name: "rand_access", Analogue: "paper's Rand Access microbenchmark", Pattern: RandBurst,
+			WorkingSet: 512 * mb, Burst: 1, GapInstrs: 2, MLP: 4},
+		{Name: "rand_access.B", Analogue: "Rand Access, smaller region, short runs", Pattern: RandBurst,
+			WorkingSet: 384 * mb, Burst: 1, GapInstrs: 1, MLP: 4},
+		{Name: "rand_access.C", Analogue: "Rand Access, larger region", Pattern: RandBurst,
+			WorkingSet: 768 * mb, Burst: 1, GapInstrs: 3, MLP: 3},
+		{Name: "rand_access.D", Analogue: "Rand Access, tight loop", Pattern: RandBurst,
+			WorkingSet: 448 * mb, Burst: 1, GapInstrs: 1, MLP: 4},
+
+		// --- LLC sensitive, not prefetch aggressive: reuse-heavy codes
+		// whose performance tracks allocated LLC ways (Fig. 3 right side).
+		{Name: "429.mcf", Analogue: "SPEC network simplex, random reuse", Pattern: RandomLine,
+			WorkingSet: 12 * mb, Locality: 0.3, StoreFrac: 0.2, GapInstrs: 4, MLP: 2},
+		{Name: "471.omnetpp", Analogue: "SPEC discrete event sim, pointer chase", Pattern: PointerChase,
+			WorkingSet: 8 * mb, StoreFrac: 0.3, GapInstrs: 6, MLP: 1},
+		{Name: "483.xalancbmk", Analogue: "SPEC XSLT, pointer heavy", Pattern: RandomLine,
+			WorkingSet: 9 * mb, Locality: 0.1, StoreFrac: 0.2, GapInstrs: 8, MLP: 1},
+		{Name: "450.soplex", Analogue: "SPEC LP solver, sparse reuse", Pattern: RandomLine,
+			WorkingSet: 10 * mb, Locality: 0.2, StoreFrac: 0.2, GapInstrs: 6, MLP: 2},
+		{Name: "473.astar", Analogue: "SPEC path finding", Pattern: RandomLine,
+			WorkingSet: 8 * mb, Locality: 0.15, StoreFrac: 0.2, GapInstrs: 10, MLP: 1},
+		{Name: "403.gcc", Analogue: "SPEC compiler, medium footprint", Pattern: RandomLine,
+			WorkingSet: 2 * mb, Locality: 0.4, StoreFrac: 0.2, GapInstrs: 8, MLP: 2},
+
+		// --- Not demand intensive: compute-bound, cache resident.
+		{Name: "453.povray", Analogue: "SPEC ray tracing", Pattern: Compute,
+			WorkingSet: 64 * kb, StoreFrac: 0.1, GapInstrs: 20, MLP: 1},
+		{Name: "444.namd", Analogue: "SPEC molecular dynamics", Pattern: Compute,
+			WorkingSet: 128 * kb, StoreFrac: 0.1, GapInstrs: 16, MLP: 1},
+		{Name: "416.gamess", Analogue: "SPEC quantum chemistry", Pattern: Compute,
+			WorkingSet: 96 * kb, StoreFrac: 0.1, GapInstrs: 24, MLP: 1},
+		{Name: "445.gobmk", Analogue: "SPEC go engine", Pattern: Compute,
+			WorkingSet: 256 * kb, StoreFrac: 0.15, GapInstrs: 14, MLP: 1},
+		{Name: "458.sjeng", Analogue: "SPEC chess engine", Pattern: Compute,
+			WorkingSet: 512 * kb, StoreFrac: 0.15, GapInstrs: 12, MLP: 1},
+		{Name: "435.gromacs", Analogue: "SPEC molecular dynamics", Pattern: Compute,
+			WorkingSet: 192 * kb, StoreFrac: 0.1, GapInstrs: 18, MLP: 1},
+		// h264ref's hot streams fit in L2: its prefetches mostly *hit* L2,
+		// which is exactly the high-prefetch-locality case the front end's
+		// L2 PMR filter (M-5) exists to exclude.
+		{Name: "464.h264ref", Analogue: "SPEC video encoder, L2-resident streams", Pattern: Stream,
+			WorkingSet: 192 * kb, StepBytes: 16, Streams: 1, StoreFrac: 0.2, GapInstrs: 8, MLP: 2},
+		{Name: "400.perlbench", Analogue: "SPEC interpreter, small heap", Pattern: RandomLine,
+			WorkingSet: 1 * mb, Locality: 0.5, StoreFrac: 0.2, GapInstrs: 10, MLP: 2},
+	}
+}
+
+// ByName returns the spec with the given name from the suite.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the suite's benchmark names in table order.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, s := range suite {
+		names[i] = s.Name
+	}
+	return names
+}
