@@ -11,7 +11,9 @@
 package cmm_test
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -378,5 +380,41 @@ func BenchmarkExtensionMBA(b *testing.B) {
 			ev := evaluateMix(b, mixes.PrefAgg, policy)
 			b.ReportMetric(ev.NormWS, "ws_"+strings.ReplaceAll(policy, "-", "_"))
 		}
+	}
+}
+
+// BenchmarkComparisonWorkers measures the parallel experiment engine:
+// the same cut-down comparison with the serial Workers=1 path vs one
+// worker per CPU. The sweep's wall-clock ratio is the engine's speedup
+// (≈ min(NumCPU, runs) on idle multicore hardware; no gain on 1 CPU).
+// Every variant produces bit-identical results — only the wall clock may
+// differ.
+func BenchmarkComparisonWorkers(b *testing.B) {
+	opts := experiments.QuickOptions()
+	opts.CMM.ExecutionEpoch = 400_000
+	opts.CMM.SamplingInterval = 40_000
+	opts.WarmEpochs = 0
+	opts.MeasureEpochs = 1
+	opts.SoloWarmCycles = 400_000
+	opts.SoloMeasureCycles = 400_000
+	opts.MixesPerCategory = 1
+	var policies []icmm.Policy
+	for _, n := range []string{"PT", "CMM-a"} {
+		p, ok := icmm.PolicyByName(n)
+		if !ok {
+			b.Fatalf("unknown policy %s", n)
+		}
+		policies = append(policies, p)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunComparison(o, policies); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

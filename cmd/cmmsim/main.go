@@ -9,11 +9,17 @@
 //	cmmsim -fig 7                   # Fig. 7: PT normalized HS/WS
 //	cmmsim -fig 13 -full            # Fig. 13: all 7 mechanisms, full size
 //	cmmsim -fig comparison -csv     # all policy metrics as CSV
+//	cmmsim -fig 13 -workers 8 -progress  # fan runs over 8 workers
 //
 // Figures 7–15 share one comparison dataset; requesting any of them runs
 // the whole set of policies the figure needs. -quick (default) uses 2
 // mixes per category and short epochs; -full uses the paper's 10 mixes
 // per category and longer windows.
+//
+// Simulation runs fan out across -workers goroutines (default: one per
+// CPU). The output is deterministic: any worker count produces the
+// identical tables, because results are keyed by (mix, policy, seed)
+// index, never by completion order.
 package main
 
 import (
@@ -30,13 +36,15 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15 or 'comparison'")
-		table1 = flag.Bool("table1", false, "print Table I")
-		full   = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
-		csv    = flag.Bool("csv", false, "emit comparison data as CSV instead of tables")
-		seeds  = flag.Int("seeds", 0, "override the number of run seeds (0 = option default)")
-		mixesN = flag.Int("mixes", 0, "override mixes per category (0 = option default)")
-		out    = flag.String("out", "", "write output to file instead of stdout")
+		fig      = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15 or 'comparison'")
+		table1   = flag.Bool("table1", false, "print Table I")
+		full     = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
+		csv      = flag.Bool("csv", false, "emit comparison data as CSV instead of tables")
+		seeds    = flag.Int("seeds", 0, "override the number of run seeds (0 = option default)")
+		mixesN   = flag.Int("mixes", 0, "override mixes per category (0 = option default)")
+		out      = flag.String("out", "", "write output to file instead of stdout")
+		workers  = flag.Int("workers", 0, "concurrent simulation runs (0 = NumCPU, 1 = serial); any value produces identical output")
+		progress = flag.Bool("progress", false, "report per-run progress on stderr")
 	)
 	flag.Parse()
 
@@ -71,6 +79,15 @@ func main() {
 	}
 	if *mixesN > 0 {
 		opts.MixesPerCategory = *mixesN
+	}
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
 	switch *fig {

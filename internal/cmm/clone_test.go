@@ -1,0 +1,115 @@
+package cmm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// clonePolicies is every registered back end, paper set and extensions.
+func clonePolicies() []Policy {
+	return append(Policies(), ExtensionPolicies()...)
+}
+
+// cloneTestTarget builds a fresh deterministic fake machine with one
+// aggressive core so every policy exercises its full decision path
+// (detection, friendliness split, throttling/partitioning).
+func cloneTestTarget() *fakeTarget {
+	return newFakeTarget([]fakeCore{
+		{ipcOn: 1.2, ipcOff: 1.1, aggressive: true, victimPenalty: 0.2},
+		{ipcOn: 0.9, ipcOff: 0.8},
+		{ipcOn: 1.6, ipcOff: 1.0},
+		{ipcOn: 0.7, ipcOff: 0.7},
+	})
+}
+
+// runEpochs drives a policy over a fresh fake target via the controller
+// and returns the decisions it took.
+func runEpochs(t *testing.T, p Policy, epochs int) []Decision {
+	t.Helper()
+	ctrl, err := NewController(DefaultConfig(), cloneTestTarget(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RunEpochs(epochs); err != nil {
+		t.Fatal(err)
+	}
+	return ctrl.Decisions()
+}
+
+// TestPolicyCloneIndependence is the per-run isolation contract behind the
+// parallel experiment engine: every registered policy's Clone must be an
+// independent instance — same name, not an aliased pointer, and two clones
+// driven over identical machines must behave identically to the original,
+// proving no run-to-run state leaks through the clone.
+func TestPolicyCloneIndependence(t *testing.T) {
+	for _, p := range clonePolicies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			c := p.Clone()
+			if c == nil {
+				t.Fatal("Clone returned nil")
+			}
+			if got, want := c.Name(), p.Name(); got != want {
+				t.Fatalf("clone name %q, want %q", got, want)
+			}
+			// A pointer-typed policy must not hand back the same instance:
+			// that would alias mutable state across concurrent runs.
+			if v := reflect.ValueOf(p); v.Kind() == reflect.Ptr {
+				if reflect.ValueOf(c).Pointer() == v.Pointer() {
+					t.Fatal("Clone returned the original pointer")
+				}
+			}
+			// Original and clone must take identical decisions on
+			// identical machines, before and after the other has run —
+			// mutating one run's sampling state must not leak into the
+			// other.
+			want := runEpochs(t, p.Clone(), 3)
+			runEpochs(t, p, 3) // churn the original's state, if any
+			got := runEpochs(t, p.Clone(), 3)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("clone decisions diverged after original ran:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestPolicyCloneConcurrentRuns drives many clones of every policy
+// concurrently, each over its own fake machine. Run under -race this
+// verifies two concurrent runs never share mutable policy state — the
+// exact situation the parallel experiment engine creates.
+func TestPolicyCloneConcurrentRuns(t *testing.T) {
+	for _, p := range clonePolicies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			const runs = 4
+			decisions := make([][]Decision, runs)
+			var wg sync.WaitGroup
+			for i := 0; i < runs; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctrl, err := NewController(DefaultConfig(), cloneTestTarget(), p.Clone())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := ctrl.RunEpochs(2); err != nil {
+						t.Error(err)
+						return
+					}
+					decisions[i] = ctrl.Decisions()
+				}()
+			}
+			wg.Wait()
+			for i := 1; i < runs; i++ {
+				if !reflect.DeepEqual(decisions[i], decisions[0]) {
+					t.Fatalf("concurrent run %d diverged from run 0:\n got %+v\nwant %+v",
+						i, decisions[i], decisions[0])
+				}
+			}
+		})
+	}
+}

@@ -52,6 +52,9 @@ type Coordinated struct {
 // Name implements Policy.
 func (p Coordinated) Name() string { return p.Variant.String() }
 
+// Clone implements Policy; the variant selector is the only state.
+func (p Coordinated) Clone() Policy { return p }
+
 // Epoch implements Policy.
 func (p Coordinated) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
 	// Sampling interval 1: all prefetchers on — detection statistics.

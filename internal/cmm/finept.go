@@ -33,6 +33,9 @@ var fineBits = []uint64{
 // Name implements Policy.
 func (FinePT) Name() string { return "PT-fine" }
 
+// Clone implements Policy; the greedy search state lives inside Epoch.
+func (p FinePT) Clone() Policy { return p }
+
 // Epoch implements Policy.
 func (FinePT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
 	if err := setPrefetchers(t, nil); err != nil {

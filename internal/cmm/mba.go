@@ -20,6 +20,9 @@ type CoordinatedMBA struct{}
 // Name implements Policy.
 func (CoordinatedMBA) Name() string { return "CMM-mba" }
 
+// Clone implements Policy; CoordinatedMBA is stateless.
+func (p CoordinatedMBA) Clone() Policy { return p }
+
 // mbaCLOSFriendly and mbaCLOSUnfriendly are the classes of service the
 // policy uses for the two partitions.
 const (

@@ -73,6 +73,9 @@ type Dunn struct{}
 // Name implements Policy.
 func (Dunn) Name() string { return "Dunn" }
 
+// Clone implements Policy; Dunn is stateless.
+func (p Dunn) Clone() Policy { return p }
+
 // Epoch implements Policy.
 func (Dunn) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
 	if err := setPrefetchers(t, nil); err != nil {
@@ -136,6 +139,9 @@ type PrefCP struct{}
 // Name implements Policy.
 func (PrefCP) Name() string { return "Pref-CP" }
 
+// Clone implements Policy; PrefCP is stateless.
+func (p PrefCP) Clone() Policy { return p }
+
 // Epoch implements Policy.
 func (PrefCP) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
 	if err := setPrefetchers(t, nil); err != nil {
@@ -172,6 +178,9 @@ type PrefCP2 struct{}
 
 // Name implements Policy.
 func (PrefCP2) Name() string { return "Pref-CP2" }
+
+// Clone implements Policy; PrefCP2 is stateless.
+func (p PrefCP2) Clone() Policy { return p }
 
 // Epoch implements Policy.
 func (PrefCP2) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {

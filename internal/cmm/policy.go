@@ -45,6 +45,12 @@ type Policy interface {
 	// Epoch consumes the finished execution epoch's samples, profiles as
 	// needed, and applies a resource allocation.
 	Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error)
+	// Clone returns an independent instance for one run. The experiment
+	// engine executes many runs of the same policy concurrently, so two
+	// runs must never alias mutable policy state: implementations that
+	// accumulate sampling or profiling state across epochs must deep-copy
+	// it here. Stateless value policies simply return themselves.
+	Clone() Policy
 }
 
 // targetBank adapts a Target to msr.Bank so cat.Allocator can program CAT
@@ -92,6 +98,9 @@ type Baseline struct{}
 
 // Name implements Policy.
 func (Baseline) Name() string { return "baseline" }
+
+// Clone implements Policy; Baseline is stateless.
+func (p Baseline) Clone() Policy { return p }
 
 // Epoch implements Policy: it (re)asserts the reset state.
 func (Baseline) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
@@ -215,6 +224,10 @@ type PT struct{}
 
 // Name implements Policy.
 func (PT) Name() string { return "PT" }
+
+// Clone implements Policy; PT keeps all sampling state within one Epoch
+// call, so a value copy is a fully independent instance.
+func (p PT) Clone() Policy { return p }
 
 // Epoch implements Policy.
 func (PT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {

@@ -6,6 +6,7 @@ import (
 	"cmm/internal/mem"
 	"cmm/internal/mixes"
 	"cmm/internal/msr"
+	"cmm/internal/parallel"
 	"cmm/internal/pmu"
 	"cmm/internal/sim"
 	"cmm/internal/workload"
@@ -65,22 +66,28 @@ type Fig1Row struct {
 
 // Characterize runs each benchmark solo with prefetchers on and off and
 // derives both Fig. 1 (bandwidth) and Fig. 2 (speedup) rows from the same
-// pair of runs.
+// pair of runs. The per-benchmark off/on run pairs are independent solo
+// simulations, so they fan out across Options.Workers; rows are assembled
+// by benchmark index, keeping the output identical for any worker count.
 func Characterize(opts Options, specs []workload.Spec) ([]Fig1Row, []Fig2Row, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, nil, err
 	}
-	var f1 []Fig1Row
-	var f2 []Fig2Row
-	for _, spec := range specs {
+	f1 := make([]Fig1Row, len(specs))
+	f2 := make([]Fig2Row, len(specs))
+	prog := newProgress(opts, 2*len(specs))
+	err := parallel.ForEach(opts.Workers, len(specs), func(i int) error {
+		spec := specs[i]
 		off, err := runSolo(opts, spec, opts.BaseSeed, msr.DisableAll, 0)
 		if err != nil {
-			return nil, nil, fmt.Errorf("characterize %s off: %w", spec.Name, err)
+			return fmt.Errorf("characterize %s off: %w", spec.Name, err)
 		}
+		prog.tick()
 		on, err := runSolo(opts, spec, opts.BaseSeed, 0, 0)
 		if err != nil {
-			return nil, nil, fmt.Errorf("characterize %s on: %w", spec.Name, err)
+			return fmt.Errorf("characterize %s on: %w", spec.Name, err)
 		}
+		prog.tick()
 		r1 := Fig1Row{
 			Benchmark:   spec.Name,
 			DemandGBs:   off.TotalBW,
@@ -90,12 +97,16 @@ func Characterize(opts Options, specs []workload.Spec) ([]Fig1Row, []Fig2Row, er
 		if off.TotalBW > 0 {
 			r1.IncreasePct = (on.TotalBW - off.TotalBW) / off.TotalBW * 100
 		}
-		f1 = append(f1, r1)
+		f1[i] = r1
 		r2 := Fig2Row{Benchmark: spec.Name, IPCOn: on.IPC, IPCOff: off.IPC}
 		if off.IPC > 0 {
 			r2.SpeedupPct = (on.IPC/off.IPC - 1) * 100
 		}
-		f2 = append(f2, r2)
+		f2[i] = r2
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return f1, f2, nil
 }
@@ -140,28 +151,42 @@ func Fig3(opts Options) ([]Fig3Row, error) {
 	return Fig3Of(opts, workload.Suite(), Fig3Ways)
 }
 
-// Fig3Of sweeps the given way counts for the given benchmarks.
+// Fig3Of sweeps the given way counts for the given benchmarks. Every
+// (benchmark, ways) point is an independent solo run, so the full sweep
+// fans out across Options.Workers; IPC values land in (benchmark, ways)
+// slots and the needs-derivation runs serially afterwards, keeping the
+// rows identical for any worker count.
 func Fig3Of(opts Options, specs []workload.Spec, ways []int) ([]Fig3Row, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	var rows []Fig3Row
-	for _, spec := range specs {
-		row := Fig3Row{Benchmark: spec.Name, Ways: ways}
+	rows := make([]Fig3Row, len(specs))
+	for i, spec := range specs {
+		rows[i] = Fig3Row{Benchmark: spec.Name, Ways: ways, IPC: make([]float64, len(ways))}
+	}
+	prog := newProgress(opts, len(specs)*len(ways))
+	err := parallel.ForEach(opts.Workers, len(specs)*len(ways), func(j int) error {
+		si, wi := j/len(ways), j%len(ways)
+		r, err := runSolo(opts, specs[si], opts.BaseSeed, 0, ways[wi])
+		if err != nil {
+			return fmt.Errorf("fig3 %s %d ways: %w", specs[si].Name, ways[wi], err)
+		}
+		rows[si].IPC[wi] = r.IPC
+		prog.tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
 		peak := 0.0
-		for _, w := range ways {
-			r, err := runSolo(opts, spec, opts.BaseSeed, 0, w)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s %d ways: %w", spec.Name, w, err)
-			}
-			row.IPC = append(row.IPC, r.IPC)
-			if r.IPC > peak {
-				peak = r.IPC
+		for _, ipc := range rows[i].IPC {
+			if ipc > peak {
+				peak = ipc
 			}
 		}
-		row.Needs80 = needsWays(row, 0.8*peak)
-		row.Needs90 = needsWays(row, 0.9*peak)
-		rows = append(rows, row)
+		rows[i].Needs80 = needsWays(rows[i], 0.8*peak)
+		rows[i].Needs90 = needsWays(rows[i], 0.9*peak)
 	}
 	return rows, nil
 }

@@ -43,6 +43,9 @@ func TestClassificationMatchesStaticTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("characterisation is slow")
 	}
+	if raceEnabled {
+		t.Skip("serial calibration test; ~10x slower under -race with no added coverage")
+	}
 	opts := QuickOptions()
 	opts.SoloWarmCycles = 30_000_000
 	opts.SoloMeasureCycles = 10_000_000

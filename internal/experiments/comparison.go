@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"cmm/internal/cmm"
 	"cmm/internal/metrics"
 	"cmm/internal/mixes"
+	"cmm/internal/parallel"
 	"cmm/internal/pmu"
 	"cmm/internal/sim"
 	"cmm/internal/workload"
@@ -91,27 +93,77 @@ type Comparison struct {
 	Results map[string][]MixResult
 }
 
-// soloIPCCache memoizes per-benchmark alone-IPC (needed by HS).
+// soloIPCCache memoizes per-benchmark alone-IPC (needed by HS). It is
+// safe for concurrent use: the map is mutex-guarded and solo runs execute
+// outside the lock. Two goroutines missing the same benchmark at once may
+// both run it, but runSolo is deterministic for fixed options and seed, so
+// they store the identical value — the engine precomputes the cache up
+// front anyway, making get a pure cache hit during scoring.
 type soloIPCCache struct {
 	opts Options
+	mu   sync.Mutex
 	m    map[string]float64
 }
 
+func newSoloIPCCache(opts Options) *soloIPCCache {
+	return &soloIPCCache{opts: opts, m: map[string]float64{}}
+}
+
 func (c *soloIPCCache) get(spec workload.Spec) (float64, error) {
-	if v, ok := c.m[spec.Name]; ok {
+	c.mu.Lock()
+	v, ok := c.m[spec.Name]
+	c.mu.Unlock()
+	if ok {
 		return v, nil
 	}
 	r, err := runSolo(c.opts, spec, c.opts.BaseSeed, 0, 0)
 	if err != nil {
 		return 0, err
 	}
+	c.mu.Lock()
 	c.m[spec.Name] = r.IPC
+	c.mu.Unlock()
 	return r.IPC, nil
+}
+
+// precompute fills the cache for every benchmark appearing in the mixes,
+// fanning the solo runs out across the worker pool.
+func (c *soloIPCCache) precompute(specs []workload.Spec, workers int, prog *progressCounter) error {
+	return parallel.ForEach(workers, len(specs), func(i int) error {
+		if _, err := c.get(specs[i]); err != nil {
+			return fmt.Errorf("alone IPC %s: %w", specs[i].Name, err)
+		}
+		prog.tick()
+		return nil
+	})
+}
+
+// uniqueSpecs lists each distinct benchmark of the mixes once, in first-
+// appearance order.
+func uniqueSpecs(ms []mixes.Mix) []workload.Spec {
+	seen := map[string]bool{}
+	var out []workload.Spec
+	for _, m := range ms {
+		for _, s := range m.Specs {
+			if !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
 }
 
 // RunComparison measures every mix under every given policy (plus the
 // baseline), computing all Figs. 7–15 metrics. Policies are identified by
 // their report names; pass cmm.Policies()[1:] for the paper's full set.
+//
+// Every (mix, policy, seed) simulation run is independent, so the engine
+// fans them out across Options.Workers goroutines; each run drives its own
+// simulator instance and a Clone of the policy, so no two runs alias
+// mutable state. Results land in slots keyed by (mix, policy, seed) index
+// and the final scoring pass walks them in deterministic order — the
+// output is bit-identical for any worker count.
 func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -132,13 +184,60 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 		}
 	}
 
-	solo := &soloIPCCache{opts: opts, m: map[string]float64{}}
 	comp := &Comparison{Options: opts, Mixes: selected, Results: map[string][]MixResult{}}
 	for _, p := range policies {
 		comp.Policies = append(comp.Policies, p.Name())
 	}
 
-	for _, mix := range selected {
+	// Run index 0 is the baseline; index i+1 is policies[i].
+	runPolicies := append([]cmm.Policy{cmm.Baseline{}}, policies...)
+	solo := newSoloIPCCache(opts)
+	uniq := uniqueSpecs(selected)
+	nRuns := len(selected) * len(runPolicies) * len(opts.Seeds)
+	prog := newProgress(opts, len(uniq)+nRuns)
+
+	// Phase 1: per-benchmark alone-IPC runs (needed by HS), in parallel.
+	if err := solo.precompute(uniq, opts.Workers, prog); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: every (mix, policy, seed) run, in parallel. runs[mi][pi]
+	// holds per-seed results for mix mi under runPolicies[pi].
+	runs := make([][][]policyRun, len(selected))
+	for mi := range runs {
+		runs[mi] = make([][]policyRun, len(runPolicies))
+		for pi := range runs[mi] {
+			runs[mi][pi] = make([]policyRun, len(opts.Seeds))
+		}
+	}
+	type job struct{ mi, pi, si int }
+	jobs := make([]job, 0, nRuns)
+	for mi := range selected {
+		for pi := range runPolicies {
+			for si := range opts.Seeds {
+				jobs = append(jobs, job{mi, pi, si})
+			}
+		}
+	}
+	err = parallel.ForEach(opts.Workers, len(jobs), func(j int) error {
+		jb := jobs[j]
+		mix, p := selected[jb.mi], runPolicies[jb.pi]
+		r, err := runPolicy(opts, mix, p.Clone(), opts.Seeds[jb.si])
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", mix.Name, p.Name(), err)
+		}
+		runs[jb.mi][jb.pi][jb.si] = r
+		prog.tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: serial scoring in mix/policy order — cheap arithmetic whose
+	// inputs are already fixed, so the reduction order (and therefore the
+	// floating-point result) never depends on run completion order.
+	for mi, mix := range selected {
 		alone := make([]float64, len(mix.Specs))
 		for i, spec := range mix.Specs {
 			a, err := solo.get(spec)
@@ -147,17 +246,9 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 			}
 			alone[i] = a
 		}
-		// Baseline runs, one per seed.
-		base := make([]policyRun, len(opts.Seeds))
-		for si, seed := range opts.Seeds {
-			b, err := runPolicy(opts, mix, cmm.Baseline{}, seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s baseline: %w", mix.Name, err)
-			}
-			base[si] = b
-		}
-		for _, p := range policies {
-			res, err := scorePolicy(opts, mix, p, alone, base)
+		base := runs[mi][0]
+		for pi, p := range policies {
+			res, err := scoreRuns(opts, mix, runs[mi][pi+1], alone, base)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", mix.Name, p.Name(), err)
 			}
@@ -167,15 +258,13 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 	return comp, nil
 }
 
-// scorePolicy runs a policy across all seeds and reduces to the median.
-func scorePolicy(opts Options, mix mixes.Mix, p cmm.Policy, alone []float64, base []policyRun) (MixResult, error) {
+// scoreRuns reduces one policy's per-seed runs on one mix to the median
+// MixResult, normalizing each seed against the same-seed baseline run.
+func scoreRuns(opts Options, mix mixes.Mix, seedRuns []policyRun, alone []float64, base []policyRun) (MixResult, error) {
 	var hs, ws, wc, bw, st []float64
 	worstBench := ""
-	for si, seed := range opts.Seeds {
-		run, err := runPolicy(opts, mix, p, seed)
-		if err != nil {
-			return MixResult{}, err
-		}
+	for si := range opts.Seeds {
+		run := seedRuns[si]
 		b := base[si]
 		worstCore, worstRatio := 0, run.IPC[0]/b.IPC[0]
 		for c := 1; c < len(run.IPC); c++ {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"cmm/internal/cmm"
@@ -14,6 +15,25 @@ func shapeOptions() Options {
 	o := QuickOptions()
 	o.MixesPerCategory = 1
 	return o
+}
+
+// quickComparison runs the all-policy quick-mode comparison once per test
+// process; TestComparisonShapes and the Fig. 13 golden test share it.
+var (
+	quickCompOnce sync.Once
+	quickComp     *Comparison
+	quickCompErr  error
+)
+
+func quickComparison(t *testing.T) *Comparison {
+	t.Helper()
+	quickCompOnce.Do(func() {
+		quickComp, quickCompErr = RunComparison(shapeOptions(), cmm.Policies()[1:])
+	})
+	if quickCompErr != nil {
+		t.Fatal(quickCompErr)
+	}
+	return quickComp
 }
 
 // TestComparisonShapes is the end-to-end check that the paper's headline
@@ -31,11 +51,10 @@ func TestComparisonShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("comparison runs are slow")
 	}
-	opts := shapeOptions()
-	comp, err := RunComparison(opts, cmm.Policies()[1:])
-	if err != nil {
-		t.Fatal(err)
+	if raceEnabled {
+		t.Skip("serial calibration test; ~10x slower under -race with no added coverage")
 	}
+	comp := quickComparison(t)
 	mean := func(policy string, cat mixes.Category, metric func(MixResult) float64) float64 {
 		return comp.CategoryMeans(policy, metric)[cat]
 	}

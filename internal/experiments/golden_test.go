@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current run")
+
+// goldenFig13 is the snapshot of the quick-mode Fig. 13 comparison kept in
+// testdata/. It pins every MixResult bit-for-bit, so any change to the
+// simulator, the policies or the experiment engine that moves the science
+// shows up as an explicit diff (regenerate with `go test -run
+// TestGoldenFig13Shape -update` and review the numbers) instead of
+// slipping through.
+type goldenFig13 struct {
+	Policies   []string
+	Mixes      []string
+	MeanNormHS map[string]float64
+	Results    map[string][]MixResult
+}
+
+func snapshotFig13(c *Comparison) goldenFig13 {
+	g := goldenFig13{
+		Policies:   c.Policies,
+		MeanNormHS: map[string]float64{},
+		Results:    c.Results,
+	}
+	for _, m := range c.Mixes {
+		g.Mixes = append(g.Mixes, m.Name)
+	}
+	for _, p := range c.Policies {
+		sum := 0.0
+		for _, r := range c.Results[p] {
+			sum += r.NormHS
+		}
+		g.MeanNormHS[p] = sum / float64(len(c.Results[p]))
+	}
+	return g
+}
+
+// assertFig13Ordering checks the paper's headline ordering on the mean
+// normalized HS across all mixes (Fig. 13): the coordinated mechanisms
+// that keep the whole Agg set out of the way (CMM-a, CMM-c) beat CMM-b,
+// CMM-b at least matches the best partitioning-only mechanism, and every
+// coordinated mechanism beats plain prefetch throttling. The epsilon
+// absorbs harmless float jitter without letting a real inversion pass.
+func assertFig13Ordering(t *testing.T, label string, mean map[string]float64) {
+	t.Helper()
+	const eps = 1e-9
+	geq := func(hi, lo string) {
+		t.Helper()
+		if mean[hi] < mean[lo]-eps {
+			t.Errorf("%s: paper ordering bent: mean NormHS %s (%.6f) < %s (%.6f)",
+				label, hi, mean[hi], lo, mean[lo])
+		}
+	}
+	geq("CMM-a", "CMM-b")
+	geq("CMM-c", "CMM-b")
+	bestCP := "Dunn"
+	for _, p := range []string{"Pref-CP", "Pref-CP2"} {
+		if mean[p] > mean[bestCP] {
+			bestCP = p
+		}
+	}
+	geq("CMM-b", bestCP)
+	for _, p := range []string{"CMM-a", "CMM-b", "CMM-c"} {
+		geq(p, "PT")
+	}
+}
+
+// TestGoldenFig13Shape replays the quick-mode Fig. 13 comparison against
+// the snapshot in testdata/ and asserts the paper's ordering invariants on
+// both the golden and the fresh run, so future performance work can
+// neither silently shift the numbers nor bend the science.
+func TestGoldenFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison runs are slow")
+	}
+	if raceEnabled {
+		t.Skip("serial calibration test; ~10x slower under -race with no added coverage")
+	}
+	comp := quickComparison(t)
+	got := snapshotFig13(comp)
+	assertFig13Ordering(t, "current run", got.MeanNormHS)
+
+	path := filepath.Join("testdata", "fig13_quick.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want goldenFig13
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	assertFig13Ordering(t, "golden snapshot", want.MeanNormHS)
+
+	if !reflect.DeepEqual(got.Policies, want.Policies) {
+		t.Errorf("policies: got %v, want %v", got.Policies, want.Policies)
+	}
+	if !reflect.DeepEqual(got.Mixes, want.Mixes) {
+		t.Errorf("mixes: got %v, want %v", got.Mixes, want.Mixes)
+	}
+	for _, p := range want.Policies {
+		w, g := want.Results[p], got.Results[p]
+		if len(w) != len(g) {
+			t.Errorf("%s: %d results, want %d", p, len(g), len(w))
+			continue
+		}
+		for i := range w {
+			if !reflect.DeepEqual(g[i], w[i]) {
+				t.Errorf("%s mix %s drifted from golden:\n got %+v\nwant %+v",
+					p, w[i].Mix, g[i], w[i])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"cmm/internal/cmm"
 	"cmm/internal/sim"
@@ -36,6 +37,17 @@ type Options struct {
 	MixesPerCategory int
 	// BaseSeed feeds mix construction.
 	BaseSeed int64
+	// Workers bounds how many simulation runs execute concurrently.
+	// 0 means runtime.NumCPU(); 1 is the serial path (no goroutines).
+	// Results are keyed by index, never by completion order, so any
+	// worker count produces bit-identical output — see the Workers=8 vs
+	// Workers=1 equivalence test.
+	Workers int
+	// Progress, when non-nil, is invoked after each completed simulation
+	// run with the number done so far and the total planned for the
+	// current experiment. Invocations are serialized; the callback must
+	// not block for long (it holds up a worker).
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns the full-fidelity configuration used by the
@@ -88,6 +100,37 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiments: no seeds")
 	case o.MixesPerCategory < 1:
 		return fmt.Errorf("experiments: MixesPerCategory %d < 1", o.MixesPerCategory)
+	case o.Workers < 0:
+		return fmt.Errorf("experiments: Workers %d < 0", o.Workers)
 	}
 	return nil
+}
+
+// progressCounter serializes Options.Progress callbacks across workers.
+type progressCounter struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int)
+}
+
+// newProgress returns a counter for total runs, or nil when the options
+// carry no callback (the tick method is nil-safe).
+func newProgress(o Options, total int) *progressCounter {
+	if o.Progress == nil {
+		return nil
+	}
+	return &progressCounter{total: total, fn: o.Progress}
+}
+
+// tick records one completed run and reports it.
+func (p *progressCounter) tick() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	done, total := p.done, p.total
+	p.mu.Unlock()
+	p.fn(done, total)
 }

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cmm/internal/cmm"
+	"cmm/internal/workload"
+)
+
+// tinyOptions is the smallest configuration that still exercises the full
+// engine (4 mixes, baseline + policies, solo runs): short enough that the
+// determinism tests run in -short mode on every CI push.
+func tinyOptions() Options {
+	o := QuickOptions()
+	o.CMM.ExecutionEpoch = 400_000
+	o.CMM.SamplingInterval = 40_000
+	o.WarmEpochs = 0
+	o.MeasureEpochs = 1
+	o.SoloWarmCycles = 400_000
+	o.SoloMeasureCycles = 400_000
+	o.MixesPerCategory = 1
+	return o
+}
+
+func tinyPolicies(t testing.TB, names ...string) []cmm.Policy {
+	t.Helper()
+	ps := make([]cmm.Policy, len(names))
+	for i, n := range names {
+		p, ok := cmm.PolicyByName(n)
+		if !ok {
+			t.Fatalf("unknown policy %s", n)
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// TestParallelComparison_Equivalence is the engine's core determinism
+// guarantee: RunComparison with Workers=8 produces bit-identical
+// MixResults — all five normalized metrics plus WorstBenchmark — to the
+// serial Workers=1 path. reflect.DeepEqual over float64 fields is exact
+// bit comparison, not approximate.
+func TestParallelComparison_Equivalence(t *testing.T) {
+	policies := tinyPolicies(t, "PT", "CMM-a")
+
+	serialOpts := tinyOptions()
+	serialOpts.Workers = 1
+	serial, err := RunComparison(serialOpts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelOpts := tinyOptions()
+	parallelOpts.Workers = 8
+	par, err := RunComparison(parallelOpts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Policies, par.Policies) {
+		t.Fatalf("policy lists differ: %v vs %v", serial.Policies, par.Policies)
+	}
+	if len(serial.Mixes) != len(par.Mixes) {
+		t.Fatalf("mix counts differ: %d vs %d", len(serial.Mixes), len(par.Mixes))
+	}
+	for _, p := range serial.Policies {
+		s, g := serial.Results[p], par.Results[p]
+		if len(s) != len(g) {
+			t.Fatalf("%s: result counts differ: %d vs %d", p, len(s), len(g))
+		}
+		for i := range s {
+			if !reflect.DeepEqual(s[i], g[i]) {
+				t.Errorf("%s mix %s: workers=8 result not bit-identical to workers=1:\n got %+v\nwant %+v",
+					p, s[i].Mix, g[i], s[i])
+			}
+		}
+	}
+}
+
+// TestParallelCharacterize_Equivalence extends the determinism guarantee
+// to the Fig. 1–3 characterisation paths.
+func TestParallelCharacterize_Equivalence(t *testing.T) {
+	specs := workload.Suite()[:4]
+
+	serialOpts := tinyOptions()
+	serialOpts.Workers = 1
+	sf1, sf2, err := Characterize(serialOpts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf3, err := Fig3Of(serialOpts, specs, []int{2, 8, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallelOpts := tinyOptions()
+	parallelOpts.Workers = 8
+	pf1, pf2, err := Characterize(parallelOpts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf3, err := Fig3Of(parallelOpts, specs, []int{2, 8, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(sf1, pf1) {
+		t.Errorf("Fig1 rows differ:\n got %+v\nwant %+v", pf1, sf1)
+	}
+	if !reflect.DeepEqual(sf2, pf2) {
+		t.Errorf("Fig2 rows differ:\n got %+v\nwant %+v", pf2, sf2)
+	}
+	if !reflect.DeepEqual(sf3, pf3) {
+		t.Errorf("Fig3 rows differ:\n got %+v\nwant %+v", pf3, sf3)
+	}
+}
+
+// TestParallelComparison_Race stresses the engine with far more workers
+// than runs are wide, so runs constantly start, finish and write results
+// concurrently. Run under -race (CI does: go test -race -short ./...)
+// this continuously verifies the run-isolation refactor: per-run policy
+// clones, the locked solo-IPC cache, index-keyed result slots.
+func TestParallelComparison_Race(t *testing.T) {
+	opts := tinyOptions()
+	opts.Workers = 16
+	policies := tinyPolicies(t, "PT", "Dunn", "CMM-a")
+	comp, err := RunComparison(opts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range comp.Policies {
+		if got, want := len(comp.Results[p]), len(comp.Mixes); got != want {
+			t.Errorf("%s: %d results, want %d", p, got, want)
+		}
+		for _, r := range comp.Results[p] {
+			if r.NormHS == 0 || r.WorstBenchmark == "" {
+				t.Errorf("%s %s: unfilled result slot %+v", p, r.Mix, r)
+			}
+		}
+	}
+}
+
+// TestComparisonProgress checks the progress callback contract: serialized
+// calls, monotonically increasing done, a fixed total, and a final call
+// with done == total.
+func TestComparisonProgress(t *testing.T) {
+	opts := tinyOptions()
+	opts.Workers = 8
+	var mu sync.Mutex
+	var dones []int
+	total := -1
+	opts.Progress = func(done, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, done)
+		if total == -1 {
+			total = tot
+		} else if total != tot {
+			t.Errorf("total changed from %d to %d", total, tot)
+		}
+	}
+	if _, err := RunComparison(opts, tinyPolicies(t, "PT")); err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress call %d reported done=%d, want %d", i, d, i+1)
+		}
+	}
+	if dones[len(dones)-1] != total {
+		t.Errorf("final progress %d != total %d", dones[len(dones)-1], total)
+	}
+}
+
+// TestOptionsWorkersValidation pins the Workers contract: negative counts
+// are rejected, 0 (NumCPU) and explicit counts pass.
+func TestOptionsWorkersValidation(t *testing.T) {
+	o := QuickOptions()
+	o.Workers = -1
+	if err := o.Validate(); err == nil {
+		t.Error("Workers=-1 accepted")
+	}
+	for _, w := range []int{0, 1, 64} {
+		o.Workers = w
+		if err := o.Validate(); err != nil {
+			t.Errorf("Workers=%d rejected: %v", w, err)
+		}
+	}
+}

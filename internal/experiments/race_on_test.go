@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The heavy
+// science-calibration tests (quick-mode full-policy comparisons, long solo
+// characterisations) are serial by design and gain nothing from the
+// detector while running ~10× slower; they skip under -race. Concurrency
+// is covered by the tiny-size equivalence/race/progress tests, which run
+// under -race in -short mode on every CI push.
+const raceEnabled = true

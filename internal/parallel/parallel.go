@@ -1,0 +1,116 @@
+// Package parallel provides the bounded worker pool the experiment engine
+// fans simulation runs out on: an errgroup-style Group (first error wins,
+// the rest of the work is cancelled) plus the index-based ForEach helper
+// that keeps results deterministic — work is identified by index, never by
+// completion order.
+//
+// The package is dependency-free on purpose (no golang.org/x/sync): the
+// repo vendors nothing, and the semantics needed here — a concurrency
+// limit, first-error capture, cooperative cancellation — fit in a page.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Group runs tasks concurrently with a bounded number of in-flight
+// goroutines. The first task error is retained and cancels the group's
+// context; subsequent tasks see the cancelled context and are expected to
+// bail out early (ForEach does this before starting each task).
+//
+// A zero Group is not usable; construct with NewGroup.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	sem    chan struct{}
+
+	once sync.Once
+	err  error
+}
+
+// NewGroup returns a Group whose tasks derive from ctx and of which at
+// most limit run at once. limit <= 0 means runtime.NumCPU().
+func NewGroup(ctx context.Context, limit int) *Group {
+	if limit <= 0 {
+		limit = runtime.NumCPU()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	return &Group{ctx: gctx, cancel: cancel, sem: make(chan struct{}, limit)}
+}
+
+// Context returns the group's context, cancelled on the first task error
+// or when Wait has returned.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Go schedules fn on the group. It blocks while the group is at its
+// concurrency limit, so callers can submit unbounded work lists without
+// materialising one goroutine per task up front.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(g.ctx); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task has returned and reports the
+// first error (errgroup semantics). It always cancels the group's context
+// so derived resources are released.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// ForEach runs fn(0), fn(1), … fn(n-1) across at most workers goroutines
+// and returns the first error. Tasks not yet started when an error occurs
+// are skipped. workers <= 0 means runtime.NumCPU(); workers == 1 runs the
+// plain serial loop on the calling goroutine — byte-for-byte the
+// pre-parallel behaviour, with no goroutines involved.
+//
+// fn receives only its index: callers write results into index i of a
+// pre-sized slice, which makes the assembled output independent of
+// completion order — the determinism contract the experiment engine's
+// equivalence tests pin down.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g := NewGroup(context.Background(), workers)
+	for i := 0; i < n; i++ {
+		if g.Context().Err() != nil {
+			break // a task already failed; stop submitting
+		}
+		i := i
+		g.Go(func(ctx context.Context) error {
+			if ctx.Err() != nil {
+				return nil // cancelled while queued
+			}
+			return fn(i)
+		})
+	}
+	return g.Wait()
+}

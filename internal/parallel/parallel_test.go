@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			counts := make([]int32, n)
+			if err := ForEach(workers, n, func(i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("index %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachDeterministicAssembly(t *testing.T) {
+	// Results written by index must be identical regardless of workers.
+	build := func(workers int) []int {
+		out := make([]int, 64)
+		if err := ForEach(workers, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := build(1)
+	for _, workers := range []int{2, 16} {
+		got := build(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d index %d: got %d want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(4, 50, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+func TestForEachSerialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if ran != 4 {
+		t.Fatalf("serial path ran %d tasks after the error, want exactly 4", ran)
+	}
+}
+
+func TestForEachCancelsPendingWork(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	// workers=1 would be serial; use 2 with a failure on the very first
+	// task so later tasks observe the cancelled context.
+	err := ForEach(2, 1000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Log("all tasks ran before cancellation propagated (legal, but unusual)")
+	}
+}
+
+func TestGroupConcurrencyLimit(t *testing.T) {
+	const limit = 3
+	g := NewGroup(context.Background(), limit)
+	var cur, max int32
+	var mu sync.Mutex
+	for i := 0; i < 40; i++ {
+		g.Go(func(ctx context.Context) error {
+			n := atomic.AddInt32(&cur, 1)
+			mu.Lock()
+			if n > max {
+				max = n
+			}
+			mu.Unlock()
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if max > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", max, limit)
+	}
+}
+
+func TestGroupWaitCancelsContext(t *testing.T) {
+	g := NewGroup(context.Background(), 2)
+	g.Go(func(ctx context.Context) error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Context().Err() == nil {
+		t.Fatal("group context not cancelled after Wait")
+	}
+}
