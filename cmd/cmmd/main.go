@@ -11,17 +11,28 @@
 //
 //	cmmd -policy CMM-a -benchmarks 410.bwaves,rand_access,429.mcf,453.povray -epochs 6
 //	cmmd -policy PT -mix "Pref Unfri" -index 2 -epochs 10
+//	cmmd -policy CMM-a -mix "Pref Unfri" -epochs 500 -listen :8080
+//	    # plain-text counters at /metrics, expvar JSON at /debug/vars
+//	cmmd -policy CMM-a -mix "Pref Fri" -telemetry epochs.jsonl
+//	    # one structured JSONL event per epoch
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"cmm"
 	icmm "cmm/internal/cmm"
+	"cmm/internal/telemetry"
 )
+
+// counters aggregates the epoch-event stream for the /metrics endpoint.
+var counters telemetry.Counters
 
 func main() {
 	var (
@@ -36,8 +47,29 @@ func main() {
 		hw         = flag.Bool("hw", false, "drive real hardware (msr driver + perf events) instead of the simulator")
 		jsonOut    = flag.Bool("json", false, "dump the decision history as JSON at the end")
 		ghz        = flag.Float64("ghz", 2.1, "core clock in GHz for -hw")
+		listen     = flag.String("listen", "", "serve plain-text /metrics and expvar /debug/vars on this address (e.g. :8080) while the daemon runs")
+		teleOut    = flag.String("telemetry", "", "append per-epoch telemetry events as JSONL to this file")
 	)
 	flag.Parse()
+
+	sinks := []telemetry.Sink{&counters}
+	if *teleOut != "" {
+		f, err := os.Create(*teleOut)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl := telemetry.NewJSONLSink(f)
+		defer func() {
+			if err := jsonl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cmmd: telemetry:", err)
+			}
+		}()
+		sinks = append(sinks, jsonl)
+	}
+	sink := telemetry.Multi(sinks...)
+	if *listen != "" {
+		serveMetrics(*listen)
+	}
 
 	if *list {
 		for _, b := range cmm.Benchmarks() {
@@ -50,7 +82,7 @@ func main() {
 	if *hw {
 		// On real hardware the OS schedules the workloads; cmmd only
 		// manages prefetchers and CAT around whatever is running.
-		runHardware(*policy, *cores, *ghz, *epochs)
+		runHardware(*policy, *cores, *ghz, *epochs, sink)
 		return
 	}
 
@@ -75,6 +107,7 @@ func main() {
 	if err := m.UsePolicy(*policy); err != nil {
 		fatal(err)
 	}
+	m.SetTelemetrySink(sink)
 
 	fmt.Printf("machine: %d cores, policy %s\n", m.NumCores(), m.PolicyName())
 	for i, n := range m.BenchmarkNames() {
@@ -102,6 +135,7 @@ func main() {
 		fmt.Println(string(data))
 	}
 	fmt.Printf("controller profiling overhead: %.2f%% of machine time\n", m.ControllerOverhead()*100)
+	printCounters()
 	ipcs := m.MeasureIPC(500_000)
 	fmt.Printf("final IPCs: ")
 	for i, v := range ipcs {
@@ -115,7 +149,7 @@ func main() {
 
 // runHardware drives the real machine: the OS schedules whatever runs on
 // the cores; cmmd only manages prefetchers and CAT around it.
-func runHardware(policy string, cores int, ghz float64, epochs int) {
+func runHardware(policy string, cores int, ghz float64, epochs int, sink telemetry.Sink) {
 	target, closeFn, err := newHardwareTarget(cores, ghz)
 	if err != nil {
 		fatal(fmt.Errorf("hardware target: %w", err))
@@ -133,6 +167,7 @@ func runHardware(policy string, cores int, ghz float64, epochs int) {
 	if err != nil {
 		fatal(err)
 	}
+	ctrl.SetSink(sink)
 	fmt.Printf("driving %d hardware cores with %s (epoch %.2fs, sample %.3fs)\n",
 		cores, policy, float64(cfg.ExecutionEpoch)/(ghz*1e9), float64(cfg.SamplingInterval)/(ghz*1e9))
 	for e := 0; e < epochs; e++ {
@@ -141,6 +176,40 @@ func runHardware(policy string, cores int, ghz float64, epochs int) {
 		}
 		fmt.Printf("epoch %2d: %s\n", e+1, icmm.AggSummary(ctrl.LastDecision()))
 	}
+	printCounters()
+}
+
+// serveMetrics exposes the daemon's aggregate counters over HTTP: a
+// plain-text /metrics endpoint (one "cmm_<name> <value>" line per
+// counter) and the standard expvar JSON at /debug/vars. The server runs
+// for the lifetime of the epoch loop; point a scraper at it during long
+// runs.
+func serveMetrics(addr string) {
+	counters.PublishExpvar("cmm_")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		counters.WriteMetrics(w, "cmm_")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("listen %s: %w", addr, err))
+	}
+	fmt.Printf("telemetry: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "cmmd: metrics server:", err)
+		}
+	}()
+}
+
+// printCounters reports the aggregate telemetry after the epoch loop.
+func printCounters() {
+	s := counters.Snapshot()
+	fmt.Printf("telemetry: %d epochs, %d detections, %d throttle flips, %d partition changes, %d sampling cycles\n",
+		s["epochs_total"], s["detections_total"], s["throttle_flips_total"],
+		s["partition_changes_total"], s["sampling_cycles_total"])
 }
 
 func fatal(err error) {

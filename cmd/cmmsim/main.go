@@ -10,6 +10,8 @@
 //	cmmsim -fig 13 -full            # Fig. 13: all 7 mechanisms, full size
 //	cmmsim -fig comparison -csv     # all policy metrics as CSV
 //	cmmsim -fig 13 -workers 8 -progress  # fan runs over 8 workers
+//	cmmsim -fig 13 -quick -telemetry out.jsonl  # per-epoch decision stream
+//	cmmsim -fig 13 -cpuprofile cpu.pb.gz        # pprof the run
 //
 // Figures 7–15 share one comparison dataset; requesting any of them runs
 // the whole set of policies the figure needs. -quick (default) uses 2
@@ -27,26 +29,61 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cmm/internal/cmm"
 	"cmm/internal/experiments"
+	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15 or 'comparison'")
-		table1   = flag.Bool("table1", false, "print Table I")
-		full     = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
-		csv      = flag.Bool("csv", false, "emit comparison data as CSV instead of tables")
-		seeds    = flag.Int("seeds", 0, "override the number of run seeds (0 = option default)")
-		mixesN   = flag.Int("mixes", 0, "override mixes per category (0 = option default)")
-		out      = flag.String("out", "", "write output to file instead of stdout")
-		workers  = flag.Int("workers", 0, "concurrent simulation runs (0 = NumCPU, 1 = serial); any value produces identical output")
-		progress = flag.Bool("progress", false, "report per-run progress on stderr")
+		fig        = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15 or 'comparison'")
+		table1     = flag.Bool("table1", false, "print Table I")
+		full       = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
+		quick      = flag.Bool("quick", true, "cut-down run (2 mixes/category, short windows); the default, -quick=false is -full")
+		csv        = flag.Bool("csv", false, "emit comparison data as CSV instead of tables")
+		seeds      = flag.Int("seeds", 0, "override the number of run seeds (0 = option default)")
+		mixesN     = flag.Int("mixes", 0, "override mixes per category (0 = option default)")
+		out        = flag.String("out", "", "write output to file instead of stdout")
+		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = NumCPU, 1 = serial); any value produces identical output")
+		progress   = flag.Bool("progress", false, "report per-run progress on stderr")
+		teleOut    = flag.String("telemetry", "", "write per-epoch controller telemetry as JSONL to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cmmsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cmmsim: memprofile:", err)
+			}
+		}()
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -68,7 +105,7 @@ func main() {
 	}
 
 	opts := experiments.QuickOptions()
-	if *full {
+	if *full || !*quick {
 		opts = experiments.DefaultOptions()
 	}
 	if *seeds > 0 {
@@ -81,6 +118,19 @@ func main() {
 		opts.MixesPerCategory = *mixesN
 	}
 	opts.Workers = *workers
+	if *teleOut != "" {
+		f, err := os.Create(*teleOut)
+		if err != nil {
+			fatal(err)
+		}
+		sink := telemetry.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cmmsim: telemetry:", err)
+			}
+		}()
+		opts.Telemetry = sink
+	}
 	if *progress {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
@@ -117,6 +167,8 @@ func main() {
 		fmt.Fprintln(w, "\n=== markdown summary (EXPERIMENTS.md) ===")
 		experiments.WriteMarkdownCharacterization(w, f1, f2, f3)
 		experiments.WriteMarkdownSummary(w, comp)
+		fmt.Fprintln(w, "\n=== controller telemetry ===")
+		experiments.WriteTelemetry(w, comp)
 		fmt.Fprintln(w, "\n=== raw comparison data (CSV) ===")
 		fmt.Fprint(w, experiments.CSV(comp))
 	case "1":
@@ -147,6 +199,12 @@ func main() {
 			return
 		}
 		writeFigure(w, comp, *fig)
+		// Telemetry-enabled runs report controller overhead alongside the
+		// figure ("comparison" always carries the summary).
+		if *teleOut != "" || *fig == "comparison" {
+			fmt.Fprintln(w)
+			experiments.WriteTelemetry(w, comp)
+		}
 	default:
 		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}

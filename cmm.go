@@ -37,6 +37,7 @@ import (
 	"cmm/internal/mixes"
 	"cmm/internal/pmu"
 	"cmm/internal/sim"
+	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
 
@@ -115,6 +116,7 @@ type Machine struct {
 	target *icmm.SimTarget
 	cfg    icmm.Config
 	ctrl   *icmm.Controller
+	sink   telemetry.Sink
 }
 
 // Option customizes a Machine.
@@ -197,8 +199,18 @@ func (m *Machine) UsePolicy(name string) error {
 	if err != nil {
 		return err
 	}
+	ctrl.SetSink(m.sink)
 	m.ctrl = ctrl
 	return nil
+}
+
+// SetTelemetrySink streams one telemetry.Event per controller epoch to s,
+// surviving UsePolicy switches; pass nil to disable (the default). The
+// sink must be safe for concurrent use if the caller shares it across
+// machines; every sink in internal/telemetry is.
+func (m *Machine) SetTelemetrySink(s telemetry.Sink) {
+	m.sink = s
+	m.ctrl.SetSink(s)
 }
 
 // PolicyName returns the active policy's name.

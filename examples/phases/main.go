@@ -10,10 +10,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"cmm"
 	icmm "cmm/internal/cmm"
 	"cmm/internal/sim"
+	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
 
@@ -38,6 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Stream every epoch decision as JSONL while counting aggregates —
+	// the same sinks cmmd wires behind -telemetry and -listen.
+	var counters telemetry.Counters
+	jsonl := telemetry.NewJSONLSink(os.Stderr)
+	ctrl.SetSink(telemetry.Multi(&counters, jsonl))
 
 	fmt.Println("core 0 alternates streaming/random phases; policy:", ctrl.Policy().Name())
 	fmt.Println("available policies:", cmm.Policies())
@@ -53,4 +60,10 @@ func main() {
 		fmt.Printf("epoch %2d: core 0 phase %-22s %s\n", e, phase, icmm.AggSummary(d))
 	}
 	fmt.Printf("controller profiling overhead: %.1f%%\n", ctrl.OverheadFraction()*100)
+	if err := jsonl.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	snap := counters.Snapshot()
+	fmt.Printf("telemetry: %d epochs, %d with detections, %d throttle flips\n",
+		snap["epochs_total"], snap["detections_total"], snap["throttle_flips_total"])
 }

@@ -3,6 +3,9 @@ package cmm
 import (
 	"fmt"
 	"sort"
+
+	"cmm/internal/cat"
+	"cmm/internal/telemetry"
 )
 
 // Controller drives a policy over a target machine through the paper's
@@ -12,6 +15,7 @@ type Controller struct {
 	cfg    Config
 	target Target
 	policy Policy
+	sink   telemetry.Sink
 
 	decisions []Decision
 
@@ -65,6 +69,13 @@ func (c *Controller) LastDecision() Decision {
 	return c.decisions[len(c.decisions)-1]
 }
 
+// SetSink installs a telemetry sink that receives one Event per epoch run
+// by RunEpochs. Pass nil to disable (the default): the disabled path costs
+// a single nil check per epoch, so telemetry never shows up in overhead
+// measurements unless it is on. The sink must be safe for concurrent use
+// when the controller's owner shares it across goroutines.
+func (c *Controller) SetSink(s telemetry.Sink) { c.sink = s }
+
 // RunEpochs executes n full execution+profiling epochs.
 func (c *Controller) RunEpochs(n int) error {
 	for i := 0; i < n; i++ {
@@ -78,9 +89,133 @@ func (c *Controller) RunEpochs(n int) error {
 			return fmt.Errorf("cmm: epoch %d (%s): %w", i, c.policy.Name(), err)
 		}
 		c.profilingCycles += ct.cycles
+		if c.sink != nil {
+			var prev *Decision
+			if len(c.decisions) > 0 {
+				prev = &c.decisions[len(c.decisions)-1]
+			}
+			c.sink.Emit(epochEvent(len(c.decisions), dec, prev, c.cfg.ExecutionEpoch, ct.cycles))
+		}
 		c.decisions = append(c.decisions, dec)
 	}
 	return nil
+}
+
+// epochEvent renders one decision as a telemetry event. prev is the
+// preceding epoch's decision (nil on the first epoch, which compares
+// against the reset state: nothing throttled, no partitioning).
+func epochEvent(index int, dec Decision, prev *Decision, execCycles, profCycles uint64) telemetry.Event {
+	e := telemetry.Event{
+		Type:           telemetry.TypeEpoch,
+		Policy:         dec.Policy,
+		Epoch:          index,
+		Agg:            sortedCopy(dec.Detection.Agg),
+		Friendly:       sortedCopy(dec.Friendly),
+		Unfriendly:     sortedCopy(dec.Unfriendly),
+		Throttled:      sortedCopy(dec.Disabled),
+		PartitionMasks: planMasks(dec.Plan),
+		SampledCombos:  dec.SampledCombos,
+		BestHMIPC:      dec.BestScore,
+		FellBackToDunn: dec.FellBackToDunn,
+		ExecCycles:     execCycles,
+		ProfCycles:     profCycles,
+		MBAThrottled:   sortedCopy(dec.MBAThrottled),
+		MBAPercent:     dec.MBAPercent,
+	}
+	var prevDisabled []int
+	var prevPlan *cat.Plan
+	if prev != nil {
+		prevDisabled, prevPlan = prev.Disabled, prev.Plan
+	}
+	e.ThrottleFlip = !equalInts(sortedCopy(dec.Disabled), sortedCopy(prevDisabled))
+	e.PartitionChange = !plansEqual(dec.Plan, prevPlan)
+	return e
+}
+
+// DecisionStats aggregates a decision history for reporting: how many
+// epochs ran, how many detected a non-empty Agg set, how often the
+// throttle set or partition plan changed between consecutive epochs, and
+// the total sampling intervals spent profiling.
+type DecisionStats struct {
+	Epochs           int
+	Detections       int
+	ThrottleFlips    int
+	PartitionChanges int
+	SampledCombos    int
+}
+
+// SummarizeDecisions reduces a decision history (Controller.Decisions) to
+// its aggregate stats, using the same change definitions as the per-epoch
+// telemetry events: the first epoch compares against the reset state.
+func SummarizeDecisions(decs []Decision) DecisionStats {
+	var s DecisionStats
+	var prev *Decision
+	for i := range decs {
+		d := &decs[i]
+		s.Epochs++
+		if len(d.Detection.Agg) > 0 {
+			s.Detections++
+		}
+		var prevDisabled []int
+		var prevPlan *cat.Plan
+		if prev != nil {
+			prevDisabled, prevPlan = prev.Disabled, prev.Plan
+		}
+		if !equalInts(sortedCopy(d.Disabled), sortedCopy(prevDisabled)) {
+			s.ThrottleFlips++
+		}
+		if !plansEqual(d.Plan, prevPlan) {
+			s.PartitionChanges++
+		}
+		s.SampledCombos += d.SampledCombos
+		prev = d
+	}
+	return s
+}
+
+// planMasks flattens a CAT plan to per-core way masks (nil plan → nil).
+func planMasks(p *cat.Plan) []uint64 {
+	if p == nil {
+		return nil
+	}
+	out := make([]uint64, len(p.ClosByCore))
+	for core, clos := range p.ClosByCore {
+		out[core] = p.Masks[clos]
+	}
+	return out
+}
+
+// plansEqual compares two plans by the per-core masks they program.
+func plansEqual(a, b *cat.Plan) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	am, bm := planMasks(a), planMasks(b)
+	if len(am) != len(bm) {
+		return false
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalInts reports element-wise equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Overhead returns the machine cycles spent in execution epochs and in

@@ -1,0 +1,130 @@
+package cmm
+
+import (
+	"sync"
+	"testing"
+
+	"cmm/internal/cat"
+	"cmm/internal/telemetry"
+)
+
+// recordingSink captures controller events for assertions.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (r *recordingSink) Emit(e telemetry.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// TestTelemetryControllerEvents drives PT over the fake target with a
+// recording sink: one event per epoch, sequential indices, the decision
+// mirrored into the event, and the epoch's cycle split populated.
+func TestTelemetryControllerEvents(t *testing.T) {
+	ft := newFakeTarget([]fakeCore{
+		{ipcOn: 0.5, ipcOff: 0.6, aggressive: true, victimPenalty: 0.4},
+		{ipcOn: 1.0, ipcOff: 1.0},
+		{ipcOn: 1.0, ipcOff: 1.0},
+	})
+	c, err := NewController(DefaultConfig(), ft, PT{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingSink{}
+	c.SetSink(rec)
+	const epochs = 3
+	if err := c.RunEpochs(epochs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != epochs {
+		t.Fatalf("got %d events, want %d", len(rec.events), epochs)
+	}
+	decs := c.Decisions()
+	for i, e := range rec.events {
+		if e.Type != telemetry.TypeEpoch {
+			t.Errorf("event %d type %q, want %q", i, e.Type, telemetry.TypeEpoch)
+		}
+		if e.Epoch != i {
+			t.Errorf("event %d carries epoch index %d", i, e.Epoch)
+		}
+		if e.Policy != "PT" {
+			t.Errorf("event %d policy %q", i, e.Policy)
+		}
+		if !equalInts(e.Agg, decs[i].Detection.Agg) {
+			t.Errorf("event %d Agg %v, decision %v", i, e.Agg, decs[i].Detection.Agg)
+		}
+		if !equalInts(e.Throttled, decs[i].Disabled) {
+			t.Errorf("event %d Throttled %v, decision %v", i, e.Throttled, decs[i].Disabled)
+		}
+		if e.ExecCycles != DefaultConfig().ExecutionEpoch {
+			t.Errorf("event %d ExecCycles %d, want %d", i, e.ExecCycles, DefaultConfig().ExecutionEpoch)
+		}
+		if e.ProfCycles == 0 {
+			t.Errorf("event %d ProfCycles 0; PT always samples at least one interval", i)
+		}
+	}
+	// The aggressor stays throttled: exactly one flip (off at epoch 0),
+	// and the summary agrees with the event stream.
+	flips := 0
+	for _, e := range rec.events {
+		if e.ThrottleFlip {
+			flips++
+		}
+	}
+	stats := SummarizeDecisions(decs)
+	if stats.ThrottleFlips != flips {
+		t.Errorf("SummarizeDecisions flips %d, events carried %d", stats.ThrottleFlips, flips)
+	}
+	if stats.Epochs != epochs {
+		t.Errorf("stats.Epochs = %d, want %d", stats.Epochs, epochs)
+	}
+	if stats.Detections == 0 {
+		t.Error("aggressor never detected")
+	}
+	if stats.SampledCombos == 0 {
+		t.Error("no sampling intervals recorded")
+	}
+	// No sink, no events: the disabled path must not have accumulated
+	// anything (overhead claim: a single nil check).
+	c2, err := NewController(DefaultConfig(), ft, PT{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RunEpochs(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetrySummarizeDecisions exercises flip/partition-change
+// accounting on a synthetic history, including the first-epoch
+// comparison against the reset state.
+func TestTelemetrySummarizeDecisions(t *testing.T) {
+	plan1 := &cat.Plan{Masks: map[int]uint64{0: 0xff, 1: 0xf}, ClosByCore: []int{0, 1}}
+	plan1b := &cat.Plan{Masks: map[int]uint64{0: 0xff, 1: 0xf}, ClosByCore: []int{0, 1}}
+	plan2 := &cat.Plan{Masks: map[int]uint64{0: 0xff, 1: 0x3}, ClosByCore: []int{0, 1}}
+	decs := []Decision{
+		{Disabled: []int{2}, Detection: Detection{Agg: []int{2}}}, // flip (vs reset), detection
+		{Disabled: []int{2}},            // no change
+		{Disabled: nil, Plan: plan1},    // flip back + partition change
+		{Plan: plan1b},                  // same masks: no change
+		{Plan: plan2, SampledCombos: 4}, // partition change
+		{Detection: Detection{Agg: []int{0, 1}}, Disabled: []int{0, 1}}, // flip + plan dropped
+	}
+	got := SummarizeDecisions(decs)
+	want := DecisionStats{
+		Epochs:           6,
+		Detections:       2,
+		ThrottleFlips:    3,
+		PartitionChanges: 3, // nil→plan1, plan1b→plan2, plan2→nil
+		SampledCombos:    4,
+	}
+	if got != want {
+		t.Errorf("SummarizeDecisions = %+v, want %+v", got, want)
+	}
+	if s := SummarizeDecisions(nil); s != (DecisionStats{}) {
+		t.Errorf("empty history: %+v", s)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"cmm/internal/parallel"
 	"cmm/internal/pmu"
 	"cmm/internal/sim"
+	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
 
@@ -47,6 +48,15 @@ func runSolo(opts Options, spec workload.Spec, seed int64, msrVal uint64, ways i
 	sys.Run(opts.SoloMeasureCycles)
 	s := sys.Deltas(snap)[0]
 	bytes := sys.Memory().TotalBytes(0) - bytesBefore
+	if opts.Telemetry != nil {
+		opts.Telemetry.Emit(telemetry.Event{
+			Type:       telemetry.TypeSolo,
+			Benchmark:  spec.Name,
+			Seed:       seed,
+			IPC:        s.IPC(),
+			ExecCycles: opts.SoloMeasureCycles,
+		})
+	}
 	return soloRun{
 		IPC:     s.IPC(),
 		TotalBW: mem.BandwidthGBs(bytes, s.Value(pmu.Cycles), opts.Sim.CoreGHz),

@@ -10,6 +10,7 @@ import (
 	"cmm/internal/parallel"
 	"cmm/internal/pmu"
 	"cmm/internal/sim"
+	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
 
@@ -19,6 +20,11 @@ type policyRun struct {
 	Bytes  uint64    // memory bytes moved during the window
 	Stalls uint64    // summed STALLS_L2_PENDING deltas
 	Cycles uint64    // wall cycles of the window
+
+	// Stats and the cycle split summarize the controller's behaviour over
+	// the whole run (warm + measure epochs) for Comparison.Telemetry.
+	Stats                  cmm.DecisionStats
+	ExecCycles, ProfCycles uint64
 }
 
 // runPolicy executes the controller-driven run for one mix.
@@ -31,6 +37,9 @@ func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (poli
 	ctrl, err := cmm.NewController(opts.CMM, target, policy)
 	if err != nil {
 		return policyRun{}, err
+	}
+	if opts.Telemetry != nil {
+		ctrl.SetSink(telemetry.WithRun(opts.Telemetry, mix.Name, seed))
 	}
 	if opts.WarmEpochs > 0 {
 		if err := ctrl.RunEpochs(opts.WarmEpochs); err != nil {
@@ -56,6 +65,8 @@ func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (poli
 		run.Stalls += deltas[c].Value(pmu.StallsL2Pending)
 	}
 	run.Bytes -= bytesBefore
+	run.Stats = cmm.SummarizeDecisions(ctrl.Decisions())
+	run.ExecCycles, run.ProfCycles = ctrl.Overhead()
 	return run, nil
 }
 
@@ -84,6 +95,27 @@ type MixResult struct {
 	WorstBenchmark string
 }
 
+// TelemetrySummary aggregates the controller telemetry of every run of
+// one policy in a comparison (all mixes and seeds, warm plus measured
+// epochs), so figure runs can report controller overhead alongside HS/WS
+// — the analogue of the paper's <0.1% kernel-module overhead claim.
+type TelemetrySummary struct {
+	// Runs is how many (mix, seed) simulations the policy drove.
+	Runs int
+	// Epochs, Detections, ThrottleFlips, PartitionChanges and
+	// SampledCombos sum cmm.DecisionStats over those runs.
+	Epochs           int
+	Detections       int
+	ThrottleFlips    int
+	PartitionChanges int
+	SampledCombos    int
+	// ExecutionCycles and ProfilingCycles split the controllers' machine
+	// time; OverheadFraction is the profiling share of the total.
+	ExecutionCycles  uint64
+	ProfilingCycles  uint64
+	OverheadFraction float64
+}
+
 // Comparison holds the full policy-comparison dataset.
 type Comparison struct {
 	Options  Options
@@ -91,39 +123,54 @@ type Comparison struct {
 	Policies []string
 	// Results[policy][i] scores mix i under the policy.
 	Results map[string][]MixResult
+	// Telemetry summarizes controller behaviour per policy (the baseline
+	// included, under "baseline").
+	Telemetry map[string]TelemetrySummary
+}
+
+// soloEntry is one benchmark's alone-IPC slot: the first goroutine to
+// claim a key owns the simulation and closes done when the value (or
+// error) is in; everyone else blocks on done instead of duplicating the
+// run.
+type soloEntry struct {
+	done chan struct{}
+	ipc  float64
+	err  error
 }
 
 // soloIPCCache memoizes per-benchmark alone-IPC (needed by HS). It is
-// safe for concurrent use: the map is mutex-guarded and solo runs execute
-// outside the lock. Two goroutines missing the same benchmark at once may
-// both run it, but runSolo is deterministic for fixed options and seed, so
-// they store the identical value — the engine precomputes the cache up
-// front anyway, making get a pure cache hit during scoring.
+// safe for concurrent use and runs each benchmark's solo simulation
+// exactly once (singleflight): concurrent misses on the same key wait for
+// the in-flight run rather than paying a duplicate simulation. Errors are
+// cached like values — runSolo is deterministic for fixed options and
+// seed, so a retry would fail identically.
 type soloIPCCache struct {
 	opts Options
-	mu   sync.Mutex
-	m    map[string]float64
+	// runFn is runSolo, injectable so tests can count invocations.
+	runFn func(Options, workload.Spec, int64, uint64, int) (soloRun, error)
+	mu    sync.Mutex
+	m     map[string]*soloEntry
 }
 
 func newSoloIPCCache(opts Options) *soloIPCCache {
-	return &soloIPCCache{opts: opts, m: map[string]float64{}}
+	return &soloIPCCache{opts: opts, runFn: runSolo, m: map[string]*soloEntry{}}
 }
 
 func (c *soloIPCCache) get(spec workload.Spec) (float64, error) {
 	c.mu.Lock()
-	v, ok := c.m[spec.Name]
-	c.mu.Unlock()
-	if ok {
-		return v, nil
+	e, ok := c.m[spec.Name]
+	if !ok {
+		e = &soloEntry{done: make(chan struct{})}
+		c.m[spec.Name] = e
+		c.mu.Unlock()
+		r, err := c.runFn(c.opts, spec, c.opts.BaseSeed, 0, 0)
+		e.ipc, e.err = r.IPC, err
+		close(e.done)
+		return e.ipc, e.err
 	}
-	r, err := runSolo(c.opts, spec, c.opts.BaseSeed, 0, 0)
-	if err != nil {
-		return 0, err
-	}
-	c.mu.Lock()
-	c.m[spec.Name] = r.IPC
 	c.mu.Unlock()
-	return r.IPC, nil
+	<-e.done
+	return e.ipc, e.err
 }
 
 // precompute fills the cache for every benchmark appearing in the mixes,
@@ -234,6 +281,31 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 		return nil, err
 	}
 
+	// Aggregate per-policy controller telemetry in deterministic
+	// (policy, mix, seed) order; integer sums, so ordering is moot, but
+	// the habit keeps every reduction in this engine order-independent.
+	comp.Telemetry = map[string]TelemetrySummary{}
+	for pi, p := range runPolicies {
+		var ts TelemetrySummary
+		for mi := range selected {
+			for si := range opts.Seeds {
+				r := runs[mi][pi][si]
+				ts.Runs++
+				ts.Epochs += r.Stats.Epochs
+				ts.Detections += r.Stats.Detections
+				ts.ThrottleFlips += r.Stats.ThrottleFlips
+				ts.PartitionChanges += r.Stats.PartitionChanges
+				ts.SampledCombos += r.Stats.SampledCombos
+				ts.ExecutionCycles += r.ExecCycles
+				ts.ProfilingCycles += r.ProfCycles
+			}
+		}
+		if total := ts.ExecutionCycles + ts.ProfilingCycles; total > 0 {
+			ts.OverheadFraction = float64(ts.ProfilingCycles) / float64(total)
+		}
+		comp.Telemetry[p.Name()] = ts
+	}
+
 	// Phase 3: serial scoring in mix/policy order — cheap arithmetic whose
 	// inputs are already fixed, so the reduction order (and therefore the
 	// floating-point result) never depends on run completion order.
@@ -266,9 +338,17 @@ func scoreRuns(opts Options, mix mixes.Mix, seedRuns []policyRun, alone []float6
 	for si := range opts.Seeds {
 		run := seedRuns[si]
 		b := base[si]
-		worstCore, worstRatio := 0, run.IPC[0]/b.IPC[0]
-		for c := 1; c < len(run.IPC); c++ {
-			if r := run.IPC[c] / b.IPC[c]; r < worstRatio {
+		// Guard the per-core division like metrics.WorstCaseSpeedup does:
+		// a zero-IPC baseline core would otherwise make the worst-core
+		// scan NaN-driven (every NaN comparison is false, so the winner
+		// depends on core order) and silently poison WorstBenchmark.
+		worstCore, worstRatio := -1, 0.0
+		for c := 0; c < len(run.IPC); c++ {
+			if b.IPC[c] <= 0 {
+				return MixResult{}, fmt.Errorf("experiments: seed %d: baseline IPC of core %d (%s) is %g, not positive",
+					opts.Seeds[si], c, mix.Specs[c].Name, b.IPC[c])
+			}
+			if r := run.IPC[c] / b.IPC[c]; worstCore < 0 || r < worstRatio {
 				worstCore, worstRatio = c, r
 			}
 		}
@@ -289,11 +369,19 @@ func scoreRuns(opts Options, mix mixes.Mix, seedRuns []policyRun, alone []float6
 		if err != nil {
 			return MixResult{}, err
 		}
+		bwR, err := normRatio(run.Bytes, run.Cycles, b.Bytes, b.Cycles)
+		if err != nil {
+			return MixResult{}, fmt.Errorf("experiments: seed %d: memory bandwidth: %w", opts.Seeds[si], err)
+		}
+		stR, err := normRatio(run.Stalls, run.Cycles, b.Stalls, b.Cycles)
+		if err != nil {
+			return MixResult{}, fmt.Errorf("experiments: seed %d: L2 pending stalls: %w", opts.Seeds[si], err)
+		}
 		hs = append(hs, hsP/hsB)
 		ws = append(ws, wsN)
 		wc = append(wc, worst)
-		bw = append(bw, perCycle(run.Bytes, run.Cycles)/perCycle(b.Bytes, b.Cycles))
-		st = append(st, perCycle(run.Stalls, run.Cycles)/perCycle(b.Stalls, b.Cycles))
+		bw = append(bw, bwR)
+		st = append(st, stR)
 	}
 	return MixResult{
 		Mix:            mix.Name,
@@ -312,6 +400,24 @@ func perCycle(v, cycles uint64) float64 {
 		return 0
 	}
 	return float64(v) / float64(cycles)
+}
+
+// normRatio is the policy/baseline ratio of two per-cycle rates (Fig. 14
+// bandwidth, Fig. 15 stalls). A compute-bound mix can legitimately move
+// zero bytes (or record zero stalls) in a short window under both runs —
+// that is parity, 1.0, not 0/0 — while a zero baseline rate against a
+// non-zero policy rate has no meaningful normalization and is an error
+// (the old code returned Inf and the median silently propagated it).
+func normRatio(v, cycles, baseV, baseCycles uint64) (float64, error) {
+	p, b := perCycle(v, cycles), perCycle(baseV, baseCycles)
+	switch {
+	case b > 0:
+		return p / b, nil
+	case p == 0:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("baseline rate is zero while the policy rate is %g/cycle", p)
+	}
 }
 
 // CategoryMeans averages a metric per workload category (the grey bars of

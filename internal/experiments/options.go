@@ -13,6 +13,7 @@ import (
 
 	"cmm/internal/cmm"
 	"cmm/internal/sim"
+	"cmm/internal/telemetry"
 )
 
 // Options sizes an experiment run.
@@ -48,6 +49,14 @@ type Options struct {
 	// current experiment. Invocations are serialized; the callback must
 	// not block for long (it holds up a worker).
 	Progress func(done, total int)
+	// Telemetry, when non-nil, receives one telemetry.Event per
+	// controller epoch of every (mix, policy, seed) run — stamped with
+	// the run's identity via telemetry.WithRun — plus one solo event per
+	// alone-IPC characterisation run. The sink is shared by all workers,
+	// so it must be safe for concurrent use (every sink in the telemetry
+	// package is). Telemetry is observation only: enabling it leaves
+	// every simulated cycle, and therefore every figure, bit-identical.
+	Telemetry telemetry.Sink
 }
 
 // DefaultOptions returns the full-fidelity configuration used by the

@@ -55,6 +55,29 @@ func WriteMarkdownSummary(w io.Writer, c *Comparison) {
 	fmt.Fprintln(w)
 }
 
+// WriteTelemetry prints the per-policy controller telemetry attached to a
+// comparison: epochs run, detections, throttle flips, partition changes,
+// sampling intervals, and the profiling share of machine time — the
+// figure-run analogue of the paper's <0.1% kernel-module overhead
+// measurement. Policies print in presentation order, baseline first.
+func WriteTelemetry(w io.Writer, c *Comparison) {
+	if len(c.Telemetry) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Controller telemetry (per policy, all runs, warm+measured epochs):")
+	fmt.Fprintf(w, "%-10s %6s %7s %7s %6s %6s %8s %9s\n",
+		"policy", "runs", "epochs", "detect", "flips", "parts", "combos", "overhead")
+	for _, p := range append([]string{"baseline"}, c.Policies...) {
+		ts, ok := c.Telemetry[p]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %6d %7d %7d %6d %6d %8d %8.2f%%\n",
+			p, ts.Runs, ts.Epochs, ts.Detections, ts.ThrottleFlips,
+			ts.PartitionChanges, ts.SampledCombos, ts.OverheadFraction*100)
+	}
+}
+
 // WriteMarkdownCharacterization emits Fig. 1–3 summaries as markdown.
 func WriteMarkdownCharacterization(w io.Writer, f1 []Fig1Row, f2 []Fig2Row, f3 []Fig3Row) {
 	speedup := map[string]float64{}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cmm/internal/cmm"
+	"cmm/internal/telemetry"
+)
+
+// decodeEvents parses a JSONL stream back into events, failing the test
+// on any malformed line.
+func decodeEvents(t *testing.T, data string) (epochs, solos []telemetry.Event) {
+	t.Helper()
+	for i, line := range strings.Split(strings.TrimSpace(data), "\n") {
+		var e telemetry.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not a valid event: %v\n%s", i, err, line)
+		}
+		switch e.Type {
+		case telemetry.TypeEpoch:
+			epochs = append(epochs, e)
+		case telemetry.TypeSolo:
+			solos = append(solos, e)
+		default:
+			t.Fatalf("line %d has unknown type %q", i, e.Type)
+		}
+	}
+	return epochs, solos
+}
+
+// TestTelemetryTinyComparison wires a JSONL sink and counters through the
+// parallel engine at Workers=8: the sink contract (concurrent Emit) is
+// exercised under -race on every CI push, and the stream's event counts
+// must match the run plan exactly.
+func TestTelemetryTinyComparison(t *testing.T) {
+	opts := tinyOptions()
+	opts.Workers = 8
+	var buf bytes.Buffer
+	jsonl := telemetry.NewJSONLSink(&buf)
+	var counters telemetry.Counters
+	opts.Telemetry = telemetry.Multi(&counters, jsonl)
+
+	policies := tinyPolicies(t, "PT", "CMM-a")
+	comp, err := RunComparison(opts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	epochs, solos := decodeEvents(t, buf.String())
+	runs := len(comp.Mixes) * (len(policies) + 1) * len(opts.Seeds) // +1: baseline
+	epochsPerRun := opts.WarmEpochs + opts.MeasureEpochs
+	if len(epochs) != runs*epochsPerRun {
+		t.Errorf("%d epoch events, want %d (%d runs x %d epochs)",
+			len(epochs), runs*epochsPerRun, runs, epochsPerRun)
+	}
+	if want := len(uniqueSpecs(comp.Mixes)); len(solos) != want {
+		t.Errorf("%d solo events, want %d (singleflight should run each benchmark once)", len(solos), want)
+	}
+	for _, e := range epochs {
+		if e.Mix == "" || e.Policy == "" || e.Seed == 0 {
+			t.Fatalf("epoch event missing run identity: %+v", e)
+		}
+		if e.ExecCycles != opts.CMM.ExecutionEpoch {
+			t.Fatalf("epoch event ExecCycles %d, want %d", e.ExecCycles, opts.CMM.ExecutionEpoch)
+		}
+	}
+	if got := counters.Snapshot()["epochs_total"]; got != uint64(len(epochs)) {
+		t.Errorf("counters saw %d epochs, stream carried %d", got, len(epochs))
+	}
+
+	// Per-policy summaries must be attached and consistent with the plan.
+	for _, name := range append([]string{"baseline"}, comp.Policies...) {
+		ts, ok := comp.Telemetry[name]
+		if !ok {
+			t.Fatalf("no telemetry summary for %s", name)
+		}
+		if want := len(comp.Mixes) * len(opts.Seeds); ts.Runs != want {
+			t.Errorf("%s: %d runs, want %d", name, ts.Runs, want)
+		}
+		if want := len(comp.Mixes) * len(opts.Seeds) * epochsPerRun; ts.Epochs != want {
+			t.Errorf("%s: %d epochs, want %d", name, ts.Epochs, want)
+		}
+		// The baseline never samples, so its overhead is exactly zero;
+		// every real policy profiles at least one interval per epoch.
+		if ts.OverheadFraction < 0 || ts.OverheadFraction >= 1 {
+			t.Errorf("%s: overhead fraction %g outside [0,1)", name, ts.OverheadFraction)
+		}
+		if name != "baseline" && ts.OverheadFraction == 0 {
+			t.Errorf("%s: policy run reported zero profiling overhead", name)
+		}
+	}
+}
+
+// TestTelemetryGoldenEquivalence is the observation-only guarantee: the
+// quick-mode Fig. 13 comparison with a live JSONL sink is bit-identical
+// to the same run with telemetry disabled (quickComparison — the run the
+// golden snapshot in testdata/ pins), so turning on observability can
+// never move the science.
+func TestTelemetryGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison runs are slow")
+	}
+	if raceEnabled {
+		t.Skip("serial calibration test; ~10x slower under -race with no added coverage")
+	}
+	base := quickComparison(t)
+
+	opts := shapeOptions()
+	var buf bytes.Buffer
+	jsonl := telemetry.NewJSONLSink(&buf)
+	opts.Telemetry = jsonl
+	comp, err := RunComparison(opts, cmm.Policies()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(comp.Policies, base.Policies) {
+		t.Errorf("policies diverged: %v vs %v", comp.Policies, base.Policies)
+	}
+	for _, p := range base.Policies {
+		if !reflect.DeepEqual(comp.Results[p], base.Results[p]) {
+			t.Errorf("%s: results with telemetry enabled differ from telemetry-off run:\n with %+v\n without %+v",
+				p, comp.Results[p], base.Results[p])
+		}
+	}
+
+	// The stream itself must be well-formed and cover every epoch.
+	epochs, _ := decodeEvents(t, buf.String())
+	runs := len(comp.Mixes) * (len(comp.Policies) + 1) * len(opts.Seeds)
+	epochsPerRun := opts.WarmEpochs + opts.MeasureEpochs
+	if len(epochs) != runs*epochsPerRun {
+		t.Errorf("%d epoch events, want %d", len(epochs), runs*epochsPerRun)
+	}
+}
