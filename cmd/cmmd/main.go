@@ -18,16 +18,22 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cmm"
 	icmm "cmm/internal/cmm"
+	"cmm/internal/runstore"
+	"cmm/internal/server"
 	"cmm/internal/telemetry"
 )
 
@@ -49,8 +55,14 @@ func main() {
 		ghz        = flag.Float64("ghz", 2.1, "core clock in GHz for -hw")
 		listen     = flag.String("listen", "", "serve plain-text /metrics and expvar /debug/vars on this address (e.g. :8080) while the daemon runs")
 		teleOut    = flag.String("telemetry", "", "append per-epoch telemetry events as JSONL to this file")
+		storeDir   = flag.String("store", "", "run-store directory to report disk-usage gauges for on /metrics")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop the epoch loop at the next epoch boundary and
+	// shut the metrics listener down gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sinks := []telemetry.Sink{&counters}
 	if *teleOut != "" {
@@ -68,7 +80,15 @@ func main() {
 	}
 	sink := telemetry.Multi(sinks...)
 	if *listen != "" {
-		serveMetrics(*listen)
+		var store *runstore.Store
+		if *storeDir != "" {
+			var err error
+			if store, err = runstore.Open(*storeDir); err != nil {
+				fatal(err)
+			}
+		}
+		wait := serveMetrics(ctx, *listen, store)
+		defer func() { stop(); wait() }()
 	}
 
 	if *list {
@@ -114,6 +134,10 @@ func main() {
 		fmt.Printf("  core %d: %s\n", i, n)
 	}
 	for e := 0; e < *epochs; e++ {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted after %d epochs\n", e)
+			break
+		}
 		if err := m.RunEpochs(1); err != nil {
 			fatal(err)
 		}
@@ -181,15 +205,22 @@ func runHardware(policy string, cores int, ghz float64, epochs int, sink telemet
 
 // serveMetrics exposes the daemon's aggregate counters over HTTP: a
 // plain-text /metrics endpoint (one "cmm_<name> <value>" line per
-// counter) and the standard expvar JSON at /debug/vars. The server runs
-// for the lifetime of the epoch loop; point a scraper at it during long
-// runs.
-func serveMetrics(addr string) {
+// counter, plus run-store disk gauges when a store is given) and the
+// standard expvar JSON at /debug/vars. The listener carries the shared
+// production timeouts and drains gracefully when ctx is cancelled; the
+// returned wait blocks until it is down.
+func serveMetrics(ctx context.Context, addr string, store *runstore.Store) (wait func()) {
 	counters.PublishExpvar("cmm_")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		counters.WriteMetrics(w, "cmm_")
+		if store != nil {
+			if entries, bytes, err := store.DiskUsage(); err == nil {
+				fmt.Fprintf(w, "cmm_store_disk_entries %d\n", entries)
+				fmt.Fprintf(w, "cmm_store_disk_bytes %d\n", bytes)
+			}
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	ln, err := net.Listen("tcp", addr)
@@ -197,11 +228,14 @@ func serveMetrics(addr string) {
 		fatal(fmt.Errorf("listen %s: %w", addr, err))
 	}
 	fmt.Printf("telemetry: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+	done := make(chan struct{})
 	go func() {
-		if err := http.Serve(ln, mux); err != nil {
+		defer close(done)
+		if err := server.ServeUntil(ctx, server.NewHTTPServer(addr, mux), ln, 5*time.Second); err != nil {
 			fmt.Fprintln(os.Stderr, "cmmd: metrics server:", err)
 		}
 	}()
+	return func() { <-done }
 }
 
 // printCounters reports the aggregate telemetry after the epoch loop.

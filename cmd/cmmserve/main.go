@@ -1,0 +1,86 @@
+// Command cmmserve runs the experiment job service: an HTTP API that
+// accepts simulation jobs, executes them on a bounded worker pool, and
+// memoizes every run in a content-addressed store so repeated
+// configurations cost no simulation.
+//
+// Usage:
+//
+//	cmmserve -listen :8090 -store /var/lib/cmm/runs
+//	curl -s localhost:8090/v1/jobs -d '{"kind":"comparison","preset":"quick"}'
+//	curl -s localhost:8090/v1/jobs/<id>
+//	curl -s localhost:8090/v1/jobs/<id>/result?format=csv
+//
+// SIGINT/SIGTERM drain the service: the listener stops accepting, queued
+// jobs are cancelled, and running jobs get -grace to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cmm/internal/runstore"
+	"cmm/internal/server"
+	"cmm/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8090", "HTTP listen address")
+		storeDir = flag.String("store", "", "content-addressed run store directory (empty: in-memory cache only)")
+		jobs     = flag.Int("jobs", 1, "jobs executing concurrently")
+		queue    = flag.Int("queue", 16, "max queued jobs before submissions get 503")
+		timeout  = flag.Duration("timeout", 0, "default per-job execution timeout (0 = none)")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight requests and running jobs")
+	)
+	flag.Parse()
+
+	store, err := runstore.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	var counters telemetry.Counters
+	srv := server.New(server.Config{
+		Store:          store,
+		Workers:        *jobs,
+		QueueDepth:     *queue,
+		Counters:       &counters,
+		DefaultTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	if *storeDir != "" {
+		fmt.Printf("cmmserve: run store at %s\n", store.Dir())
+	}
+	fmt.Printf("cmmserve: listening on http://%s (POST /v1/jobs)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := server.NewHTTPServer(*listen, srv.Handler())
+	if err := server.ServeUntil(ctx, httpSrv, ln, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "cmmserve: http:", err)
+	}
+
+	// The listener is down; now drain the job pool.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "cmmserve: drain cut short:", err)
+	}
+	st := store.Stats()
+	fmt.Printf("cmmserve: drained; store served %d hits / %d misses\n", st.Hits, st.Misses)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmserve:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,9 @@
 //	cmmsim -fig 13 -workers 8 -progress  # fan runs over 8 workers
 //	cmmsim -fig 13 -quick -telemetry out.jsonl  # per-epoch decision stream
 //	cmmsim -fig 13 -cpuprofile cpu.pb.gz        # pprof the run
+//	cmmsim -fig 13 -store runs/                 # memoize runs; a warm rerun
+//	                                            # simulates nothing and is
+//	                                            # bit-identical
 //
 // Figures 7–15 share one comparison dataset; requesting any of them runs
 // the whole set of policies the figure needs. -quick (default) uses 2
@@ -35,6 +38,7 @@ import (
 
 	"cmm/internal/cmm"
 	"cmm/internal/experiments"
+	"cmm/internal/runstore"
 	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
@@ -50,6 +54,7 @@ func main() {
 		mixesN     = flag.Int("mixes", 0, "override mixes per category (0 = option default)")
 		out        = flag.String("out", "", "write output to file instead of stdout")
 		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = NumCPU, 1 = serial); any value produces identical output")
+		storeDir   = flag.String("store", "", "content-addressed run store directory; cached runs skip simulation and reproduce bit-identical output")
 		progress   = flag.Bool("progress", false, "report per-run progress on stderr")
 		teleOut    = flag.String("telemetry", "", "write per-epoch controller telemetry as JSONL to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
@@ -118,6 +123,17 @@ func main() {
 		opts.MixesPerCategory = *mixesN
 	}
 	opts.Workers = *workers
+	if *storeDir != "" {
+		store, err := runstore.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+		defer func() {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "cmmsim: store %s: %d hits, %d misses\n", *storeDir, st.Hits, st.Misses)
+		}()
+	}
 	if *teleOut != "" {
 		f, err := os.Create(*teleOut)
 		if err != nil {

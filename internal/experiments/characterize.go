@@ -86,14 +86,14 @@ func Characterize(opts Options, specs []workload.Spec) ([]Fig1Row, []Fig2Row, er
 	f1 := make([]Fig1Row, len(specs))
 	f2 := make([]Fig2Row, len(specs))
 	prog := newProgress(opts, 2*len(specs))
-	err := parallel.ForEach(opts.Workers, len(specs), func(i int) error {
+	err := parallel.ForEachCtx(opts.ctx(), opts.Workers, len(specs), func(i int) error {
 		spec := specs[i]
-		off, err := runSolo(opts, spec, opts.BaseSeed, msr.DisableAll, 0)
+		off, err := runSoloCached(opts, spec, opts.BaseSeed, msr.DisableAll, 0, runSolo)
 		if err != nil {
 			return fmt.Errorf("characterize %s off: %w", spec.Name, err)
 		}
 		prog.tick()
-		on, err := runSolo(opts, spec, opts.BaseSeed, 0, 0)
+		on, err := runSoloCached(opts, spec, opts.BaseSeed, 0, 0, runSolo)
 		if err != nil {
 			return fmt.Errorf("characterize %s on: %w", spec.Name, err)
 		}
@@ -175,9 +175,9 @@ func Fig3Of(opts Options, specs []workload.Spec, ways []int) ([]Fig3Row, error) 
 		rows[i] = Fig3Row{Benchmark: spec.Name, Ways: ways, IPC: make([]float64, len(ways))}
 	}
 	prog := newProgress(opts, len(specs)*len(ways))
-	err := parallel.ForEach(opts.Workers, len(specs)*len(ways), func(j int) error {
+	err := parallel.ForEachCtx(opts.ctx(), opts.Workers, len(specs)*len(ways), func(j int) error {
 		si, wi := j/len(ways), j%len(ways)
-		r, err := runSolo(opts, specs[si], opts.BaseSeed, 0, ways[wi])
+		r, err := runSoloCached(opts, specs[si], opts.BaseSeed, 0, ways[wi], runSolo)
 		if err != nil {
 			return fmt.Errorf("fig3 %s %d ways: %w", specs[si].Name, ways[wi], err)
 		}

@@ -163,7 +163,7 @@ func (c *soloIPCCache) get(spec workload.Spec) (float64, error) {
 		e = &soloEntry{done: make(chan struct{})}
 		c.m[spec.Name] = e
 		c.mu.Unlock()
-		r, err := c.runFn(c.opts, spec, c.opts.BaseSeed, 0, 0)
+		r, err := runSoloCached(c.opts, spec, c.opts.BaseSeed, 0, 0, c.runFn)
 		e.ipc, e.err = r.IPC, err
 		close(e.done)
 		return e.ipc, e.err
@@ -176,7 +176,7 @@ func (c *soloIPCCache) get(spec workload.Spec) (float64, error) {
 // precompute fills the cache for every benchmark appearing in the mixes,
 // fanning the solo runs out across the worker pool.
 func (c *soloIPCCache) precompute(specs []workload.Spec, workers int, prog *progressCounter) error {
-	return parallel.ForEach(workers, len(specs), func(i int) error {
+	return parallel.ForEachCtx(c.opts.ctx(), workers, len(specs), func(i int) error {
 		if _, err := c.get(specs[i]); err != nil {
 			return fmt.Errorf("alone IPC %s: %w", specs[i].Name, err)
 		}
@@ -211,6 +211,12 @@ func uniqueSpecs(ms []mixes.Mix) []workload.Spec {
 // mutable state. Results land in slots keyed by (mix, policy, seed) index
 // and the final scoring pass walks them in deterministic order — the
 // output is bit-identical for any worker count.
+//
+// With Options.Store set, every run is consulted against the
+// content-addressed result store first: a warm store serves the whole
+// comparison without simulating anything, bit-identical to the cold run
+// (the stored values are the canonical JSON of each run's measurements).
+// Options.Context, when set, cancels the sweep between runs.
 func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -266,10 +272,10 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 			}
 		}
 	}
-	err = parallel.ForEach(opts.Workers, len(jobs), func(j int) error {
+	err = parallel.ForEachCtx(opts.ctx(), opts.Workers, len(jobs), func(j int) error {
 		jb := jobs[j]
 		mix, p := selected[jb.mi], runPolicies[jb.pi]
-		r, err := runPolicy(opts, mix, p.Clone(), opts.Seeds[jb.si])
+		r, err := runPolicyCached(opts, mix, p, opts.Seeds[jb.si])
 		if err != nil {
 			return fmt.Errorf("%s %s: %w", mix.Name, p.Name(), err)
 		}

@@ -8,10 +8,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"cmm/internal/cmm"
+	"cmm/internal/runstore"
 	"cmm/internal/sim"
 	"cmm/internal/telemetry"
 )
@@ -57,6 +59,19 @@ type Options struct {
 	// package is). Telemetry is observation only: enabling it leaves
 	// every simulated cycle, and therefore every figure, bit-identical.
 	Telemetry telemetry.Sink
+	// Store, when non-nil, memoizes run results content-addressed by the
+	// full run configuration (machine config, workload specs, policy,
+	// seed, epoch settings — see StoreSchema). Hits skip the simulation
+	// entirely and decode the stored result, which is kept in canonical
+	// JSON so a warm rerun is bit-identical to the cold run that filled
+	// it. Cached runs emit no per-epoch telemetry (nothing executes);
+	// each lookup emits one TypeStore event instead.
+	Store *runstore.Store
+	// Context, when non-nil, cancels the experiment between simulation
+	// runs: no new runs start after it is done and the context's error is
+	// returned. Runs already executing finish first (a single run is not
+	// interruptible), so cancellation latency is one run.
+	Context context.Context
 }
 
 // DefaultOptions returns the full-fidelity configuration used by the

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"cmm/internal/cmm"
+	"cmm/internal/mixes"
+	"cmm/internal/runstore"
+	"cmm/internal/sim"
+	"cmm/internal/telemetry"
+	"cmm/internal/workload"
+)
+
+// StoreSchema versions the run-store key space. Bump it whenever the
+// meaning of a cached result changes without any keyed input changing —
+// e.g. a simulator bugfix, a new scored field, or a semantic change to a
+// policy that keeps its name. Every key embeds the version, so a bump
+// invalidates the whole store at once (old entries are simply never
+// addressed again; the files stay on disk until cleaned up).
+const StoreSchema = 1
+
+// policyKey is everything that determines one (mix, policy, seed)
+// controller run's policyRun result. Observation-only options (Telemetry,
+// Progress), execution-shape options (Workers, Context) and the store
+// itself are deliberately absent: they never change the simulated cycles.
+type policyKey struct {
+	Schema                    int
+	Kind                      string
+	Sim                       sim.Config
+	CMM                       cmm.Config
+	WarmEpochs, MeasureEpochs int
+	Mix                       string
+	Specs                     []workload.Spec
+	Policy                    string
+	Seed                      int64
+}
+
+// soloKey is everything that determines one solo characterisation run.
+type soloKey struct {
+	Schema                 int
+	Kind                   string
+	Sim                    sim.Config
+	WarmCycles, MeasCycles uint64
+	Spec                   workload.Spec
+	Seed                   int64
+	MSR                    uint64
+	Ways                   int
+}
+
+func (o Options) policyKeyHash(mix mixes.Mix, policy string, seed int64) (string, error) {
+	return runstore.Hash(policyKey{
+		Schema:        StoreSchema,
+		Kind:          "policy",
+		Sim:           o.Sim,
+		CMM:           o.CMM,
+		WarmEpochs:    o.WarmEpochs,
+		MeasureEpochs: o.MeasureEpochs,
+		Mix:           mix.Name,
+		Specs:         mix.Specs,
+		Policy:        policy,
+		Seed:          seed,
+	})
+}
+
+func (o Options) soloKeyHash(spec workload.Spec, seed int64, msrVal uint64, ways int) (string, error) {
+	return runstore.Hash(soloKey{
+		Schema:     StoreSchema,
+		Kind:       "solo",
+		Sim:        o.Sim,
+		WarmCycles: o.SoloWarmCycles,
+		MeasCycles: o.SoloMeasureCycles,
+		Spec:       spec,
+		Seed:       seed,
+		MSR:        msrVal,
+		Ways:       ways,
+	})
+}
+
+// emitStoreEvent reports one run-store lookup on the telemetry stream.
+func emitStoreEvent(o Options, mix, policy, benchmark string, seed int64, hit bool) {
+	if o.Telemetry == nil {
+		return
+	}
+	o.Telemetry.Emit(telemetry.Event{
+		Type:      telemetry.TypeStore,
+		Mix:       mix,
+		Policy:    policy,
+		Benchmark: benchmark,
+		Seed:      seed,
+		Hit:       hit,
+	})
+}
+
+// runPolicyCached is runPolicy behind the run store: on a hit the stored
+// result is decoded and no simulation happens; on a miss the run executes
+// (cloning the policy for isolation, as the direct path does) and its
+// result is persisted in canonical JSON. Concurrent identical requests are
+// deduplicated by the store's singleflight, so one simulation serves all.
+func runPolicyCached(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (policyRun, error) {
+	if opts.Store == nil {
+		return runPolicy(opts, mix, policy.Clone(), seed)
+	}
+	key, err := opts.policyKeyHash(mix, policy.Name(), seed)
+	if err != nil {
+		return policyRun{}, fmt.Errorf("experiments: store key: %w", err)
+	}
+	data, hit, err := opts.Store.GetOrCompute(key, func() ([]byte, error) {
+		r, err := runPolicy(opts, mix, policy.Clone(), seed)
+		if err != nil {
+			return nil, err
+		}
+		return runstore.Canonical(r)
+	})
+	if err != nil {
+		return policyRun{}, err
+	}
+	emitStoreEvent(opts, mix.Name, policy.Name(), "", seed, hit)
+	var r policyRun
+	if err := json.Unmarshal(data, &r); err != nil {
+		return policyRun{}, fmt.Errorf("experiments: store entry %s: %w", key, err)
+	}
+	return r, nil
+}
+
+// runSoloCached is the solo-run analogue of runPolicyCached. runFn is the
+// actual runner (runSolo, or a test double counting invocations).
+func runSoloCached(opts Options, spec workload.Spec, seed int64, msrVal uint64, ways int,
+	runFn func(Options, workload.Spec, int64, uint64, int) (soloRun, error)) (soloRun, error) {
+	if opts.Store == nil {
+		return runFn(opts, spec, seed, msrVal, ways)
+	}
+	key, err := opts.soloKeyHash(spec, seed, msrVal, ways)
+	if err != nil {
+		return soloRun{}, fmt.Errorf("experiments: store key: %w", err)
+	}
+	data, hit, err := opts.Store.GetOrCompute(key, func() ([]byte, error) {
+		r, err := runFn(opts, spec, seed, msrVal, ways)
+		if err != nil {
+			return nil, err
+		}
+		return runstore.Canonical(r)
+	})
+	if err != nil {
+		return soloRun{}, err
+	}
+	emitStoreEvent(opts, "", "", spec.Name, seed, hit)
+	var r soloRun
+	if err := json.Unmarshal(data, &r); err != nil {
+		return soloRun{}, fmt.Errorf("experiments: store entry %s: %w", key, err)
+	}
+	return r, nil
+}
+
+// ctx returns the run's cancellation context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cmm/internal/cmm"
+	"cmm/internal/mixes"
+	"cmm/internal/runstore"
+	"cmm/internal/telemetry"
+	"cmm/internal/workload"
+)
+
+// storeCounts pulls the counters a warm-store assertion cares about.
+func storeCounts(c *telemetry.Counters) (epochs, solos, hits, misses uint64) {
+	s := c.Snapshot()
+	return s["epochs_total"], s["solo_runs_total"], s["store_hits_total"], s["store_misses_total"]
+}
+
+// TestStoreWarmRerunZeroSim is the tiny, -short-friendly version of the
+// run-store contract: a comparison against a warm store performs zero
+// simulation — no controller epochs, no solo runs — and reproduces the
+// cold run's results exactly. The warm pass reopens the store from disk,
+// so it also proves persistence across process restarts.
+func TestStoreWarmRerunZeroSim(t *testing.T) {
+	dir := t.TempDir()
+	policies := tinyPolicies(t, "PT", "CMM-a")
+
+	cold, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tinyOptions()
+	opts.Store = cold
+	var coldCounters telemetry.Counters
+	opts.Telemetry = &coldCounters
+	base, err := RunComparison(opts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, solos, hits, misses := storeCounts(&coldCounters)
+	if epochs == 0 || solos == 0 {
+		t.Fatalf("cold run simulated nothing (epochs=%d solos=%d); store can't have been filled honestly", epochs, solos)
+	}
+	runs := len(base.Mixes) * (len(policies) + 1) * len(opts.Seeds)
+	wantLookups := uint64(runs + len(uniqueSpecs(base.Mixes)))
+	if hits != 0 || misses != wantLookups {
+		t.Errorf("cold run: %d hits / %d misses, want 0 / %d", hits, misses, wantLookups)
+	}
+
+	// Fresh store handle on the same directory: every result must come off
+	// disk, with the simulator never invoked.
+	warmStore, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := tinyOptions()
+	warmOpts.Store = warmStore
+	var warmCounters telemetry.Counters
+	warmOpts.Telemetry = &warmCounters
+	warm, err := RunComparison(warmOpts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, solos, hits, misses = storeCounts(&warmCounters)
+	if epochs != 0 || solos != 0 {
+		t.Errorf("warm rerun simulated: %d epochs, %d solo runs, want 0 of each", epochs, solos)
+	}
+	if misses != 0 || hits != wantLookups {
+		t.Errorf("warm rerun: %d hits / %d misses, want %d / 0", hits, misses, wantLookups)
+	}
+
+	if !reflect.DeepEqual(warm.Mixes, base.Mixes) || !reflect.DeepEqual(warm.Policies, base.Policies) {
+		t.Fatalf("warm rerun changed the plan: %v/%v vs %v/%v", warm.Mixes, warm.Policies, base.Mixes, base.Policies)
+	}
+	for _, p := range append([]string{}, base.Policies...) {
+		if !reflect.DeepEqual(warm.Results[p], base.Results[p]) {
+			t.Errorf("%s: warm results differ from cold run:\n warm %+v\n cold %+v", p, warm.Results[p], base.Results[p])
+		}
+	}
+}
+
+// TestStoreCharacterizeWarmRerun pins the solo path the same way: a warm
+// Characterize (Figs. 1-2) runs zero solo simulations and reproduces the
+// cold rows bit-for-bit.
+func TestStoreCharacterizeWarmRerun(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tinyOptions()
+	opts.Store = store
+	specs := workload.Suite()[:2]
+	f1, f2, err := Characterize(opts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var warmCounters telemetry.Counters
+	opts.Telemetry = &warmCounters
+	g1, g2, err := Characterize(opts, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, solos, hits, misses := storeCounts(&warmCounters)
+	if epochs != 0 || solos != 0 || misses != 0 {
+		t.Errorf("warm characterize simulated: epochs=%d solos=%d misses=%d, want all 0", epochs, solos, misses)
+	}
+	if want := uint64(2 * len(specs)); hits != want {
+		t.Errorf("warm characterize: %d hits, want %d", hits, want)
+	}
+	if !reflect.DeepEqual(g1, f1) || !reflect.DeepEqual(g2, f2) {
+		t.Errorf("warm characterize rows differ:\n f1 %+v vs %+v\n f2 %+v vs %+v", g1, f1, g2, f2)
+	}
+}
+
+// TestStoreKeyScope pins which options participate in the content
+// address: observation (Telemetry, Progress) and execution shape
+// (Workers, Context, Store) must not move the key, while anything that
+// changes simulated cycles must.
+func TestStoreKeyScope(t *testing.T) {
+	opts := tinyOptions()
+	m, err := mixes.All(opts.Cores, opts.BaseSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := m[0]
+	base, err := opts.policyKeyHash(mix, "PT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shaped := opts
+	shaped.Workers = 7
+	shaped.Progress = func(int, int) {}
+	shaped.Telemetry = &telemetry.Counters{}
+	shaped.Context = context.Background()
+	if got, err := shaped.policyKeyHash(mix, "PT", 1); err != nil || got != base {
+		t.Errorf("observation/shape options moved the key: %s vs %s (err %v)", got, base, err)
+	}
+
+	for name, mut := range map[string]func(*Options){
+		"epoch length": func(o *Options) { o.CMM.ExecutionEpoch++ },
+		"warm epochs":  func(o *Options) { o.WarmEpochs++ },
+		"llc size":     func(o *Options) { o.Sim.LLC.Ways++ },
+	} {
+		changed := opts
+		mut(&changed)
+		if got, err := changed.policyKeyHash(mix, "PT", 1); err != nil || got == base {
+			t.Errorf("%s: key unchanged (%s), must invalidate (err %v)", name, got, err)
+		}
+	}
+	if got, err := opts.policyKeyHash(mix, "PT", 2); err != nil || got == base {
+		t.Errorf("seed: key unchanged (%s), must invalidate (err %v)", got, err)
+	}
+	if got, err := opts.policyKeyHash(mix, "Dunn", 1); err != nil || got == base {
+		t.Errorf("policy: key unchanged (%s), must invalidate (err %v)", got, err)
+	}
+}
+
+// TestComparisonContextCancelled verifies Options.Context is honoured: a
+// pre-cancelled context stops the run before any simulation.
+func TestComparisonContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := tinyOptions()
+	opts.Context = ctx
+	var counters telemetry.Counters
+	opts.Telemetry = &counters
+	if _, err := RunComparison(opts, tinyPolicies(t, "PT")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if epochs, solos, _, _ := storeCounts(&counters); epochs != 0 || solos != 0 {
+		t.Errorf("cancelled run simulated: epochs=%d solos=%d", epochs, solos)
+	}
+}
+
+// TestStoreGoldenFig13Equivalence extends the golden-equivalence family
+// (see TestTelemetryGoldenEquivalence) to the run store: the quick-mode
+// Fig. 13 comparison run cold through a store matches the storeless run
+// the golden snapshot pins, and a warm rerun off that store performs zero
+// simulation yet renders bit-identical tables.
+func TestStoreGoldenFig13Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison runs are slow")
+	}
+	if raceEnabled {
+		t.Skip("serial calibration test; ~10x slower under -race with no added coverage")
+	}
+	base := quickComparison(t)
+	dir := t.TempDir()
+
+	cold, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := shapeOptions()
+	opts.Store = cold
+	coldComp, err := RunComparison(opts, cmm.Policies()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range base.Policies {
+		if !reflect.DeepEqual(coldComp.Results[p], base.Results[p]) {
+			t.Errorf("%s: results with store enabled differ from storeless run", p)
+		}
+	}
+
+	warmStore, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := shapeOptions()
+	warmOpts.Store = warmStore
+	var counters telemetry.Counters
+	warmOpts.Telemetry = &counters
+	warm, err := RunComparison(warmOpts, cmm.Policies()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, solos, hits, misses := storeCounts(&counters)
+	if epochs != 0 || solos != 0 || misses != 0 {
+		t.Errorf("warm Fig. 13 rerun simulated: epochs=%d solos=%d misses=%d, want all 0", epochs, solos, misses)
+	}
+	if hits == 0 {
+		t.Error("warm Fig. 13 rerun recorded no store hits")
+	}
+
+	// The rendered tables — the artefact the paper comparison ships — must
+	// be byte-identical between the storeless run and the warm rerun.
+	var want, got bytes.Buffer
+	WriteHSWS(&want, base, base.Policies...)
+	WriteHSWS(&got, warm, warm.Policies...)
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("warm-store Fig. 13 table differs from storeless run:\n--- storeless\n%s\n--- warm store\n%s", want.String(), got.String())
+	}
+}

@@ -85,32 +85,54 @@ func (g *Group) Wait() error {
 // completion order — the determinism contract the experiment engine's
 // equivalence tests pin down.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: when ctx is
+// cancelled, no further tasks start and the ctx error is returned (a task
+// error observed first still wins). Tasks already running are not
+// interrupted — fn does not receive the context — so cancellation takes
+// effect between tasks, which for the experiment engine means between
+// simulation runs. A nil ctx is treated as context.Background().
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	g := NewGroup(context.Background(), workers)
+	g := NewGroup(ctx, workers)
 	for i := 0; i < n; i++ {
 		if g.Context().Err() != nil {
-			break // a task already failed; stop submitting
+			break // a task failed or the caller cancelled; stop submitting
 		}
 		i := i
-		g.Go(func(ctx context.Context) error {
-			if ctx.Err() != nil {
+		g.Go(func(gctx context.Context) error {
+			if gctx.Err() != nil {
 				return nil // cancelled while queued
 			}
 			return fn(i)
 		})
 	}
-	return g.Wait()
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	// No task failed, but the caller's context may have cut the loop
+	// short; surface that so callers don't mistake a partial result for a
+	// complete one.
+	return ctx.Err()
 }

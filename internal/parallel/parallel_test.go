@@ -138,3 +138,89 @@ func TestGroupWaitCancelsContext(t *testing.T) {
 		t.Fatal("group context not cancelled after Wait")
 	}
 }
+
+// TestForEachCtxSerialCancel pins the serial path's cancellation point:
+// tasks started before the cancel run to completion, nothing starts after,
+// and the context error is reported.
+func TestForEachCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []int
+	err := ForEachCtx(ctx, 1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("ran %v, want exactly tasks 0..2", ran)
+	}
+}
+
+// TestForEachCtxParallelCancel checks that cancelling mid-flight stops
+// submission, surfaces the context error, and never loses a task error
+// that happened first.
+func TestForEachCtxParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 100 {
+		t.Fatal("cancellation did not stop submission")
+	}
+}
+
+// TestForEachCtxTaskErrorWins ensures an explicit task failure is reported
+// even when the context is cancelled as a consequence.
+func TestForEachCtxTaskErrorWins(t *testing.T) {
+	boom := errors.New("task failed")
+	err := ForEachCtx(context.Background(), 4, 50, func(i int) error {
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+}
+
+// TestForEachCtxPreCancelled runs nothing when the context is already done.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	for _, workers := range []int{1, 4} {
+		err := ForEachCtx(ctx, workers, 5, func(i int) error {
+			called = true
+			return nil
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if called {
+		t.Fatal("task ran under a pre-cancelled context")
+	}
+}
+
+// TestForEachCtxNil treats nil as context.Background().
+func TestForEachCtxNil(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEachCtx(nil, 2, 8, func(i int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d tasks, want 8", n.Load())
+	}
+}

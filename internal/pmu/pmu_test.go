@@ -1,6 +1,7 @@
 package pmu
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -194,5 +195,46 @@ func TestPropertyDeltaMatchesUpdates(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSampleJSONRoundTrip pins the run store's serialization contract: a
+// sample encodes as the plain event-delta array and decodes back exactly.
+func TestSampleJSONRoundTrip(t *testing.T) {
+	var s Sample
+	for e := Event(0); e < NumEvents; e++ {
+		s.Set(e, uint64(e)*1_000_003+7)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sample
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, s)
+	}
+
+	// Shorter arrays (older event sets) zero-fill; longer ones error.
+	var short Sample
+	if err := json.Unmarshal([]byte(`[1,2]`), &short); err != nil {
+		t.Fatal(err)
+	}
+	if short.Value(Instructions) != 1 || short.Value(Cycles) != 2 || short.Value(L1DmReq) != 0 {
+		t.Errorf("short decode: %+v", short)
+	}
+	long := make([]byte, 0, 64)
+	long = append(long, '[')
+	for i := 0; i <= int(NumEvents); i++ {
+		if i > 0 {
+			long = append(long, ',')
+		}
+		long = append(long, '1')
+	}
+	long = append(long, ']')
+	if err := json.Unmarshal(long, &short); err == nil {
+		t.Error("oversized sample array accepted")
 	}
 }

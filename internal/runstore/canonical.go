@@ -1,0 +1,160 @@
+// Package runstore is the framework's durable result layer: a disk-backed,
+// content-addressed cache of simulation results. Keys are SHA-256 hashes of
+// a canonical JSON encoding of everything that determines a run's outcome
+// (machine config, workload specs, policy, seed, epoch settings, plus a
+// schema version); values are the scored results, stored in the same
+// canonical encoding so a byte-for-byte warm read reproduces a cold run
+// exactly.
+//
+// The store combines four layers:
+//
+//   - a canonical encoder (this file) that makes keys and values stable
+//     across processes and Go versions: object keys sorted, floats in a
+//     fixed 17-significant-digit scientific form, integers verbatim;
+//   - an in-memory LRU front so hot keys never touch the disk twice;
+//   - an on-disk body of one file per entry, written atomically
+//     (temp file + rename) and sharded by hash prefix;
+//   - singleflight deduplication in GetOrCompute, so N concurrent requests
+//     for the same missing key run the computation exactly once — the
+//     generalization of the experiment engine's solo-IPC cache.
+//
+// Corrupted disk entries are never fatal: a file that fails to parse is
+// quarantined (renamed aside with a .corrupt suffix) and treated as a miss,
+// so a partially written or bit-rotted cache only costs a recomputation.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical returns the deterministic JSON encoding of v. The encoding is
+// the contract behind every store key and value:
+//
+//   - object keys appear in sorted order (struct fields included — they
+//     pass through a generic map first);
+//   - numbers with a fractional or exponent part are re-formatted as
+//     17-significant-digit scientific notation ('e' format), which
+//     round-trips every float64 exactly and never depends on the
+//     shortest-representation algorithm of the writing Go version;
+//   - integer numbers keep their exact decimal digits (uint64 values above
+//     2^53 survive byte-for-byte);
+//   - no insignificant whitespace.
+//
+// v must be JSON-marshalable; NaN and infinities are rejected by
+// encoding/json before this function ever sees them.
+func Canonical(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: marshal: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("runstore: reparse: %w", err)
+	}
+	var b strings.Builder
+	if err := writeCanonical(&b, tree); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// writeCanonical renders one decoded JSON value deterministically.
+func writeCanonical(b *strings.Builder, v any) error {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		if t {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case string:
+		data, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		b.Write(data)
+	case json.Number:
+		b.WriteString(canonicalNumber(t))
+	case []any:
+		b.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeCanonical(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			kd, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			b.Write(kd)
+			b.WriteByte(':')
+			if err := writeCanonical(b, t[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	default:
+		return fmt.Errorf("runstore: unexpected decoded type %T", v)
+	}
+	return nil
+}
+
+// canonicalNumber fixes the textual form of one JSON number. Integers (no
+// fraction, no exponent) are already canonical — JSON integer digits are
+// exact — and pass through verbatim, which keeps uint64 counters above
+// 2^53 lossless. Everything else is parsed as float64 and re-formatted
+// with a fixed 17-significant-digit scientific notation: 17 significant
+// digits round-trip any float64 exactly, and the fixed precision makes the
+// bytes independent of shortest-form printing.
+func canonicalNumber(n json.Number) string {
+	s := n.String()
+	if !strings.ContainsAny(s, ".eE") {
+		return s
+	}
+	f, err := n.Float64()
+	if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+		// Unparseable numbers cannot come out of json.Marshal; keep the
+		// source bytes rather than failing the whole encoding.
+		return s
+	}
+	return strconv.FormatFloat(f, 'e', 16, 64) // 17 significant digits
+}
+
+// Hash returns the store key for v: the lowercase hex SHA-256 of
+// Canonical(v). Two values with the same canonical encoding — semantically
+// equal configurations, regardless of map order or float spelling — hash
+// identically; any field change changes the hash.
+func Hash(v any) (string, error) {
+	data, err := Canonical(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,229 @@
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sampleKey mirrors the shape of a real store key: nested structs, floats,
+// large unsigned integers, slices and a map.
+type sampleKey struct {
+	Schema int
+	Kind   string
+	GHz    float64
+	Epoch  uint64
+	Seeds  []int64
+	Thresh map[string]float64
+	Nested struct {
+		Ways  int
+		Ratio float64
+	}
+}
+
+func makeSample() sampleKey {
+	k := sampleKey{
+		Schema: 1,
+		Kind:   "policy",
+		GHz:    2.1,
+		Epoch:  5_000_000_000,
+		Seeds:  []int64{1, 2, 3},
+		Thresh: map[string]float64{"pmr": 0.7, "pga": 0.6, "llcpt": 2.5e7},
+	}
+	k.Nested.Ways = 20
+	k.Nested.Ratio = 1.0 / 3.0
+	return k
+}
+
+// TestCanonicalDeterministic pins the core contract: semantically equal
+// values produce byte-identical encodings regardless of map insertion
+// order, and repeated encoding is stable.
+func TestCanonicalDeterministic(t *testing.T) {
+	a := makeSample()
+	b := makeSample()
+	// Rebuild b's map in a different insertion order.
+	b.Thresh = map[string]float64{}
+	for _, k := range []string{"llcpt", "pga", "pmr"} {
+		b.Thresh[k] = a.Thresh[k]
+	}
+	ea, err := Canonical(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Canonical(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Errorf("insertion order changed the encoding:\n%s\n%s", ea, eb)
+	}
+	ea2, err := Canonical(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, ea2) {
+		t.Errorf("re-encoding the same value drifted:\n%s\n%s", ea, ea2)
+	}
+}
+
+// TestCanonicalSortedKeys checks the object-key ordering and the fixed
+// float form directly on a small literal.
+func TestCanonicalSortedKeys(t *testing.T) {
+	got, err := Canonical(map[string]any{"b": 1, "a": 0.5, "c": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":5.0000000000000000e-01,"b":1,"c":"x"}`
+	if string(got) != want {
+		t.Errorf("canonical form:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCanonicalRoundTrip is the stored-value guarantee: canonical bytes
+// decode back to a value whose re-encoding is byte-identical, floats
+// included. This is what makes a warm store read bit-identical to the cold
+// computation it cached.
+func TestCanonicalRoundTrip(t *testing.T) {
+	type result struct {
+		IPC    []float64
+		Bytes  uint64
+		Ratio  float64
+		Name   string
+		Combos int
+	}
+	orig := result{
+		IPC:    []float64{0.1, 1.0 / 3.0, 2.5e-8, 1e300, math.SmallestNonzeroFloat64, 4095.75},
+		Bytes:  math.MaxUint64, // above 2^53: must survive verbatim
+		Ratio:  0.30000000000000004,
+		Name:   "410.bwaves",
+		Combos: 9,
+	}
+	first, err := Canonical(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded result
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatalf("canonical bytes are not valid JSON for the source type: %v", err)
+	}
+	second, err := Canonical(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("re-marshal changed the bytes:\n1st %s\n2nd %s", first, second)
+	}
+	for i := range orig.IPC {
+		if decoded.IPC[i] != orig.IPC[i] {
+			t.Errorf("IPC[%d] drifted: %v -> %v", i, orig.IPC[i], decoded.IPC[i])
+		}
+	}
+	if decoded.Bytes != orig.Bytes {
+		t.Errorf("uint64 drifted: %d -> %d", orig.Bytes, decoded.Bytes)
+	}
+}
+
+// TestHashSensitivity flips every field of the sample key one at a time;
+// each mutation must move the hash.
+func TestHashSensitivity(t *testing.T) {
+	base, err := Hash(makeSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*sampleKey){
+		"Schema": func(k *sampleKey) { k.Schema++ },
+		"Kind":   func(k *sampleKey) { k.Kind = "solo" },
+		"GHz":    func(k *sampleKey) { k.GHz += 1e-12 },
+		"Epoch":  func(k *sampleKey) { k.Epoch++ },
+		"Seeds":  func(k *sampleKey) { k.Seeds[1] = 7 },
+		"Thresh": func(k *sampleKey) { k.Thresh["pmr"] = 0.71 },
+		"Nested": func(k *sampleKey) { k.Nested.Ratio *= 2 },
+	}
+	for name, mutate := range mutations {
+		k := makeSample()
+		mutate(&k)
+		h, err := Hash(k)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == base {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
+
+// FuzzCanonical fuzzes the two directions of the key contract: encoding a
+// value twice (the second time from a map rebuilt in reverse insertion
+// order) must hash equal, and perturbing any field must change the hash.
+func FuzzCanonical(f *testing.F) {
+	f.Add("policy", int64(1), uint64(5_000_000_000), 2.1, 0.7)
+	f.Add("", int64(-9), uint64(math.MaxUint64), -1e-300, 1.0/3.0)
+	f.Add("solo", int64(math.MaxInt64), uint64(0), math.MaxFloat64, 0.0)
+	f.Fuzz(func(t *testing.T, name string, seed int64, epoch uint64, ghz, thresh float64) {
+		if math.IsNaN(ghz) || math.IsInf(ghz, 0) || math.IsNaN(thresh) || math.IsInf(thresh, 0) {
+			t.Skip("JSON cannot carry NaN/Inf")
+		}
+		build := func(reversed bool) map[string]any {
+			m := map[string]any{}
+			keys := []string{"name", "seed", "epoch", "ghz", "thresh"}
+			vals := []any{name, seed, epoch, ghz, thresh}
+			if reversed {
+				for i := len(keys) - 1; i >= 0; i-- {
+					m[keys[i]] = vals[i]
+				}
+			} else {
+				for i := range keys {
+					m[keys[i]] = vals[i]
+				}
+			}
+			return m
+		}
+		h1, err := Hash(build(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := Hash(build(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("semantically equal maps hashed differently: %s vs %s", h1, h2)
+		}
+
+		// Every single-field perturbation must move the hash.
+		perturbed := []map[string]any{
+			{"name": name + "x", "seed": seed, "epoch": epoch, "ghz": ghz, "thresh": thresh},
+			{"name": name, "seed": seed + 1, "epoch": epoch, "ghz": ghz, "thresh": thresh},
+			{"name": name, "seed": seed, "epoch": epoch + 1, "ghz": ghz, "thresh": thresh},
+		}
+		if next := math.Nextafter(ghz, math.Inf(1)); !math.IsInf(next, 1) && next != ghz {
+			perturbed = append(perturbed, map[string]any{
+				"name": name, "seed": seed, "epoch": epoch, "ghz": next, "thresh": thresh})
+		}
+		for i, m := range perturbed {
+			h, err := Hash(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h == h1 {
+				enc, _ := Canonical(m)
+				t.Fatalf("perturbation %d left the hash unchanged (%s)", i, enc)
+			}
+		}
+
+		// The encoding must always be valid, canonical JSON.
+		enc, err := Canonical(build(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(enc) {
+			t.Fatalf("canonical encoding is not valid JSON: %s", enc)
+		}
+		if strings.ContainsAny(string(enc), " \n\t") && !strings.Contains(name, " ") &&
+			!strings.ContainsAny(name, "\n\t") {
+			t.Fatalf("canonical encoding carries whitespace: %q", enc)
+		}
+	})
+}

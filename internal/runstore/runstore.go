@@ -1,0 +1,332 @@
+package runstore
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMemoryEntries is the default capacity of the in-memory LRU front.
+const DefaultMemoryEntries = 1024
+
+// Stats is a snapshot of the store's counters since Open.
+type Stats struct {
+	// Hits and Misses count Get outcomes (GetOrCompute included; the
+	// waiters of a deduplicated computation each count once).
+	Hits, Misses int64
+	// Computes counts compute callbacks actually executed — under
+	// singleflight this can be far below Misses.
+	Computes int64
+	// Quarantined counts disk entries set aside because they failed to
+	// parse; they are renamed with a .corrupt suffix, never deleted.
+	Quarantined int64
+	// Errors counts non-fatal disk failures (unreadable files, failed
+	// writes) that were absorbed as misses.
+	Errors int64
+}
+
+// Store is a content-addressed cache of JSON-encoded run results with an
+// in-memory LRU front and an optional disk body. All methods are safe for
+// concurrent use.
+//
+// Values are opaque byte slices to the store; callers must not mutate a
+// returned slice (hits share the cached copy).
+type Store struct {
+	dir string // "" = memory only
+	cap int
+
+	mu       sync.Mutex
+	order    *list.List               // front = most recent; values are *memEntry
+	index    map[string]*list.Element // key -> element in order
+	inflight map[string]*flight
+
+	hits, misses, computes, quarantined, errs atomic.Int64
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress computation; waiters block on done. hit
+// records whether the flight resolved from disk rather than computing.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	hit  bool
+	err  error
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithMemoryEntries sets the LRU capacity (entries, not bytes). n <= 0
+// keeps DefaultMemoryEntries.
+func WithMemoryEntries(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.cap = n
+		}
+	}
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+// An empty dir yields a memory-only store (no persistence) — useful for
+// tests and for servers run without a -store flag.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:      dir,
+		cap:      DefaultMemoryEntries,
+		order:    list.New(),
+		index:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runstore: open %s: %w", dir, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the disk root, or "" for a memory-only store.
+func (s *Store) Dir() string { return s.dir }
+
+// path shards entries by the first two hash characters so no single
+// directory grows unbounded.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get returns the cached value for key, reporting whether it was found.
+// Disk entries that fail to parse are quarantined and reported as misses.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if v, ok := s.memGet(key); ok {
+		s.hits.Add(1)
+		return v, true
+	}
+	if v, ok := s.diskGet(key); ok {
+		s.memPut(key, v)
+		s.hits.Add(1)
+		return v, true
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Put stores val under key in memory and, when the store has a disk body,
+// persists it atomically (temp file + rename in the same directory). Disk
+// failures are returned but leave the in-memory entry in place.
+func (s *Store) Put(key string, val []byte) error {
+	s.memPut(key, val)
+	return s.diskPut(key, val)
+}
+
+// GetOrCompute returns the value for key, computing and storing it on a
+// miss. Concurrent calls for the same missing key are deduplicated: one
+// caller runs compute, the rest block and share its result (singleflight).
+// A compute error is delivered to every waiter of that flight but is not
+// cached — a later call retries. hit reports whether the value came from
+// the cache (for the caller that computed, and for the waiters that shared
+// its flight, hit is false).
+func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	if v, ok := s.memGet(key); ok {
+		s.hits.Add(1)
+		return v, true, nil
+	}
+	s.mu.Lock()
+	// Re-check under the lock: a flight may have landed the value between
+	// the unlocked peek and here.
+	if el, ok := s.index[key]; ok {
+		s.order.MoveToFront(el)
+		v := el.Value.(*memEntry).val
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return v, true, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return s.resolve(f)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.val, f.hit, f.err = s.fill(key, compute)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return s.resolve(f)
+}
+
+// resolve turns one finished flight into a caller's return values, charging
+// the hit/miss counters once per caller sharing the flight.
+func (s *Store) resolve(f *flight) ([]byte, bool, error) {
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	if f.hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return f.val, f.hit, nil
+}
+
+// fill resolves one missed key for the flight owner: disk first, then the
+// compute callback, persisting its result.
+func (s *Store) fill(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+	if v, ok := s.diskGet(key); ok {
+		s.memPut(key, v)
+		return v, true, nil
+	}
+	s.computes.Add(1)
+	v, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	// The value is good even if persisting it failed; Put already counted
+	// the disk error, so absorb it and serve the computation.
+	s.Put(key, v)
+	return v, false, nil
+}
+
+// memGet looks the key up in the LRU, refreshing its recency.
+func (s *Store) memGet(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// memPut inserts or refreshes the key, evicting from the back past cap.
+func (s *Store) memPut(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		el.Value.(*memEntry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	s.index[key] = s.order.PushFront(&memEntry{key: key, val: val})
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.index, back.Value.(*memEntry).key)
+	}
+}
+
+// diskGet loads the key's file. Invalid JSON is quarantined: the file is
+// renamed aside with a .corrupt suffix so the bad bytes stay inspectable
+// and the slot becomes writable again — corruption costs a recomputation,
+// never a crash.
+func (s *Store) diskGet(key string) ([]byte, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.errs.Add(1)
+		}
+		return nil, false
+	}
+	if !json.Valid(data) {
+		s.quarantined.Add(1)
+		if err := os.Rename(p, p+".corrupt"); err != nil {
+			// Renaming failed (e.g. read-only store); removing is the
+			// other way to free the slot, and if that fails too the
+			// entry simply stays a miss.
+			os.Remove(p)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+// diskPut persists atomically: write a temp file in the target directory,
+// then rename over the final path, so readers only ever observe complete
+// entries.
+func (s *Store) diskPut(key string, val []byte) error {
+	if s.dir == "" {
+		return nil
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.errs.Add(1)
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.errs.Add(1)
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		s.errs.Add(1)
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Computes:    s.computes.Load(),
+		Quarantined: s.quarantined.Load(),
+		Errors:      s.errs.Load(),
+	}
+}
+
+// DiskUsage walks the disk body and reports how many entries it holds and
+// their total size in bytes. Quarantined (.corrupt) and temporary files are
+// not counted. A memory-only store reports zeros.
+func (s *Store) DiskUsage() (entries int, bytes int64, err error) {
+	if s.dir == "" {
+		return 0, 0, nil
+	}
+	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		entries++
+		bytes += info.Size()
+		return nil
+	})
+	return entries, bytes, err
+}

@@ -1,0 +1,282 @@
+package runstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testKey(i int) string {
+	h, err := Hash(map[string]int{"i": i})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	val := []byte(`{"ipc":[1.5,2.25]}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get after Put: %q, %v", got, ok)
+	}
+
+	// A second store over the same directory (cold memory) must hit disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get from reopened store: %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("reopened store stats: %+v", st)
+	}
+	entries, size, err := s2.DiskUsage()
+	if err != nil || entries != 1 || size != int64(len(val)) {
+		t.Errorf("DiskUsage: %d entries, %d bytes, err %v", entries, size, err)
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(2)
+	if err := s.Put(key, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("memory-only store lost the entry")
+	}
+	if entries, size, err := s.DiskUsage(); entries != 0 || size != 0 || err != nil {
+		t.Errorf("memory-only DiskUsage: %d, %d, %v", entries, size, err)
+	}
+}
+
+func TestStoreLRUEvictionFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithMemoryEntries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Key 0 was evicted from memory but must still come back from disk.
+	got, ok := s.Get(testKey(0))
+	if !ok || !bytes.Equal(got, []byte(`{"i":0}`)) {
+		t.Fatalf("evicted entry not recovered from disk: %q, %v", got, ok)
+	}
+}
+
+func TestStoreSingleflight(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(3)
+	var computes atomic.Int64
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	vals := make([][]byte, callers)
+	hits := make([]bool, callers)
+	errs := make([]error, callers)
+	compute := func() ([]byte, error) {
+		close(started) // the flight is registered; waiters may now queue
+		<-gate
+		computes.Add(1)
+		return []byte(`{"v":42}`), nil
+	}
+	// Caller 0 owns the flight: its compute signals `started` and then
+	// blocks, so every later caller deterministically finds the key
+	// in-flight (the value cannot reach memory while compute is held).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], hits[0], errs[0] = s.GetOrCompute(key, compute)
+	}()
+	<-started
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], hits[i], errs[i] = s.GetOrCompute(key, func() ([]byte, error) {
+				t.Error("second compute ran despite the in-flight owner")
+				return nil, errors.New("duplicate compute")
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("%d computes for %d concurrent misses, want 1", got, callers)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(vals[i], []byte(`{"v":42}`)) {
+			t.Errorf("caller %d saw %q", i, vals[i])
+		}
+	}
+	if hits[0] {
+		t.Error("the computing caller reported a cache hit")
+	}
+	// A late caller may observe the landed value as a plain memory hit,
+	// so only the aggregate is deterministic: one compute, and every
+	// caller accounted as exactly one hit or miss.
+	if st := s.Stats(); st.Computes != 1 || st.Hits+st.Misses != callers {
+		t.Errorf("stats after singleflight: %+v", st)
+	}
+
+	// A follow-up call is a plain hit.
+	if _, hit, err := s.GetOrCompute(key, func() ([]byte, error) {
+		t.Fatal("computed on a warm key")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Fatalf("warm GetOrCompute: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestStoreComputeErrorNotCached(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(4)
+	boom := errors.New("simulator exploded")
+	if _, _, err := s.GetOrCompute(key, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not delivered: %v", err)
+	}
+	// The failure must not poison the key: the next call recomputes.
+	v, hit, err := s.GetOrCompute(key, func() ([]byte, error) { return []byte(`{}`), nil })
+	if err != nil || hit || !bytes.Equal(v, []byte(`{}`)) {
+		t.Fatalf("retry after error: %q hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestStoreCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(5)
+	if err := s.Put(key, []byte(`{"good":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry on disk behind the store's back.
+	p := s.path(key)
+	if err := os.WriteFile(p, []byte(`{"good":tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold store (fresh memory front) must not crash, must miss, and
+	// must quarantine the bad file so the slot is rewritable.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get(key); ok {
+		t.Fatalf("corrupt entry served: %q", v)
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Errorf("quarantined count %d, want 1", st.Quarantined)
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in place: %v", err)
+	}
+	// GetOrCompute recomputes and heals the slot.
+	v, hit, err := s2.GetOrCompute(key, func() ([]byte, error) { return []byte(`{"good":true}`), nil })
+	if err != nil || hit || !bytes.Equal(v, []byte(`{"good":true}`)) {
+		t.Fatalf("heal after quarantine: %q hit=%v err=%v", v, hit, err)
+	}
+	if v, ok := s2.Get(key); !ok || !bytes.Equal(v, []byte(`{"good":true}`)) {
+		t.Fatalf("healed entry not served: %q %v", v, ok)
+	}
+}
+
+// TestStoreConcurrentGetPut hammers overlapping keys from many goroutines;
+// run under -race (CI does) this pins the locking of the LRU, the index
+// and the inflight map.
+func TestStoreConcurrentGetPut(t *testing.T) {
+	s, err := Open(t.TempDir(), WithMemoryEntries(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := testKey(i % 12)
+				want := []byte(fmt.Sprintf(`{"k":%d}`, i%12))
+				switch (g + i) % 3 {
+				case 0:
+					if err := s.Put(k, want); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if v, ok := s.Get(k); ok && !bytes.Equal(v, want) {
+						t.Errorf("key %d served %q", i%12, v)
+						return
+					}
+				default:
+					v, _, err := s.GetOrCompute(k, func() ([]byte, error) { return want, nil })
+					if err != nil || !bytes.Equal(v, want) {
+						t.Errorf("GetOrCompute key %d: %q, %v", i%12, v, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStoreShardLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(6)
+	if err := s.Put(key, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, key[:2], key+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Errorf("entry not at sharded path %s: %v", want, err)
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202 + status)
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        job status and progress
+//	GET    /v1/jobs/{id}/result finished result (JSON; ?format=csv for comparisons)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics             counters + store/queue gauges, text exposition
+//	GET    /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError is the uniform error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	j, err := s.buildJob(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, k int) bool { return all[i].seq > all[k].seq })
+	out := make([]jobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// jobFor resolves the {id} path component, writing 404 on a miss.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, result := j.state, j.result
+	j.mu.Unlock()
+	if state != StateDone {
+		httpError(w, http.StatusConflict, "job %s is %s, result requires done", j.id, state)
+		return
+	}
+	if format := r.URL.Query().Get("format"); format == "csv" {
+		comp, ok := result.(ComparisonResult)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "csv is only available for comparison jobs")
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		writeComparisonCSV(w, comp)
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+// writeComparisonCSV flattens a comparison to one row per (policy, mix).
+func writeComparisonCSV(w http.ResponseWriter, res ComparisonResult) {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"policy", "mix", "category", "norm_hs", "norm_ws", "worst_case", "norm_bw", "norm_stalls", "worst_benchmark"})
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range res.Policies {
+		for i, r := range res.Results[p] {
+			mix := MixInfo{}
+			if i < len(res.Mixes) {
+				mix = res.Mixes[i]
+			}
+			cw.Write([]string{p, mix.Name, mix.Category,
+				f(r.NormHS), f(r.NormWS), f(r.WorstCase), f(r.NormBW), f(r.NormStalls), r.WorstBenchmark})
+		}
+	}
+	cw.Flush()
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "cancelled by client"
+	case StateRunning:
+		// The worker observes the context error and finishes the state
+		// transition itself; report the current (still running) status.
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.cfg.Counters.WriteMetrics(w, "cmm_")
+	states := map[string]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		states[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "cmm_jobs{state=%q} %d\n", st, states[st])
+	}
+	fmt.Fprintf(w, "cmm_queue_depth %d\n", s.queue.depth())
+	if s.cfg.Store != nil {
+		if entries, bytes, err := s.cfg.Store.DiskUsage(); err == nil {
+			fmt.Fprintf(w, "cmm_store_disk_entries %d\n", entries)
+			fmt.Fprintf(w, "cmm_store_disk_bytes %d\n", bytes)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package server exposes the experiments engine as an HTTP job service:
+// clients POST experiment jobs, poll their progress, and fetch results as
+// JSON or CSV. Jobs flow through a bounded priority queue into a fixed
+// worker pool; results are memoized through the content-addressed run
+// store, so resubmitting a finished configuration costs no simulation.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler with the timeouts every network-facing
+// listener in this repo uses. ReadHeaderTimeout bounds slowloris-style
+// header dribbling; ReadTimeout bounds the whole request (job submissions
+// are small); WriteTimeout is generous because result payloads for full
+// comparisons run to megabytes on slow links.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ServeUntil serves srv on ln until ctx is cancelled, then shuts down
+// gracefully, waiting up to grace for in-flight requests to finish. It
+// returns nil on a clean shutdown, otherwise the serve or shutdown error.
+func ServeUntil(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	if serveErr := <-errCh; !errors.Is(serveErr, http.ErrServerClosed) && serveErr != nil {
+		return serveErr
+	}
+	return err
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// Queue admission errors, mapped to HTTP 503 by the handler.
+var (
+	ErrQueueFull   = errors.New("server: job queue full")
+	ErrQueueClosed = errors.New("server: job queue closed")
+)
+
+// jobHeap orders queued jobs by priority (higher first), breaking ties by
+// submission sequence so equal-priority jobs run FIFO.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// jobQueue is the bounded priority queue between the HTTP frontend and
+// the worker pool. push never blocks (full is an admission error the
+// client sees as 503); pop blocks until a job or close arrives.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	cap    int
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.heap) >= q.cap {
+		return ErrQueueFull
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+	return nil
+}
+
+// pop returns the highest-priority queued job, blocking while the queue
+// is open and empty. ok is false once the queue is closed and drained.
+func (q *jobQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.heap).(*job), true
+}
+
+// depth reports how many jobs are waiting.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// close stops admission, wakes every blocked pop, and returns the jobs
+// still queued so the caller can mark them cancelled.
+func (q *jobQueue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	drained := make([]*job, len(q.heap))
+	copy(drained, q.heap)
+	q.heap = nil
+	q.cond.Broadcast()
+	return drained
+}

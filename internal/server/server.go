@@ -1,0 +1,405 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmm/internal/cmm"
+	"cmm/internal/experiments"
+	"cmm/internal/runstore"
+	"cmm/internal/telemetry"
+	"cmm/internal/workload"
+)
+
+// Config sizes the job service.
+type Config struct {
+	// Store memoizes run results across jobs (nil disables caching).
+	Store *runstore.Store
+	// Workers is how many jobs execute concurrently (default 1). Each job
+	// additionally fans its simulation runs across its own Options.Workers.
+	Workers int
+	// QueueDepth bounds how many jobs may wait (default 16); submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+	// Presets maps preset names accepted in job submissions to base
+	// experiment options. Nil gets the "quick" and "full" presets.
+	Presets map[string]experiments.Options
+	// Counters receives run telemetry from every job and backs /metrics.
+	// Nil gets a private set.
+	Counters *telemetry.Counters
+	// DefaultTimeout bounds a job's execution when the submission carries
+	// no timeout_seconds. Zero means no limit.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Presets == nil {
+		c.Presets = map[string]experiments.Options{
+			"quick": experiments.QuickOptions(),
+			"full":  experiments.DefaultOptions(),
+		}
+	}
+	if c.Counters == nil {
+		c.Counters = &telemetry.Counters{}
+	}
+	return c
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// job is one submitted experiment and its lifecycle.
+type job struct {
+	id       string
+	kind     string
+	preset   string
+	priority int
+	seq      uint64
+	timeout  time.Duration
+	opts     experiments.Options
+	policies []cmm.Policy
+
+	done, total atomic.Int64
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	cancel   context.CancelFunc
+	result   any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Server runs the job queue, the worker pool, and the HTTP API.
+type Server struct {
+	cfg   Config
+	queue *jobQueue
+	seq   atomic.Uint64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	// execute runs one job's experiment; tests substitute it to exercise
+	// queueing and cancellation without driving the simulator.
+	execute func(ctx context.Context, j *job) (any, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: newJobQueue(cfg.QueueDepth),
+		jobs:  map[string]*job{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.execute = s.executeJob
+	s.wg.Add(cfg.Workers)
+	for range cfg.Workers {
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.run(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Shutdown drains the service: admission stops immediately, queued jobs
+// are cancelled, and running jobs get until ctx expires to finish before
+// their contexts are cancelled. It returns ctx.Err() when the deadline
+// forced cancellation, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for _, j := range s.queue.close() {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = "server shutting down"
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
+	}
+	waited := make(chan struct{})
+	go func() { s.wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // cancel every running job's context
+		<-waited
+		return ctx.Err()
+	}
+}
+
+// jobRequest is the POST /v1/jobs payload. Omitted fields inherit the
+// preset; see EXPERIMENTS.md for the full schema.
+type jobRequest struct {
+	Kind             string   `json:"kind"`
+	Preset           string   `json:"preset"`
+	Policies         []string `json:"policies"`
+	Seeds            []int64  `json:"seeds"`
+	MixesPerCategory int      `json:"mixes_per_category"`
+	Workers          int      `json:"workers"`
+	Priority         int      `json:"priority"`
+	TimeoutSeconds   int      `json:"timeout_seconds"`
+}
+
+// jobStatus is the wire form of a job's state.
+type jobStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Preset   string `json:"preset"`
+	State    string `json:"state"`
+	Priority int    `json:"priority"`
+	Progress struct {
+		Done  int64 `json:"done"`
+		Total int64 `json:"total"`
+	} `json:"progress"`
+	Error      string `json:"error,omitempty"`
+	CreatedAt  string `json:"created_at,omitempty"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.id, Kind: j.kind, Preset: j.preset,
+		State: j.state, Priority: j.priority, Error: j.err,
+	}
+	st.Progress.Done = j.done.Load()
+	st.Progress.Total = j.total.Load()
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.CreatedAt, st.StartedAt, st.FinishedAt = stamp(j.created), stamp(j.started), stamp(j.finished)
+	return st
+}
+
+// MixInfo names one mix of a comparison result.
+type MixInfo struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+}
+
+// ComparisonResult is the JSON result payload of a comparison job. It is
+// a plain-data projection of experiments.Comparison: Options carries
+// callbacks and interfaces, so the Comparison itself never crosses the
+// wire.
+type ComparisonResult struct {
+	Policies  []string                                `json:"policies"`
+	Mixes     []MixInfo                               `json:"mixes"`
+	Results   map[string][]experiments.MixResult      `json:"results"`
+	Telemetry map[string]experiments.TelemetrySummary `json:"telemetry,omitempty"`
+}
+
+// CharacterizeResult is the JSON result payload of a characterize job.
+type CharacterizeResult struct {
+	Fig1 []experiments.Fig1Row `json:"fig1"`
+	Fig2 []experiments.Fig2Row `json:"fig2"`
+}
+
+// Fig3Result is the JSON result payload of a fig3 job.
+type Fig3Result struct {
+	Rows []experiments.Fig3Row `json:"rows"`
+}
+
+// newJobID returns a random 64-bit job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: rand: %v", err)) // /dev/urandom gone; nothing sane to do
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// buildJob validates a request against the configured presets and
+// policies, failing fast at submission so queued jobs can't be malformed.
+func (s *Server) buildJob(req jobRequest) (*job, error) {
+	switch req.Kind {
+	case "", "comparison":
+		req.Kind = "comparison"
+	case "characterize", "fig3":
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want comparison, characterize or fig3)", req.Kind)
+	}
+	if req.Preset == "" {
+		req.Preset = "quick"
+	}
+	opts, ok := s.cfg.Presets[req.Preset]
+	if !ok {
+		names := make([]string, 0, len(s.cfg.Presets))
+		for n := range s.cfg.Presets {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("unknown preset %q (have %v)", req.Preset, names)
+	}
+	if len(req.Seeds) > 0 {
+		opts.Seeds = req.Seeds
+	}
+	if req.MixesPerCategory > 0 {
+		opts.MixesPerCategory = req.MixesPerCategory
+	}
+	if req.Workers > 0 {
+		opts.Workers = req.Workers
+	}
+	opts.Store = s.cfg.Store
+	opts.Telemetry = s.cfg.Counters
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+
+	var policies []cmm.Policy
+	if len(req.Policies) == 0 {
+		policies = cmm.Policies()[1:] // all real policies, baseline excluded
+	} else {
+		for _, name := range req.Policies {
+			p, ok := cmm.PolicyByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown policy %q", name)
+			}
+			policies = append(policies, p)
+		}
+	}
+
+	j := &job{
+		id:       newJobID(),
+		kind:     req.Kind,
+		preset:   req.Preset,
+		priority: req.Priority,
+		seq:      s.seq.Add(1),
+		opts:     opts,
+		policies: policies,
+		state:    StateQueued,
+		created:  time.Now(),
+	}
+	switch {
+	case req.TimeoutSeconds < 0:
+		return nil, fmt.Errorf("timeout_seconds %d < 0", req.TimeoutSeconds)
+	case req.TimeoutSeconds > 0:
+		j.timeout = time.Duration(req.TimeoutSeconds) * time.Second
+	default:
+		j.timeout = s.cfg.DefaultTimeout
+	}
+	return j, nil
+}
+
+// run executes one popped job through its full lifecycle.
+func (s *Server) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	result, err := func() (result any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		return s.execute(ctx, j)
+	}()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+	case ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+}
+
+// executeJob dispatches on kind and shapes the engine's output into the
+// wire structs.
+func (s *Server) executeJob(ctx context.Context, j *job) (any, error) {
+	opts := j.opts
+	opts.Context = ctx
+	opts.Progress = func(done, total int) {
+		j.done.Store(int64(done))
+		j.total.Store(int64(total))
+	}
+	switch j.kind {
+	case "comparison":
+		comp, err := experiments.RunComparison(opts, j.policies)
+		if err != nil {
+			return nil, err
+		}
+		res := ComparisonResult{
+			Policies:  comp.Policies,
+			Results:   comp.Results,
+			Telemetry: comp.Telemetry,
+		}
+		for _, m := range comp.Mixes {
+			res.Mixes = append(res.Mixes, MixInfo{Name: m.Name, Category: m.Category.String()})
+		}
+		return res, nil
+	case "characterize":
+		f1, f2, err := experiments.Characterize(opts, workload.Suite())
+		if err != nil {
+			return nil, err
+		}
+		return CharacterizeResult{Fig1: f1, Fig2: f2}, nil
+	case "fig3":
+		rows, err := experiments.Fig3Of(opts, workload.Suite(), experiments.Fig3Ways)
+		if err != nil {
+			return nil, err
+		}
+		return Fig3Result{Rows: rows}, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", j.kind) // unreachable: buildJob validated
+}

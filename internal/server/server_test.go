@@ -1,0 +1,463 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cmm/internal/cmm"
+	"cmm/internal/experiments"
+	"cmm/internal/runstore"
+)
+
+// tinyPreset is the smallest full-engine configuration, mirroring the
+// experiments package's tiny test options.
+func tinyPreset() experiments.Options {
+	o := experiments.QuickOptions()
+	o.CMM.ExecutionEpoch = 400_000
+	o.CMM.SamplingInterval = 40_000
+	o.WarmEpochs = 0
+	o.MeasureEpochs = 1
+	o.SoloWarmCycles = 400_000
+	o.SoloMeasureCycles = 400_000
+	o.MixesPerCategory = 1
+	return o
+}
+
+func tinyServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Presets == nil {
+		cfg.Presets = map[string]experiments.Options{"tiny": tinyPreset()}
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postJob submits a job and decodes the 202 status.
+func postJob(t *testing.T, ts *httptest.Server, body string) jobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit returned %+v", st)
+	}
+	return st
+}
+
+// awaitState polls a job until it reaches want (failing on a terminal
+// state that isn't want).
+func awaitState(t *testing.T, ts *httptest.Server, id, want string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			t.Fatalf("job %s reached %q (err %q), want %q", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q waiting for %q", id, st.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestE2EComparisonJob is the acceptance-criteria end-to-end: a job
+// submitted over HTTP, polled to completion, must return exactly what the
+// direct library call computes, and the CSV rendering must be served.
+func TestE2EComparisonJob(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := tinyServer(t, Config{Store: store})
+
+	st := postJob(t, ts, `{"kind":"comparison","preset":"tiny","policies":["PT"],"priority":1}`)
+	done := awaitState(t, ts, st.ID, StateDone)
+	if done.Progress.Total == 0 || done.Progress.Done != done.Progress.Total {
+		t.Errorf("finished job progress %d/%d, want complete and non-empty", done.Progress.Done, done.Progress.Total)
+	}
+	if done.StartedAt == "" || done.FinishedAt == "" {
+		t.Errorf("finished job missing timestamps: %+v", done)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	var got ComparisonResult
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// The direct library call with the same preset must agree exactly.
+	// JSON's shortest-float encoding round-trips float64 bit-exactly, so
+	// DeepEqual over the decoded payload is a bit comparison.
+	p, ok := cmm.PolicyByName("PT")
+	if !ok {
+		t.Fatal("no PT policy")
+	}
+	want, err := experiments.RunComparison(tinyPreset(), []cmm.Policy{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Policies, want.Policies) {
+		t.Errorf("policies: %v, want %v", got.Policies, want.Policies)
+	}
+	if len(got.Mixes) != len(want.Mixes) {
+		t.Fatalf("%d mixes, want %d", len(got.Mixes), len(want.Mixes))
+	}
+	for i, m := range want.Mixes {
+		if got.Mixes[i].Name != m.Name || got.Mixes[i].Category != m.Category.String() {
+			t.Errorf("mix %d: %+v, want %s/%s", i, got.Mixes[i], m.Name, m.Category)
+		}
+	}
+	for _, pol := range want.Policies {
+		if !reflect.DeepEqual(got.Results[pol], want.Results[pol]) {
+			t.Errorf("%s: HTTP results differ from direct call:\n http %+v\n lib  %+v", pol, got.Results[pol], want.Results[pol])
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	csvBody, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv: status %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvBody)), "\n")
+	if wantRows := 1 + len(want.Policies)*len(want.Mixes); len(lines) != wantRows {
+		t.Errorf("csv has %d lines, want %d:\n%s", len(lines), wantRows, csvBody)
+	}
+	if !strings.HasPrefix(lines[0], "policy,mix,category,norm_hs") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+
+	// A resubmission of the identical job must be served from the store:
+	// hits recorded, and the result identical.
+	rerun := postJob(t, ts, `{"kind":"comparison","preset":"tiny","policies":["PT"]}`)
+	awaitState(t, ts, rerun.ID, StateDone)
+	if st := store.Stats(); st.Hits == 0 {
+		t.Errorf("rerun recorded no store hits: %+v", st)
+	}
+}
+
+// blockingServer installs an execute stub that parks jobs until released,
+// returning the stub's release channel and a started signal.
+func blockingServer(t *testing.T, cfg Config) (*Server, *httptest.Server, chan struct{}, chan string) {
+	t.Helper()
+	s, ts := tinyServer(t, cfg)
+	release := make(chan struct{})
+	started := make(chan string, 64)
+	s.execute = func(ctx context.Context, j *job) (any, error) {
+		started <- j.id
+		select {
+		case <-release:
+			return map[string]string{"ok": j.id}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s, ts, release, started
+}
+
+// TestQueueFullRejects pins the 503 admission contract and that the
+// rejected job does not linger in the listing.
+func TestQueueFullRejects(t *testing.T) {
+	_, ts, release, started := blockingServer(t, Config{Workers: 1, QueueDepth: 1})
+	defer close(release)
+
+	running := postJob(t, ts, `{"preset":"tiny"}`)
+	<-started // worker is parked on the first job
+	queued := postJob(t, ts, `{"preset":"tiny"}`)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"preset":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("listing has %d jobs, want 2 (rejected job must not appear): %+v", len(list.Jobs), list.Jobs)
+	}
+	_ = running
+	_ = queued
+}
+
+// TestPriorityOrdersQueue submits low- then high-priority jobs onto a
+// parked worker and checks the high one runs first.
+func TestPriorityOrdersQueue(t *testing.T) {
+	_, ts, release, started := blockingServer(t, Config{Workers: 1, QueueDepth: 8})
+	defer close(release)
+
+	postJob(t, ts, `{"preset":"tiny"}`) // parks the worker
+	first := <-started
+	low := postJob(t, ts, `{"preset":"tiny","priority":1}`)
+	high := postJob(t, ts, `{"preset":"tiny","priority":9}`)
+	_ = first
+
+	release <- struct{}{} // finish the parked job; worker pops next
+	if next := <-started; next != high.ID {
+		t.Errorf("worker picked %s, want high-priority %s before %s", next, high.ID, low.ID)
+	}
+	release <- struct{}{}
+	<-started // low runs last
+}
+
+// TestCancelJob covers both cancellation paths: a queued job flips to
+// canceled immediately; a running job's context is cancelled and the
+// worker records the state.
+func TestCancelJob(t *testing.T) {
+	_, ts, release, started := blockingServer(t, Config{Workers: 1, QueueDepth: 8})
+	defer close(release)
+
+	running := postJob(t, ts, `{"preset":"tiny"}`)
+	<-started
+	queued := postJob(t, ts, `{"preset":"tiny"}`)
+
+	del := func(id string) jobStatus {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st jobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if st := del(queued.ID); st.State != StateCanceled {
+		t.Errorf("queued job after cancel: %q, want canceled", st.State)
+	}
+	del(running.ID)
+	if st := awaitState(t, ts, running.ID, StateCanceled); st.Error == "" {
+		t.Errorf("cancelled running job carries no error: %+v", st)
+	}
+
+	// The result endpoint must refuse non-done jobs.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of cancelled job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestShutdownDrains verifies the drain contract: admission stops with
+// 503, queued jobs cancel, running jobs finish within the grace.
+func TestShutdownDrains(t *testing.T) {
+	s, ts, release, started := blockingServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	running := postJob(t, ts, `{"preset":"tiny"}`)
+	<-started
+	queued := postJob(t, ts, `{"preset":"tiny"}`)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Admission must close before the drain completes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"preset":"tiny"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions still accepted during shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release) // let the running job finish
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := awaitState(t, ts, running.ID, StateDone); st.State != StateDone {
+		t.Errorf("running job after drain: %+v", st)
+	}
+	if st := awaitState(t, ts, queued.ID, StateCanceled); st.Error == "" {
+		t.Errorf("queued job after drain carries no reason: %+v", st)
+	}
+}
+
+// TestBadRequests pins the 400 family.
+func TestBadRequests(t *testing.T) {
+	_, ts := tinyServer(t, Config{})
+	for name, body := range map[string]string{
+		"malformed json": `{`,
+		"unknown kind":   `{"kind":"nope"}`,
+		"unknown preset": `{"preset":"nope"}`,
+		"unknown policy": `{"preset":"tiny","policies":["PT","nope"]}`,
+		"bad timeout":    `{"preset":"tiny","timeout_seconds":-1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, bytes.TrimSpace(b))
+		}
+	}
+	// Unknown job IDs are 404 on every job endpoint.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsEndpoint checks the exposition format carries the queue,
+// job-state, and store gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("ab"+strings.Repeat("0", 62), []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, release, started := blockingServer(t, Config{Workers: 1, QueueDepth: 8, Store: store})
+	defer close(release)
+	postJob(t, ts, `{"preset":"tiny"}`)
+	<-started
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"cmm_epochs_total ",
+		"cmm_store_hits_total ",
+		`cmm_jobs{state="running"} 1`,
+		"cmm_queue_depth 0",
+		"cmm_store_disk_entries 1",
+		"cmm_store_disk_bytes ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeUntil exercises the graceful HTTP helper shared with cmmd: it
+// serves while the context lives and drains cleanly on cancellation.
+func TestServeUntil(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprint(w, "pong") })
+	srv := NewHTTPServer(ln.Addr().String(), mux)
+	if srv.ReadHeaderTimeout == 0 || srv.ReadTimeout == 0 || srv.IdleTimeout == 0 {
+		t.Fatal("NewHTTPServer returned a server without timeouts")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doneServing := make(chan error, 1)
+	go func() { doneServing <- ServeUntil(ctx, srv, ln, 5*time.Second) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("ping returned %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-doneServing:
+		if err != nil {
+			t.Fatalf("ServeUntil: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeUntil did not drain")
+	}
+}

@@ -39,6 +39,9 @@ const (
 	TypeEpoch = "epoch"
 	// TypeSolo marks one solo characterisation run (alone-IPC, Figs. 1-3).
 	TypeSolo = "solo"
+	// TypeStore marks one run-store lookup by the experiment engine; Hit
+	// distinguishes a served cache entry from a simulated miss.
+	TypeStore = "store"
 )
 
 // Event is one telemetry record. Epoch events carry the controller's
@@ -93,6 +96,11 @@ type Event struct {
 	// run's measurement window length rides in ExecCycles.
 	Benchmark string  `json:"benchmark,omitempty"`
 	IPC       float64 `json:"ipc,omitempty"`
+
+	// Hit reports a run-store cache hit (Type == TypeStore): true means
+	// the result was served without simulating; false means the lookup
+	// missed and the run was computed.
+	Hit bool `json:"hit,omitempty"`
 }
 
 // Sink consumes telemetry events. Implementations must be safe for
@@ -270,6 +278,8 @@ type Counters struct {
 	partitionChanges atomic.Int64
 	samplingCycles   atomic.Uint64
 	soloRuns         atomic.Int64
+	storeHits        atomic.Int64
+	storeMisses      atomic.Int64
 }
 
 // Emit implements Sink.
@@ -289,6 +299,12 @@ func (c *Counters) Emit(e Event) {
 		c.samplingCycles.Add(e.ProfCycles)
 	case TypeSolo:
 		c.soloRuns.Add(1)
+	case TypeStore:
+		if e.Hit {
+			c.storeHits.Add(1)
+		} else {
+			c.storeMisses.Add(1)
+		}
 	}
 }
 
@@ -302,6 +318,8 @@ func (c *Counters) Snapshot() map[string]uint64 {
 		"partition_changes_total": uint64(c.partitionChanges.Load()),
 		"sampling_cycles_total":   c.samplingCycles.Load(),
 		"solo_runs_total":         uint64(c.soloRuns.Load()),
+		"store_hits_total":        uint64(c.storeHits.Load()),
+		"store_misses_total":      uint64(c.storeMisses.Load()),
 	}
 }
 
@@ -332,6 +350,8 @@ func (c *Counters) PublishExpvar(prefix string) {
 		"partition_changes_total": func() uint64 { return uint64(c.partitionChanges.Load()) },
 		"sampling_cycles_total":   func() uint64 { return c.samplingCycles.Load() },
 		"solo_runs_total":         func() uint64 { return uint64(c.soloRuns.Load()) },
+		"store_hits_total":        func() uint64 { return uint64(c.storeHits.Load()) },
+		"store_misses_total":      func() uint64 { return uint64(c.storeMisses.Load()) },
 	} {
 		load := load
 		expvar.Publish(prefix+name, expvar.Func(func() any { return load() }))

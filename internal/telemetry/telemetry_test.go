@@ -103,6 +103,9 @@ func TestTelemetryCounters(t *testing.T) {
 	quiet := Event{Type: TypeEpoch, Epoch: 2, ProfCycles: 100}
 	c.Emit(quiet)
 	c.Emit(Event{Type: TypeSolo, Benchmark: "x"})
+	c.Emit(Event{Type: TypeStore, Hit: true})
+	c.Emit(Event{Type: TypeStore, Hit: true})
+	c.Emit(Event{Type: TypeStore, Hit: false})
 
 	got := c.Snapshot()
 	want := map[string]uint64{
@@ -112,6 +115,8 @@ func TestTelemetryCounters(t *testing.T) {
 		"partition_changes_total": 1,
 		"sampling_cycles_total":   600_000*2 + 100,
 		"solo_runs_total":         1,
+		"store_hits_total":        2,
+		"store_misses_total":      1,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Snapshot:\n got %v\nwant %v", got, want)
