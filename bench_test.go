@@ -383,6 +383,42 @@ func BenchmarkExtensionMBA(b *testing.B) {
 	}
 }
 
+// BenchmarkRunEpochs measures the controller's full epoch loop — the
+// simulator inner loop plus profiling intervals, detection, and combo
+// sampling — on an 8-core prefetch-unfriendly mix under CMM-a. This is
+// the hot path every cold run-store miss pays; BENCH_*.json snapshots
+// track its ns/epoch and allocs/epoch over time.
+func BenchmarkRunEpochs(b *testing.B) {
+	names, err := cmm.MixBenchmarks(mixes.PrefUnfri.String(), 0, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cmm.CMMDefaults()
+	// Cut-down epochs keep one iteration ~ms-scale on a single CPU
+	// while exercising the same code path as the paper-size epochs.
+	cfg.ExecutionEpoch = 400_000
+	cfg.SamplingInterval = 40_000
+	m, err := cmm.NewMachine(names, 1, cmm.WithCMMConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.UsePolicy("CMM-a"); err != nil {
+		b.Fatal(err)
+	}
+	// Warm epoch so steady-state behaviour (caches resident, detection
+	// stabilized) is what gets measured.
+	if err := m.RunEpochs(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RunEpochs(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkComparisonWorkers measures the parallel experiment engine:
 // the same cut-down comparison with the serial Workers=1 path vs one
 // worker per CPU. The sweep's wall-clock ratio is the engine's speedup

@@ -1,0 +1,294 @@
+// Command cmmbench is the continuous benchmark harness: it runs the
+// repo's performance-critical paths under testing.Benchmark and times a
+// cold quick-mode Fig. 13 sweep, then writes one BENCH_<stamp>.json
+// snapshot so performance can be tracked across commits.
+//
+// Usage:
+//
+//	cmmbench                        # microbenchmarks + quick sweep,
+//	                                # writes BENCH_<UTC stamp>.json
+//	cmmbench -quick                 # shorter benchtime, 1 mix/category
+//	cmmbench -sweep=false           # microbenchmarks only
+//	cmmbench -out bench.json        # explicit output path
+//	cmmbench -benchtime 3s          # pass through to testing.Benchmark
+//
+// The JSON carries the machine identity (Go version, GOOS/GOARCH, CPU
+// model, core count), every microbenchmark's iterations, ns/op, B/op and
+// allocs/op, the sweep's cold wall time, and a GoBench line per benchmark
+// in the standard text format, so `jq -r .GoBench[]` piped into benchstat
+// compares any two snapshots.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cmm"
+	"cmm/internal/cache"
+	cmmctl "cmm/internal/cmm" // aliased: the root package is also named cmm
+	"cmm/internal/experiments"
+	"cmm/internal/mixes"
+	"cmm/internal/pmu"
+	"cmm/internal/sim"
+	"cmm/internal/workload"
+)
+
+// file is the snapshot schema written as BENCH_<stamp>.json.
+type file struct {
+	Schema     int    // schema version for downstream tooling
+	Stamp      string // UTC, 20060102T150405Z
+	GoVersion  string
+	GOOS       string
+	GOARCH     string
+	NumCPU     int
+	CPUModel   string // best-effort, from /proc/cpuinfo
+	Benchtime  string // testing -benchtime in force
+	Benchmarks []benchResult
+	Sweep      *sweepResult // nil when -sweep=false
+	GoBench    []string     // standard benchmark text lines (benchstat input)
+}
+
+type benchResult struct {
+	Name        string
+	Iterations  int
+	NsPerOp     float64
+	BytesPerOp  int64
+	AllocsPerOp int64
+}
+
+type sweepResult struct {
+	WallSeconds      float64 // cold end-to-end RunComparison time
+	MixesPerCategory int
+	Policies         []string
+	Mixes            int
+	MeanNormHS       map[string]float64
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output path (default BENCH_<stamp>.json in the current directory)")
+		quick     = flag.Bool("quick", false, "short benchtime and 1 mix/category: the CI smoke configuration")
+		sweep     = flag.Bool("sweep", true, "run and time the quick Fig. 13 comparison sweep")
+		benchtime = flag.String("benchtime", "", "testing -benchtime (default 1s, or 2x with -quick)")
+		workers   = flag.Int("workers", 0, "concurrent sweep runs (0 = NumCPU); output is worker-count independent")
+	)
+	flag.Parse()
+
+	bt := *benchtime
+	if bt == "" {
+		if *quick {
+			bt = "2x"
+		} else {
+			bt = "1s"
+		}
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fatal(err)
+	}
+
+	now := time.Now().UTC()
+	f := &file{
+		Schema:    1,
+		Stamp:     now.Format("20060102T150405Z"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		CPUModel:  cpuModel(),
+		Benchtime: bt,
+	}
+
+	for _, b := range benchmarks() {
+		fmt.Fprintf(os.Stderr, "bench %-28s ", b.name)
+		r := testing.Benchmark(b.fn)
+		res := benchResult{
+			Name:        b.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		f.Benchmarks = append(f.Benchmarks, res)
+		line := fmt.Sprintf("Benchmark%s %8d %12.0f ns/op %8d B/op %8d allocs/op",
+			b.name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		f.GoBench = append(f.GoBench, line)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+	}
+
+	if *sweep {
+		opts := experiments.QuickOptions()
+		if *quick {
+			opts.MixesPerCategory = 1
+		}
+		opts.Workers = *workers
+		fmt.Fprintf(os.Stderr, "sweep quick Fig. 13 (%d mix(es)/category, cold) ... ", opts.MixesPerCategory)
+		start := time.Now()
+		comp, err := experiments.RunComparison(opts, cmmctl.Policies()[1:])
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		sr := &sweepResult{
+			WallSeconds:      wall.Seconds(),
+			MixesPerCategory: opts.MixesPerCategory,
+			Policies:         comp.Policies,
+			Mixes:            len(comp.Mixes),
+			MeanNormHS:       map[string]float64{},
+		}
+		for _, p := range comp.Policies {
+			sum := 0.0
+			for _, r := range comp.Results[p] {
+				sum += r.NormHS
+			}
+			sr.MeanNormHS[p] = sum / float64(len(comp.Results[p]))
+		}
+		f.Sweep = sr
+		f.GoBench = append(f.GoBench, fmt.Sprintf(
+			"BenchmarkQuickFig13Sweep %8d %12.0f ns/op", 1, float64(wall.Nanoseconds())))
+		fmt.Fprintf(os.Stderr, "%.1fs\n", wall.Seconds())
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + f.Stamp + ".json"
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(path)
+}
+
+// namedBench pairs a benchmark body with its report name.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchmarks returns the harness's fixed suite. The bodies mirror the
+// package benchmarks of the same names (bench_test.go files) so numbers
+// from CI test runs and from this harness line up.
+func benchmarks() []namedBench {
+	return []namedBench{
+		{"RunEpochs", benchRunEpochs},
+		{"MeasureLoop", benchMeasureLoop},
+		{"CacheLookupHit", benchCacheLookupHit},
+		{"CacheFillEvictLLC", benchCacheFillEvictLLC},
+	}
+}
+
+// benchRunEpochs measures one full controller epoch (execution window,
+// PMU delta, policy decision, MSR writes) on an 8-core Pref Unfri mix —
+// the repo's headline ns/epoch metric.
+func benchRunEpochs(b *testing.B) {
+	names, err := cmm.MixBenchmarks(mixes.PrefUnfri.String(), 0, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cmm.CMMDefaults()
+	cfg.ExecutionEpoch = 400_000
+	cfg.SamplingInterval = 40_000
+	m, err := cmm.NewMachine(names, 1, cmm.WithCMMConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.UsePolicy("CMM-a"); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.RunEpochs(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RunEpochs(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMeasureLoop measures the steady-state snapshot/run/delta cycle the
+// controllers sit in; it must stay allocation-free.
+func benchMeasureLoop(b *testing.B) {
+	specs := make([]workload.Spec, 8)
+	suite := workload.Suite()
+	for i := range specs {
+		specs[i] = suite[i%len(suite)]
+	}
+	sys, err := sim.New(sim.DefaultConfig(), specs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(200_000)
+	var snaps []pmu.Snapshot
+	var samples []pmu.Sample
+	// One warm pass so the measured loop reports the steady state: the
+	// first iteration's buffer growth is setup, not epoch cost.
+	snaps = sys.SnapshotsInto(snaps)
+	samples = sys.DeltasInto(samples, snaps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snaps = sys.SnapshotsInto(snaps)
+		sys.Run(sim.DefaultConfig().RoundCycles)
+		samples = sys.DeltasInto(samples, snaps)
+	}
+	_ = samples
+}
+
+// benchCacheLookupHit measures a demand hit in an LLC-geometry cache with
+// the MRU hint warm — the single hottest simulator operation.
+func benchCacheLookupHit(b *testing.B) {
+	c := cache.New(cache.Config{Sets: 16384, Ways: 20, LineBytes: 64, HitLatency: 44})
+	mask := c.Config().AllWays()
+	c.Fill(7, 0, false, mask, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(7, true, uint64(i))
+	}
+}
+
+// benchCacheFillEvictLLC measures LRU eviction fills in a full
+// LLC-geometry set under a partial CAT mask.
+func benchCacheFillEvictLLC(b *testing.B) {
+	cfg := cache.Config{Sets: 16384, Ways: 20, LineBytes: 64, HitLatency: 44}
+	c := cache.New(cfg)
+	mask := uint64(1)<<10 - 1 // 10-way partition
+	sets := uint64(cfg.Sets)
+	for i := uint64(0); i < sets*20; i++ {
+		c.Fill(i, 0, false, c.Config().AllWays(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(sets*20+uint64(i), 0, false, mask, 0)
+	}
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmbench:", err)
+	os.Exit(1)
+}

@@ -12,7 +12,9 @@
 //	cmmd -policy CMM-a -benchmarks 410.bwaves,rand_access,429.mcf,453.povray -epochs 6
 //	cmmd -policy PT -mix "Pref Unfri" -index 2 -epochs 10
 //	cmmd -policy CMM-a -mix "Pref Unfri" -epochs 500 -listen :8080
-//	    # plain-text counters at /metrics, expvar JSON at /debug/vars
+//	    # plain-text counters at /metrics, expvar JSON at /debug/vars;
+//	    # add -pprof for /debug/pprof/, and -store with -store-max-bytes /
+//	    # -store-max-age to report and bound a run-store directory
 //	cmmd -policy CMM-a -mix "Pref Fri" -telemetry epochs.jsonl
 //	    # one structured JSONL event per epoch
 package main
@@ -56,6 +58,11 @@ func main() {
 		listen     = flag.String("listen", "", "serve plain-text /metrics and expvar /debug/vars on this address (e.g. :8080) while the daemon runs")
 		teleOut    = flag.String("telemetry", "", "append per-epoch telemetry events as JSONL to this file")
 		storeDir   = flag.String("store", "", "run-store directory to report disk-usage gauges for on /metrics")
+
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "evict least-recently-used store entries past this disk size (0 = unlimited)")
+		storeMaxAge   = flag.Duration("store-max-age", 0, "evict store entries unused for longer than this (0 = unlimited)")
+		sweepEvery    = flag.Duration("sweep", 10*time.Minute, "how often to enforce the store limits")
+		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -listen address")
 	)
 	flag.Parse()
 
@@ -83,11 +90,14 @@ func main() {
 		var store *runstore.Store
 		if *storeDir != "" {
 			var err error
-			if store, err = runstore.Open(*storeDir); err != nil {
+			store, err = runstore.Open(*storeDir,
+				runstore.WithMaxBytes(*storeMaxBytes), runstore.WithMaxAge(*storeMaxAge))
+			if err != nil {
 				fatal(err)
 			}
+			startSweeper(ctx, store, *sweepEvery)
 		}
-		wait := serveMetrics(ctx, *listen, store)
+		wait := serveMetrics(ctx, *listen, store, *pprofOn)
 		defer func() { stop(); wait() }()
 	}
 
@@ -209,7 +219,7 @@ func runHardware(policy string, cores int, ghz float64, epochs int, sink telemet
 // standard expvar JSON at /debug/vars. The listener carries the shared
 // production timeouts and drains gracefully when ctx is cancelled; the
 // returned wait blocks until it is down.
-func serveMetrics(ctx context.Context, addr string, store *runstore.Store) (wait func()) {
+func serveMetrics(ctx context.Context, addr string, store *runstore.Store, pprofOn bool) (wait func()) {
 	counters.PublishExpvar("cmm_")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -220,9 +230,13 @@ func serveMetrics(ctx context.Context, addr string, store *runstore.Store) (wait
 				fmt.Fprintf(w, "cmm_store_disk_entries %d\n", entries)
 				fmt.Fprintf(w, "cmm_store_disk_bytes %d\n", bytes)
 			}
+			fmt.Fprintf(w, "cmm_store_evictions_total %d\n", store.Stats().Evictions)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if pprofOn {
+		server.MountPprof(mux)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(fmt.Errorf("listen %s: %w", addr, err))
@@ -236,6 +250,34 @@ func serveMetrics(ctx context.Context, addr string, store *runstore.Store) (wait
 		}
 	}()
 	return func() { <-done }
+}
+
+// startSweeper enforces the store's eviction limits once at startup and
+// then every interval until ctx is cancelled.
+func startSweeper(ctx context.Context, store *runstore.Store, every time.Duration) {
+	sweep := func() {
+		if n, err := store.Sweep(); err != nil {
+			fmt.Fprintln(os.Stderr, "cmmd: store sweep:", err)
+		} else if n > 0 {
+			fmt.Printf("store sweep evicted %d entries\n", n)
+		}
+	}
+	sweep()
+	if every <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				sweep()
+			}
+		}
+	}()
 }
 
 // printCounters reports the aggregate telemetry after the epoch loop.

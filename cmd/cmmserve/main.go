@@ -10,6 +10,12 @@
 //	curl -s localhost:8090/v1/jobs/<id>
 //	curl -s localhost:8090/v1/jobs/<id>/result?format=csv
 //
+// The store can be bounded with -store-max-bytes and -store-max-age:
+// least-recently-used entries past either limit are evicted on a -sweep
+// interval, and /metrics reports cmm_store_evictions_total alongside the
+// disk gauges. -pprof mounts net/http/pprof at /debug/pprof/ for live
+// profiling.
+//
 // SIGINT/SIGTERM drain the service: the listener stops accepting, queued
 // jobs are cancelled, and running jobs get -grace to finish.
 package main
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,16 +38,21 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8090", "HTTP listen address")
-		storeDir = flag.String("store", "", "content-addressed run store directory (empty: in-memory cache only)")
-		jobs     = flag.Int("jobs", 1, "jobs executing concurrently")
-		queue    = flag.Int("queue", 16, "max queued jobs before submissions get 503")
-		timeout  = flag.Duration("timeout", 0, "default per-job execution timeout (0 = none)")
-		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight requests and running jobs")
+		listen        = flag.String("listen", ":8090", "HTTP listen address")
+		storeDir      = flag.String("store", "", "content-addressed run store directory (empty: in-memory cache only)")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "evict least-recently-used store entries past this disk size (0 = unlimited)")
+		storeMaxAge   = flag.Duration("store-max-age", 0, "evict store entries unused for longer than this (0 = unlimited)")
+		sweepEvery    = flag.Duration("sweep", 10*time.Minute, "how often to enforce the store limits")
+		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		jobs          = flag.Int("jobs", 1, "jobs executing concurrently")
+		queue         = flag.Int("queue", 16, "max queued jobs before submissions get 503")
+		timeout       = flag.Duration("timeout", 0, "default per-job execution timeout (0 = none)")
+		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight requests and running jobs")
 	)
 	flag.Parse()
 
-	store, err := runstore.Open(*storeDir)
+	store, err := runstore.Open(*storeDir,
+		runstore.WithMaxBytes(*storeMaxBytes), runstore.WithMaxAge(*storeMaxAge))
 	if err != nil {
 		fatal(err)
 	}
@@ -65,7 +77,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := server.NewHTTPServer(*listen, srv.Handler())
+	startSweeper(ctx, store, *sweepEvery)
+
+	handler := srv.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		server.MountPprof(outer)
+		handler = outer
+		fmt.Printf("cmmserve: pprof at /debug/pprof/\n")
+	}
+	httpSrv := server.NewHTTPServer(*listen, handler)
 	if err := server.ServeUntil(ctx, httpSrv, ln, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "cmmserve: http:", err)
 	}
@@ -78,6 +100,35 @@ func main() {
 	}
 	st := store.Stats()
 	fmt.Printf("cmmserve: drained; store served %d hits / %d misses\n", st.Hits, st.Misses)
+}
+
+// startSweeper enforces the store's eviction limits once at startup and
+// then every interval until ctx is cancelled. Stores without limits make
+// Sweep a no-op, so the goroutine is started unconditionally.
+func startSweeper(ctx context.Context, store *runstore.Store, every time.Duration) {
+	sweep := func() {
+		if n, err := store.Sweep(); err != nil {
+			fmt.Fprintln(os.Stderr, "cmmserve: store sweep:", err)
+		} else if n > 0 {
+			fmt.Printf("cmmserve: store sweep evicted %d entries\n", n)
+		}
+	}
+	sweep()
+	if every <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				sweep()
+			}
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -117,6 +117,11 @@ type Machine struct {
 	cfg    icmm.Config
 	ctrl   *icmm.Controller
 	sink   telemetry.Sink
+
+	// snapBuf and sampleBuf are reused across MeasureIPC windows so
+	// repeated measurement loops stay allocation-free.
+	snapBuf   []pmu.Snapshot
+	sampleBuf []pmu.Sample
 }
 
 // Option customizes a Machine.
@@ -226,9 +231,10 @@ func (m *Machine) Run(cycles uint64) { m.sys.Run(cycles) }
 // MeasureIPC runs the machine for the given cycles (policy inactive during
 // the window) and returns each core's IPC over that window.
 func (m *Machine) MeasureIPC(cycles uint64) []float64 {
-	snaps := m.sys.Snapshots()
+	m.snapBuf = m.sys.SnapshotsInto(m.snapBuf)
 	m.sys.Run(cycles)
-	return sim.IPCs(m.sys.Deltas(snaps))
+	m.sampleBuf = m.sys.DeltasInto(m.sampleBuf, m.snapBuf)
+	return sim.IPCs(m.sampleBuf)
 }
 
 // HarmonicMeanIPC is the hm_ipc proxy over a measurement window.

@@ -6,6 +6,16 @@
 // service restricts where *fills* may allocate; *hits* are served from any
 // way. Partitions may overlap, which the paper exploits ("note that we are
 // using overlapping partitioning").
+//
+// The implementation keeps two pieces of per-set metadata so the hot
+// operations avoid scanning every way linearly: a valid-way bitmask
+// (lookups iterate only resident ways, fills find an invalid way with one
+// TrailingZeros64) and an MRU hint naming the way of the most recent hit
+// or fill (streaming cores touch the same line repeatedly, so the hint
+// resolves most lookups in one probe). Both are pure accelerations: hit
+// and miss outcomes, LRU stamps, victim choices, and stats are identical
+// to a linear scan because a line is resident in at most one way of its
+// set (Fill refreshes in place when the tag is already present).
 package cache
 
 import (
@@ -79,15 +89,27 @@ const (
 type Cache struct {
 	cfg     Config
 	setMask uint64
+	full    uint64 // cfg.AllWays(), precomputed for the hot path
 
 	tags  []uint64
-	flags []uint8
-	owner []int32
+	meta  []lineMeta
 	stamp []uint64
-	ready []uint64 // cycle at which the line's data arrives (in-flight fills)
+	valid []uint64 // per-set bitmask of ways holding a valid line
+	hint  []int32  // per-set MRU way (last hit or fill); verified before use
 	clock uint64
 
 	stats Stats
+}
+
+// lineMeta groups the per-line fields that hot operations read and write
+// together, so a hit or fill touches one cache line of metadata instead of
+// three parallel arrays. tags and stamp stay separate: lookups scan tags
+// and LRU selection scans stamps, and interleaving either with this struct
+// would double the scanned bytes.
+type lineMeta struct {
+	ready uint64 // cycle at which the line's data arrives (in-flight fills)
+	owner int32
+	flags uint8
 }
 
 // New builds a cache; it panics on invalid configuration.
@@ -99,11 +121,12 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		cfg:     cfg,
 		setMask: uint64(cfg.Sets - 1),
+		full:    cfg.AllWays(),
 		tags:    make([]uint64, n),
-		flags:   make([]uint8, n),
-		owner:   make([]int32, n),
+		meta:    make([]lineMeta, n),
 		stamp:   make([]uint64, n),
-		ready:   make([]uint64, n),
+		valid:   make([]uint64, cfg.Sets),
+		hint:    make([]int32, cfg.Sets),
 	}
 	return c
 }
@@ -119,13 +142,64 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Flush invalidates every line and resets the LRU clock. Stats are kept.
 func (c *Cache) Flush() {
-	for i := range c.flags {
-		c.flags[i] = 0
+	for i := range c.meta {
+		c.meta[i] = lineMeta{}
+	}
+	for s := range c.valid {
+		c.valid[s] = 0
+		c.hint[s] = 0
 	}
 	c.clock = 0
 }
 
 func (c *Cache) set(line uint64) int { return int(line & c.setMask) }
+
+// find returns the way holding line in set s, or -1. It touches no state.
+// A full set (the steady-state case) scans its tags as a plain slice; a
+// partially valid one iterates only the valid ways. Either order yields
+// the same way because a line is resident in at most one way of its set.
+func (c *Cache) find(s int, line uint64) int {
+	base := s * c.cfg.Ways
+	m := c.valid[s]
+	if h := int(c.hint[s]); m>>uint(h)&1 != 0 && c.tags[base+h] == line {
+		return h
+	}
+	if m == c.full {
+		tags := c.tags[base : base+c.cfg.Ways]
+		for w := range tags {
+			if tags[w] == line {
+				return w
+			}
+		}
+		return -1
+	}
+	for ; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == line {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch records a hit on way i (a flat index): it advances the LRU clock,
+// clears the prefetch bit on demand accesses (counting a useful prefetch),
+// and reports how long a late in-flight fill makes the access wait.
+func (c *Cache) touch(i int, demand bool, now uint64) (wait uint64) {
+	c.clock++
+	c.stamp[i] = c.clock
+	m := &c.meta[i]
+	if demand && m.flags&flagPrefetch != 0 {
+		m.flags &^= flagPrefetch
+		c.stats.PrefetchHitsUsed++
+	}
+	c.stats.Hits++
+	if m.ready > now {
+		wait = m.ready - now
+		c.stats.LateHits++
+	}
+	return wait
+}
 
 // Lookup searches for the line at cycle now. On a hit it updates recency
 // and, if the line had been prefetched and this is a demand access, clears
@@ -134,39 +208,20 @@ func (c *Cache) set(line uint64) int { return int(line & c.setMask) }
 // whose data has not yet arrived — a "late prefetch"), how many cycles
 // remain until the data is usable.
 func (c *Cache) Lookup(line uint64, demand bool, now uint64) (hit bool, wait uint64) {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			c.clock++
-			c.stamp[i] = c.clock
-			if demand && c.flags[i]&flagPrefetch != 0 {
-				c.flags[i] &^= flagPrefetch
-				c.stats.PrefetchHitsUsed++
-			}
-			c.stats.Hits++
-			if c.ready[i] > now {
-				wait = c.ready[i] - now
-				c.stats.LateHits++
-			}
-			return true, wait
-		}
+	s := c.set(line)
+	w := c.find(s, line)
+	if w < 0 {
+		c.stats.Misses++
+		return false, 0
 	}
-	c.stats.Misses++
-	return false, 0
+	c.hint[s] = int32(w)
+	return true, c.touch(s*c.cfg.Ways+w, demand, now)
 }
 
 // Probe reports whether the line is present without changing any state or
 // statistics.
 func (c *Cache) Probe(line uint64) bool {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			return true
-		}
-	}
-	return false
+	return c.find(c.set(line), line) >= 0
 }
 
 // Victim describes a line displaced by Fill.
@@ -191,58 +246,84 @@ type Victim struct {
 // produced; a demand fill over a resident prefetched line counts as a
 // useful prefetch. Fill panics if the mask selects no way of this cache.
 func (c *Cache) Fill(line uint64, owner int, prefetch bool, mask uint64, readyAt uint64) Victim {
-	mask &= c.cfg.AllWays()
+	mask &= c.full
 	if mask == 0 {
 		panic("cache: Fill with empty way mask")
 	}
-	base := c.set(line) * c.cfg.Ways
+	s := c.set(line)
 
 	// Already resident (e.g. raced with a prefetch): refresh.
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			c.clock++
-			c.stamp[i] = c.clock
-			if !prefetch && c.flags[i]&flagPrefetch != 0 {
-				c.flags[i] &^= flagPrefetch
-				c.stats.PrefetchHitsUsed++
-			}
-			return Victim{}
+	if w := c.find(s, line); w >= 0 {
+		i := s*c.cfg.Ways + w
+		c.clock++
+		c.stamp[i] = c.clock
+		if m := &c.meta[i]; !prefetch && m.flags&flagPrefetch != 0 {
+			m.flags &^= flagPrefetch
+			c.stats.PrefetchHitsUsed++
 		}
+		c.hint[s] = int32(w)
+		return Victim{}
 	}
+	return c.FillAfterMiss(line, owner, prefetch, mask, readyAt)
+}
 
-	// Prefer an invalid way inside the mask.
-	victim := -1
-	for m := mask; m != 0; m &= m - 1 {
-		w := bits.TrailingZeros64(m)
-		i := base + w
-		if c.flags[i]&flagValid == 0 {
-			victim = w
-			break
-		}
+// FillAfterMiss is Fill for callers that have just observed the line miss
+// (a Lookup, Probe, or SetDirty of the same line returned absent, with no
+// intervening fill of it): it skips Fill's resident-refresh scan. Filling
+// a line that is in fact resident through this method duplicates its tag
+// within the set and corrupts the cache, so use Fill when in doubt. The
+// simulator's fill sites all follow a miss; the differential fuzz checks
+// the two entry points stay victim- and stat-equivalent under that
+// protocol.
+func (c *Cache) FillAfterMiss(line uint64, owner int, prefetch bool, mask uint64, readyAt uint64) Victim {
+	mask &= c.full
+	if mask == 0 {
+		panic("cache: Fill with empty way mask")
 	}
-	// Otherwise LRU within the mask.
-	if victim < 0 {
+	s := c.set(line)
+	base := s * c.cfg.Ways
+
+	// Prefer an invalid way inside the mask: the lowest bit of
+	// mask&^valid is exactly the first invalid way an ascending scan
+	// would find.
+	var victim int
+	if inv := mask &^ c.valid[s]; inv != 0 {
+		victim = bits.TrailingZeros64(inv)
+	} else if mask == c.full {
+		// LRU over the whole (full) set: plain slice scan. The <= keeps
+		// the historical tie-break: the highest-indexed way among equal
+		// stamps wins.
+		oldest := ^uint64(0)
+		stamps := c.stamp[base : base+c.cfg.Ways]
+		for w := range stamps {
+			if stamps[w] <= oldest {
+				oldest = stamps[w]
+				victim = w
+			}
+		}
+	} else {
+		// LRU within a partial mask, ascending ways, same <= tie-break.
+		victim = -1
 		oldest := ^uint64(0)
 		for m := mask; m != 0; m &= m - 1 {
 			w := bits.TrailingZeros64(m)
-			i := base + w
-			if c.stamp[i] <= oldest {
-				oldest = c.stamp[i]
+			if st := c.stamp[base+w]; st <= oldest {
+				oldest = st
 				victim = w
 			}
 		}
 	}
 
 	i := base + victim
+	m := &c.meta[i]
 	var v Victim
-	if c.flags[i]&flagValid != 0 {
+	if c.valid[s]>>uint(victim)&1 != 0 {
 		v = Victim{
 			Line:              c.tags[i],
-			Owner:             int(c.owner[i]),
+			Owner:             int(m.owner),
 			Valid:             true,
-			WasUnusedPrefetch: c.flags[i]&flagPrefetch != 0,
-			Dirty:             c.flags[i]&flagDirty != 0,
+			WasUnusedPrefetch: m.flags&flagPrefetch != 0,
+			Dirty:             m.flags&flagDirty != 0,
 		}
 		c.stats.Evictions++
 		if v.WasUnusedPrefetch {
@@ -251,92 +332,75 @@ func (c *Cache) Fill(line uint64, owner int, prefetch bool, mask uint64, readyAt
 	}
 	c.clock++
 	c.tags[i] = line
-	c.owner[i] = int32(owner)
 	c.stamp[i] = c.clock
-	c.ready[i] = readyAt
-	c.flags[i] = flagValid
+	fl := flagValid
 	if prefetch {
-		c.flags[i] |= flagPrefetch
+		fl |= flagPrefetch
 	}
+	*m = lineMeta{ready: readyAt, owner: int32(owner), flags: fl}
+	c.valid[s] |= 1 << uint(victim)
+	c.hint[s] = int32(victim)
 	return v
 }
 
 // SetDirty marks a resident line as modified, returning whether the line
 // was found. Stores call this after their lookup/fill.
 func (c *Cache) SetDirty(line uint64) bool {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			c.flags[i] |= flagDirty
-			return true
-		}
+	s := c.set(line)
+	w := c.find(s, line)
+	if w < 0 {
+		return false
 	}
-	return false
+	c.meta[s*c.cfg.Ways+w].flags |= flagDirty
+	return true
 }
 
 // IsDirty reports whether a resident line is modified (tests).
 func (c *Cache) IsDirty(line uint64) bool {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			return c.flags[i]&flagDirty != 0
-		}
-	}
-	return false
+	s := c.set(line)
+	w := c.find(s, line)
+	return w >= 0 && c.meta[s*c.cfg.Ways+w].flags&flagDirty != 0
 }
 
 // Invalidate removes the line if present, returning whether it was found
 // and whether it held modified data (the caller owes a writeback). Used
 // for inclusive back-invalidation from the LLC into L1/L2.
 func (c *Cache) Invalidate(line uint64) (found, dirty bool) {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			dirty = c.flags[i]&flagDirty != 0
-			c.flags[i] = 0
-			return true, dirty
-		}
+	s := c.set(line)
+	w := c.find(s, line)
+	if w < 0 {
+		return false, false
 	}
-	return false, false
+	i := s*c.cfg.Ways + w
+	dirty = c.meta[i].flags&flagDirty != 0
+	c.meta[i].flags = 0
+	c.valid[s] &^= 1 << uint(w)
+	return true, dirty
 }
 
 // OwnerOf returns the owner recorded for a resident line, or NoOwner and
 // false when absent.
 func (c *Cache) OwnerOf(line uint64) (int, bool) {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			return int(c.owner[i]), true
-		}
+	s := c.set(line)
+	w := c.find(s, line)
+	if w < 0 {
+		return NoOwner, false
 	}
-	return NoOwner, false
+	return int(c.meta[s*c.cfg.Ways+w].owner), true
 }
 
 // ValidCount returns the number of valid lines (test/diagnostic helper).
 func (c *Cache) ValidCount() int {
 	n := 0
-	for _, f := range c.flags {
-		if f&flagValid != 0 {
-			n++
-		}
+	for _, m := range c.valid {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }
 
 // WayOf returns which way holds the line, or -1 when absent (tests).
 func (c *Cache) WayOf(line uint64) int {
-	base := c.set(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
-			return w
-		}
-	}
-	return -1
+	return c.find(c.set(line), line)
 }
 
 // ContiguousMask returns a way mask of n ways starting at the low bit,

@@ -1,0 +1,348 @@
+package cache
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestFillLRUTieBreakHighestWay pins the replacement tie-break: among ways
+// with equal LRU stamps, Fill evicts the highest-indexed one (the victim
+// scan uses <=, so the last tied way wins). The simulator's golden results
+// depend on this ordering; a change here silently shifts every eviction
+// pattern. Equal stamps cannot arise through the public API (the LRU clock
+// is monotonic), so the test forges them directly.
+func TestFillLRUTieBreakHighestWay(t *testing.T) {
+	all := small().AllWays()
+
+	// Full-mask branch: set 0 holds lines 0,4,8,12 in ways 0..3.
+	c := New(small())
+	for i := uint64(0); i < 4; i++ {
+		fill(c, i*4, NoOwner, false, all)
+	}
+	for w := 0; w < 4; w++ {
+		c.stamp[w] = 7
+	}
+	if v := fill(c, 16, NoOwner, false, all); !v.Valid || v.Line != 12 {
+		t.Fatalf("full mask: victim %+v, want line 12 (way 3)", v)
+	}
+
+	// Partial-mask branch: ways {0,1,2} hold lines 0,4,8; the highest
+	// tied way inside the mask (2) must lose, not way 3 outside it.
+	c = New(small())
+	for i := uint64(0); i < 3; i++ {
+		fill(c, i*4, NoOwner, false, 0b0111)
+	}
+	for w := 0; w < 3; w++ {
+		c.stamp[w] = 7
+	}
+	if v := fill(c, 16, NoOwner, false, 0b0111); !v.Valid || v.Line != 8 {
+		t.Fatalf("partial mask: victim %+v, want line 8 (way 2)", v)
+	}
+
+	// FillAfterMiss takes a distinct victim-selection path; pin it too.
+	c = New(small())
+	for i := uint64(0); i < 4; i++ {
+		c.FillAfterMiss(i*4, NoOwner, false, all, 0)
+	}
+	for w := 0; w < 4; w++ {
+		c.stamp[w] = 7
+	}
+	if v := c.FillAfterMiss(16, NoOwner, false, all, 0); !v.Valid || v.Line != 12 {
+		t.Fatalf("FillAfterMiss full mask: victim %+v, want line 12", v)
+	}
+	c = New(small())
+	for i := uint64(0); i < 3; i++ {
+		c.FillAfterMiss(i*4, NoOwner, false, 0b0111, 0)
+	}
+	for w := 0; w < 3; w++ {
+		c.stamp[w] = 7
+	}
+	if v := c.FillAfterMiss(16, NoOwner, false, 0b0111, 0); !v.Valid || v.Line != 8 {
+		t.Fatalf("FillAfterMiss partial mask: victim %+v, want line 8", v)
+	}
+}
+
+// refCache reimplements the cache with the original straight-line scans —
+// no valid bitmask, no MRU hint, parallel metadata arrays — as the oracle
+// for differential fuzzing. It is kept deliberately naive: every operation
+// walks the set linearly, exactly as the pre-optimization code did.
+type refCache struct {
+	cfg   Config
+	tags  []uint64
+	flags []uint8
+	owner []int32
+	stamp []uint64
+	ready []uint64
+	clock uint64
+	stats Stats
+}
+
+func newRef(cfg Config) *refCache {
+	n := cfg.Sets * cfg.Ways
+	return &refCache{
+		cfg:   cfg,
+		tags:  make([]uint64, n),
+		flags: make([]uint8, n),
+		owner: make([]int32, n),
+		stamp: make([]uint64, n),
+		ready: make([]uint64, n),
+	}
+}
+
+func (c *refCache) set(line uint64) int { return int(line & uint64(c.cfg.Sets-1)) }
+
+func (c *refCache) Lookup(line uint64, demand bool, now uint64) (bool, uint64) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			c.clock++
+			c.stamp[i] = c.clock
+			if demand && c.flags[i]&flagPrefetch != 0 {
+				c.flags[i] &^= flagPrefetch
+				c.stats.PrefetchHitsUsed++
+			}
+			c.stats.Hits++
+			var wait uint64
+			if c.ready[i] > now {
+				wait = c.ready[i] - now
+				c.stats.LateHits++
+			}
+			return true, wait
+		}
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+func (c *refCache) Probe(line uint64) bool {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.flags[base+w]&flagValid != 0 && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) Fill(line uint64, owner int, prefetch bool, mask uint64, readyAt uint64) Victim {
+	mask &= c.cfg.AllWays()
+	if mask == 0 {
+		panic("refCache: Fill with empty way mask")
+	}
+	base := c.set(line) * c.cfg.Ways
+
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			c.clock++
+			c.stamp[i] = c.clock
+			if !prefetch && c.flags[i]&flagPrefetch != 0 {
+				c.flags[i] &^= flagPrefetch
+				c.stats.PrefetchHitsUsed++
+			}
+			return Victim{}
+		}
+	}
+
+	victim := -1
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.flags[base+w]&flagValid == 0 {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		oldest := ^uint64(0)
+		for m := mask; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if c.stamp[base+w] <= oldest {
+				oldest = c.stamp[base+w]
+				victim = w
+			}
+		}
+	}
+
+	i := base + victim
+	var v Victim
+	if c.flags[i]&flagValid != 0 {
+		v = Victim{
+			Line:              c.tags[i],
+			Owner:             int(c.owner[i]),
+			Valid:             true,
+			WasUnusedPrefetch: c.flags[i]&flagPrefetch != 0,
+			Dirty:             c.flags[i]&flagDirty != 0,
+		}
+		c.stats.Evictions++
+		if v.WasUnusedPrefetch {
+			c.stats.PrefetchedEvictedUnused++
+		}
+	}
+	c.clock++
+	c.tags[i] = line
+	c.owner[i] = int32(owner)
+	c.stamp[i] = c.clock
+	c.ready[i] = readyAt
+	c.flags[i] = flagValid
+	if prefetch {
+		c.flags[i] |= flagPrefetch
+	}
+	return v
+}
+
+func (c *refCache) SetDirty(line uint64) bool {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			c.flags[i] |= flagDirty
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) Invalidate(line uint64) (found, dirty bool) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			dirty = c.flags[i]&flagDirty != 0
+			c.flags[i] = 0
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+func (c *refCache) OwnerOf(line uint64) (int, bool) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.flags[i]&flagValid != 0 && c.tags[i] == line {
+			return int(c.owner[i]), true
+		}
+	}
+	return NoOwner, false
+}
+
+// compareState fails the test unless the optimized cache and the reference
+// agree way-for-way on validity, tag, stamp, owner, flags, and ready time —
+// i.e. the machine states are bit-identical, not merely observationally
+// close.
+func compareState(t *testing.T, step int, c *Cache, r *refCache) {
+	t.Helper()
+	if c.clock != r.clock {
+		t.Fatalf("step %d: clock %d != ref %d", step, c.clock, r.clock)
+	}
+	if c.stats != r.stats {
+		t.Fatalf("step %d: stats %+v != ref %+v", step, c.stats, r.stats)
+	}
+	for s := 0; s < c.cfg.Sets; s++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			i := s*c.cfg.Ways + w
+			cv := c.valid[s]>>uint(w)&1 != 0
+			rv := r.flags[i]&flagValid != 0
+			if cv != rv {
+				t.Fatalf("step %d: set %d way %d valid %v != ref %v", step, s, w, cv, rv)
+			}
+			if !cv {
+				continue
+			}
+			m := c.meta[i]
+			if c.tags[i] != r.tags[i] || c.stamp[i] != r.stamp[i] ||
+				m.owner != r.owner[i] || m.ready != r.ready[i] {
+				t.Fatalf("step %d: set %d way %d (tag %d stamp %d owner %d ready %d) != ref (tag %d stamp %d owner %d ready %d)",
+					step, s, w, c.tags[i], c.stamp[i], m.owner, m.ready,
+					r.tags[i], r.stamp[i], r.owner[i], r.ready[i])
+			}
+			cf := m.flags & (flagPrefetch | flagDirty)
+			rf := r.flags[i] & (flagPrefetch | flagDirty)
+			if cf != rf {
+				t.Fatalf("step %d: set %d way %d flags %#x != ref %#x", step, s, w, cf, rf)
+			}
+		}
+	}
+}
+
+// FuzzCacheDifferential drives the optimized cache and the naive reference
+// with the same operation tape and requires identical return values,
+// victims, stats, and full per-way state after every step. Fill ops
+// alternate between the Fill entry point and the miss-check-then-
+// FillAfterMiss protocol the simulator uses, so the fast path is held to
+// the same oracle. Run with -race in CI; the corpus below seeds eviction
+// under full and partial masks, prefetch flag traffic, and invalidation.
+func FuzzCacheDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, uint8(0b1111))
+	f.Add([]byte{255, 254, 253, 0, 1, 2, 255, 0, 128, 64, 32, 16}, uint8(0b0011))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}, uint8(0b1000))
+	f.Add([]byte{31, 27, 23, 19, 15, 11, 7, 3, 31, 27, 23, 19}, uint8(0b0110))
+	f.Fuzz(func(t *testing.T, tape []byte, maskByte uint8) {
+		cfg := Config{Sets: 4, Ways: 4, LineBytes: 64, HitLatency: 2}
+		c := New(cfg)
+		r := newRef(cfg)
+		mask := uint64(maskByte) & cfg.AllWays()
+		if mask == 0 {
+			mask = cfg.AllWays()
+		}
+		for step := 0; step+1 < len(tape); step += 2 {
+			b, arg := tape[step], tape[step+1]
+			line := uint64(arg % 32)
+			now := uint64(step)
+			switch b % 7 {
+			case 0: // demand fill via Fill
+				cv := c.Fill(line, int(arg%8), false, mask, now+3)
+				rv := r.Fill(line, int(arg%8), false, mask, now+3)
+				if cv != rv {
+					t.Fatalf("step %d: Fill victim %+v != ref %+v", step, cv, rv)
+				}
+			case 1: // prefetch fill via Fill
+				cv := c.Fill(line, int(arg%8), true, mask, now+9)
+				rv := r.Fill(line, int(arg%8), true, mask, now+9)
+				if cv != rv {
+					t.Fatalf("step %d: prefetch Fill victim %+v != ref %+v", step, cv, rv)
+				}
+			case 2: // the simulator's protocol: miss lookup, then FillAfterMiss
+				ch, cw := c.Lookup(line, true, now)
+				rh, rw := r.Lookup(line, true, now)
+				if ch != rh || cw != rw {
+					t.Fatalf("step %d: Lookup (%v,%d) != ref (%v,%d)", step, ch, cw, rh, rw)
+				}
+				if !ch {
+					cv := c.FillAfterMiss(line, int(arg%8), arg&64 != 0, mask, now+5)
+					rv := r.Fill(line, int(arg%8), arg&64 != 0, mask, now+5)
+					if cv != rv {
+						t.Fatalf("step %d: FillAfterMiss victim %+v != ref %+v", step, cv, rv)
+					}
+				}
+			case 3: // lookup (demand or prefetch by bit 6)
+				ch, cw := c.Lookup(line, arg&64 == 0, now)
+				rh, rw := r.Lookup(line, arg&64 == 0, now)
+				if ch != rh || cw != rw {
+					t.Fatalf("step %d: Lookup (%v,%d) != ref (%v,%d)", step, ch, cw, rh, rw)
+				}
+			case 4:
+				if cd, rd := c.SetDirty(line), r.SetDirty(line); cd != rd {
+					t.Fatalf("step %d: SetDirty %v != ref %v", step, cd, rd)
+				}
+			case 5:
+				cf, cd := c.Invalidate(line)
+				rf, rd := r.Invalidate(line)
+				if cf != rf || cd != rd {
+					t.Fatalf("step %d: Invalidate (%v,%v) != ref (%v,%v)", step, cf, cd, rf, rd)
+				}
+			case 6:
+				co, cok := c.OwnerOf(line)
+				ro, rok := r.OwnerOf(line)
+				if co != ro || cok != rok {
+					t.Fatalf("step %d: OwnerOf (%d,%v) != ref (%d,%v)", step, co, cok, ro, rok)
+				}
+			}
+			if c.Probe(line) != r.Probe(line) {
+				t.Fatalf("step %d: Probe(%d) disagrees", step, line)
+			}
+			compareState(t, step, c, r)
+		}
+	})
+}

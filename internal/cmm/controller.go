@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cmm/internal/cat"
+	"cmm/internal/pmu"
 	"cmm/internal/telemetry"
 )
 
@@ -18,6 +19,13 @@ type Controller struct {
 	sink   telemetry.Sink
 
 	decisions []Decision
+
+	// snapBuf and execBuf are reused across epochs so the steady-state
+	// loop does not allocate; policies receive execBuf as their exec
+	// samples and must not retain it past the Epoch call.
+	snapBuf []pmu.Snapshot
+	execBuf []pmu.Sample
+	ct      countingTarget
 
 	// executionCycles and profilingCycles split the machine time the
 	// controller has consumed between execution epochs and the policy's
@@ -79,12 +87,13 @@ func (c *Controller) SetSink(s telemetry.Sink) { c.sink = s }
 // RunEpochs executes n full execution+profiling epochs.
 func (c *Controller) RunEpochs(n int) error {
 	for i := 0; i < n; i++ {
-		before := snapshots(c.target)
+		c.snapBuf = snapshotsInto(c.snapBuf, c.target)
 		c.target.RunCycles(c.cfg.ExecutionEpoch)
 		c.executionCycles += c.cfg.ExecutionEpoch
-		exec := deltas(c.target, before)
-		ct := &countingTarget{Target: c.target}
-		dec, err := c.policy.Epoch(ct, c.cfg, exec)
+		c.execBuf = deltasInto(c.execBuf, c.target, c.snapBuf)
+		ct := &c.ct
+		ct.Target, ct.cycles = c.target, 0
+		dec, err := c.policy.Epoch(ct, c.cfg, c.execBuf)
 		if err != nil {
 			return fmt.Errorf("cmm: epoch %d (%s): %w", i, c.policy.Name(), err)
 		}

@@ -43,7 +43,9 @@ type Policy interface {
 	// Name identifies the policy in reports ("PT", "Pref-CP", "CMM-a"...).
 	Name() string
 	// Epoch consumes the finished execution epoch's samples, profiles as
-	// needed, and applies a resource allocation.
+	// needed, and applies a resource allocation. The exec slice is a
+	// reused buffer owned by the caller: implementations must not retain
+	// it (or subslices of it) past the call.
 	Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error)
 	// Clone returns an independent instance for one run. The experiment
 	// engine executes many runs of the same policy concurrently, so two
@@ -69,13 +71,9 @@ func allocatorFor(t Target) *cat.Allocator {
 // setPrefetchers programs every core's MiscFeatureControl: cores in the
 // disabled set get all four prefetchers off, everyone else on.
 func setPrefetchers(t Target, disabled []int) error {
-	off := map[int]bool{}
-	for _, c := range disabled {
-		off[c] = true
-	}
 	for c := 0; c < t.NumCores(); c++ {
 		v := uint64(0)
-		if off[c] {
+		if containsInt(disabled, c) {
 			v = msr.DisableAll
 		}
 		if err := t.WriteMSR(c, msr.MiscFeatureControl, v); err != nil {
@@ -196,18 +194,27 @@ func comboSearch(t Target, cfg Config, ents []entity) (best uint, bestScore floa
 		}
 	}
 
+	// Scratch reused across combos; only the on/off IPC vectors escape,
+	// as copies.
+	var (
+		snaps []pmu.Snapshot
+		samps []pmu.Sample
+		ipcs  []float64
+	)
 	best, bestScore = 0, -1.0
 	for _, combo := range order {
 		if err := setPrefetchers(t, disabledFor(ents, combo)); err != nil {
 			return 0, 0, nil, nil, sampled, err
 		}
-		samples := sampleInterval(t, cfg.SamplingInterval)
-		ipcs := ipcsOf(samples)
+		snaps = snapshotsInto(snaps, t)
+		t.RunCycles(cfg.SamplingInterval)
+		samps = deltasInto(samps, t, snaps)
+		ipcs = ipcsInto(ipcs, samps)
 		switch combo {
 		case 0:
-			ipcOn = ipcs
+			ipcOn = append([]float64(nil), ipcs...)
 		case allOff:
-			ipcOff = ipcs
+			ipcOff = append([]float64(nil), ipcs...)
 		}
 		if score := metrics.HarmonicMeanIPC(ipcs); score > bestScore {
 			best, bestScore = combo, score

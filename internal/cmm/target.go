@@ -75,20 +75,40 @@ func (t *SimTarget) CATConfig() cat.Config { return t.Sys.Config().CAT }
 
 // snapshots captures all cores' PMU state.
 func snapshots(t Target) []pmu.Snapshot {
-	out := make([]pmu.Snapshot, t.NumCores())
-	for i := range out {
-		out[i] = t.ReadPMU(i)
+	return snapshotsInto(nil, t)
+}
+
+// snapshotsInto captures all cores' PMU state into buf, reusing its
+// storage when it has capacity.
+func snapshotsInto(buf []pmu.Snapshot, t Target) []pmu.Snapshot {
+	n := t.NumCores()
+	if cap(buf) < n {
+		buf = make([]pmu.Snapshot, n)
 	}
-	return out
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = t.ReadPMU(i)
+	}
+	return buf
 }
 
 // deltas returns the per-core samples since the given snapshots.
 func deltas(t Target, since []pmu.Snapshot) []pmu.Sample {
-	out := make([]pmu.Sample, t.NumCores())
-	for i := range out {
-		out[i] = t.ReadPMU(i).Delta(since[i])
+	return deltasInto(nil, t, since)
+}
+
+// deltasInto computes the per-core samples since the given snapshots into
+// buf, reusing its storage when it has capacity.
+func deltasInto(buf []pmu.Sample, t Target, since []pmu.Snapshot) []pmu.Sample {
+	n := t.NumCores()
+	if cap(buf) < n {
+		buf = make([]pmu.Sample, n)
 	}
-	return out
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = t.ReadPMU(i).Delta(since[i])
+	}
+	return buf
 }
 
 // sampleInterval runs the machine for the given cycles and returns what
@@ -101,9 +121,18 @@ func sampleInterval(t Target, cycles uint64) []pmu.Sample {
 
 // ipcsOf extracts per-core IPCs from samples.
 func ipcsOf(samples []pmu.Sample) []float64 {
-	out := make([]float64, len(samples))
-	for i, s := range samples {
-		out[i] = s.IPC()
+	return ipcsInto(nil, samples)
+}
+
+// ipcsInto extracts per-core IPCs into buf, reusing its storage when it
+// has capacity.
+func ipcsInto(buf []float64, samples []pmu.Sample) []float64 {
+	if cap(buf) < len(samples) {
+		buf = make([]float64, len(samples))
 	}
-	return out
+	buf = buf[:len(samples)]
+	for i, s := range samples {
+		buf[i] = s.IPC()
+	}
+	return buf
 }

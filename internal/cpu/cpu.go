@@ -77,6 +77,17 @@ type Core struct {
 	clock     float64 // fractional cycle accumulator
 	lastClock uint64  // last whole-cycle value pushed to the PMU
 
+	// Per-step constants hoisted out of the hot loop. refCycles is the
+	// issue cost of one reference computed with the same division the
+	// loop used to perform, so accumulation stays bit-identical.
+	refInstrs uint64
+	refCycles float64
+	l1Lat     float64
+	l2Lat     float64
+	l2HitLat  int
+	l1All     uint64
+	l2All     uint64
+
 	// storeAcc accumulates StoreFrac so stores are spread evenly and
 	// deterministically through the reference stream.
 	storeAcc float64
@@ -118,6 +129,7 @@ func New(id int, params Params, spec workload.Spec, gen workload.Generator,
 	for 1<<shift < lb {
 		shift++
 	}
+	instrs := uint64(1 + spec.GapInstrs)
 	return &Core{
 		id:        id,
 		params:    params,
@@ -129,6 +141,13 @@ func New(id int, params Params, spec workload.Spec, gen workload.Generator,
 		shared:    shared,
 		base:      uint64(id) << params.AddrSpaceBits,
 		lineShift: shift,
+		refInstrs: instrs,
+		refCycles: float64(instrs) / float64(params.IssueWidth),
+		l1Lat:     float64(l1.Config().HitLatency),
+		l2Lat:     float64(l2.Config().HitLatency),
+		l2HitLat:  l2.Config().HitLatency,
+		l1All:     l1.Config().AllWays(),
+		l2All:     l2.Config().AllWays(),
 		reqBuf:    make([]prefetch.Request, 0, 16),
 	}, nil
 }
@@ -189,9 +208,8 @@ func (c *Core) step() {
 	addr := c.base + vaddr
 	line := addr >> c.lineShift
 
-	instrs := uint64(1 + c.spec.GapInstrs)
-	c.counters.Add(pmu.Instructions, instrs)
-	c.clock += float64(instrs) / float64(c.params.IssueWidth)
+	c.counters.Add(pmu.Instructions, c.refInstrs)
+	c.clock += c.refCycles
 
 	// Spread stores deterministically per StoreFrac (write-allocate:
 	// stores take the same fill path as loads, then dirty the line).
@@ -208,8 +226,7 @@ func (c *Core) step() {
 	now := uint64(c.clock)
 	c.counters.Inc(pmu.L1DmReq)
 	l1hit, l1wait := c.l1.Lookup(line, true, now)
-	l1Lat := float64(c.l1.Config().HitLatency)
-	stall := l1Lat + float64(l1wait)
+	stall := c.l1Lat + float64(l1wait)
 	if !l1hit {
 		c.counters.Inc(pmu.L1DmMiss)
 		beyond, l2miss := c.demandL2(line, now)
@@ -222,7 +239,7 @@ func (c *Core) step() {
 		// The core stalls until the data is usable, so a demand fill is
 		// ready the moment execution resumes (MLP overlap already hid
 		// the rest of the raw latency).
-		if v := c.l1.Fill(line, c.id, false, c.l1.Config().AllWays(), now); v.Valid && v.Dirty {
+		if v := c.l1.FillAfterMiss(line, c.id, false, c.l1All, now); v.Valid && v.Dirty {
 			c.writebackToL2(v.Line, now)
 		}
 	}
@@ -247,8 +264,7 @@ func (c *Core) step() {
 func (c *Core) demandL2(line uint64, now uint64) (float64, bool) {
 	c.counters.Inc(pmu.L2DmReq)
 	l2hit, l2wait := c.l2.Lookup(line, true, now)
-	l2Lat := float64(c.l2.Config().HitLatency)
-	beyond := l2Lat + float64(l2wait)
+	beyond := c.l2Lat + float64(l2wait)
 	if !l2hit {
 		c.counters.Inc(pmu.L2DmMiss)
 		lat, llcMiss := c.shared.AccessShared(c.id, line, mem.Demand, now)
@@ -258,7 +274,7 @@ func (c *Core) demandL2(line uint64, now uint64) (float64, bool) {
 			beyond += serializeCycles * float64(c.prefToMemLastStep)
 		}
 		beyond += float64(lat)
-		if v := c.l2.Fill(line, c.id, false, c.l2.Config().AllWays(), now); v.Valid && v.Dirty {
+		if v := c.l2.FillAfterMiss(line, c.id, false, c.l2All, now); v.Valid && v.Dirty {
 			c.shared.WritebackShared(c.id, v.Line)
 		}
 	}
@@ -284,7 +300,7 @@ func (c *Core) runL1Prefetch(line uint64, now uint64) {
 	// DEMAND_DATA_RD as including L1D prefetches); Table-I metrics like
 	// PGA (M-4) depend on this.
 	c.counters.Inc(pmu.L2DmReq)
-	srcLat := c.l2.Config().HitLatency
+	srcLat := c.l2HitLat
 	l2hit, _ := c.l2.Lookup(line, false, now)
 	if !l2hit {
 		c.counters.Inc(pmu.L2DmMiss)
@@ -298,7 +314,7 @@ func (c *Core) runL1Prefetch(line uint64, now uint64) {
 	for _, r := range c.pf.ObserveL2(line, false, !l2hit) {
 		c.runL2Prefetch(r.Line, now)
 	}
-	if v := c.l1.Fill(line, c.id, true, c.l1.Config().AllWays(), now+uint64(srcLat)); v.Valid && v.Dirty {
+	if v := c.l1.FillAfterMiss(line, c.id, true, c.l1All, now+uint64(srcLat)); v.Valid && v.Dirty {
 		c.writebackToL2(v.Line, now)
 	}
 }
@@ -310,7 +326,7 @@ func (c *Core) writebackToL2(line uint64, now uint64) {
 	if c.l2.SetDirty(line) {
 		return
 	}
-	v := c.l2.Fill(line, c.id, false, c.l2.Config().AllWays(), now)
+	v := c.l2.FillAfterMiss(line, c.id, false, c.l2All, now)
 	c.l2.SetDirty(line)
 	if v.Valid && v.Dirty {
 		c.shared.WritebackShared(c.id, v.Line)
@@ -331,7 +347,7 @@ func (c *Core) runL2Prefetch(line uint64, now uint64) {
 		c.counters.Inc(pmu.L3PrefMiss)
 		c.prefToMemThisStep++
 	}
-	if v := c.l2.Fill(line, c.id, true, c.l2.Config().AllWays(), now+uint64(lat)); v.Valid && v.Dirty {
+	if v := c.l2.FillAfterMiss(line, c.id, true, c.l2All, now+uint64(lat)); v.Valid && v.Dirty {
 		c.shared.WritebackShared(c.id, v.Line)
 	}
 }

@@ -43,10 +43,13 @@ func runSolo(opts Options, spec workload.Spec, seed int64, msrVal uint64, ways i
 		}
 	}
 	sys.Run(opts.SoloWarmCycles)
-	snap := sys.Snapshots()
+	bufs := measPool.Get().(*measBufs)
+	defer measPool.Put(bufs)
+	bufs.snaps = sys.SnapshotsInto(bufs.snaps)
 	bytesBefore := sys.Memory().TotalBytes(0)
 	sys.Run(opts.SoloMeasureCycles)
-	s := sys.Deltas(snap)[0]
+	bufs.samples = sys.DeltasInto(bufs.samples, bufs.snaps)
+	s := bufs.samples[0]
 	bytes := sys.Memory().TotalBytes(0) - bytesBefore
 	if opts.Telemetry != nil {
 		opts.Telemetry.Emit(telemetry.Event{

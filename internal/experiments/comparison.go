@@ -27,6 +27,16 @@ type policyRun struct {
 	ExecCycles, ProfCycles uint64
 }
 
+// measBufs holds reusable PMU measurement buffers. Runs borrow them from
+// measPool so repeated sweeps (and each parallel worker) reuse storage
+// instead of allocating per run.
+type measBufs struct {
+	snaps   []pmu.Snapshot
+	samples []pmu.Sample
+}
+
+var measPool = sync.Pool{New: func() any { return new(measBufs) }}
+
 // runPolicy executes the controller-driven run for one mix.
 func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (policyRun, error) {
 	sys, err := sim.New(opts.Sim, mix.Specs, seed)
@@ -46,7 +56,9 @@ func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (poli
 			return policyRun{}, err
 		}
 	}
-	snaps := sys.Snapshots()
+	bufs := measPool.Get().(*measBufs)
+	defer measPool.Put(bufs)
+	bufs.snaps = sys.SnapshotsInto(bufs.snaps)
 	bytesBefore := uint64(0)
 	for c := 0; c < sys.NumCores(); c++ {
 		bytesBefore += sys.Memory().TotalBytes(c)
@@ -55,7 +67,8 @@ func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (poli
 	if err := ctrl.RunEpochs(opts.MeasureEpochs); err != nil {
 		return policyRun{}, err
 	}
-	deltas := sys.Deltas(snaps)
+	bufs.samples = sys.DeltasInto(bufs.samples, bufs.snaps)
+	deltas := bufs.samples
 	run := policyRun{
 		IPC:    sim.IPCs(deltas),
 		Cycles: sys.Now() - start,

@@ -11,7 +11,11 @@
 // MSR writes throttle.
 package prefetch
 
-import "cmm/internal/msr"
+import (
+	"math/bits"
+
+	"cmm/internal/msr"
+)
 
 // Level says which cache a prefetch request fills into.
 type Level uint8
@@ -88,6 +92,11 @@ type Unit struct {
 	params  Params
 	disable uint64 // msr.Disable* bits currently in force
 
+	// lineShift replaces the per-access divisions by LineBytes when it is
+	// a power of two (always, for the modelled machines); <0 selects the
+	// division fallback.
+	lineShift int
+
 	ip     ipTable
 	stream streamTable
 
@@ -104,12 +113,29 @@ type Unit struct {
 
 // NewUnit builds a prefetch unit with all four prefetchers enabled.
 func NewUnit(p Params) *Unit {
-	u := &Unit{params: p}
+	u := &Unit{params: p, lineShift: pow2Shift(uint64(p.LineBytes))}
 	u.ip.init(p)
 	u.stream.init(p)
 	u.scratchL1 = make([]Request, 0, 16)
 	u.scratchL2 = make([]Request, 0, 16)
 	return u
+}
+
+// pow2Shift returns log2(n) when n is a positive power of two, else -1.
+func pow2Shift(n uint64) int {
+	if n == 0 || n&(n-1) != 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(n)
+}
+
+// lineOf converts a byte address to a line id, shifting when LineBytes is
+// a power of two to keep the integer division off the per-access path.
+func (u *Unit) lineOf(addr uint64) uint64 {
+	if u.lineShift >= 0 {
+		return addr >> uint(u.lineShift)
+	}
+	return addr / uint64(u.params.LineBytes)
 }
 
 // Params returns the tuning in force.
@@ -136,10 +162,10 @@ func (u *Unit) Enabled(disableBit uint64) bool { return u.disable&disableBit == 
 // requests they generate. The returned slice is reused by the next call.
 func (u *Unit) ObserveL1(pc, addr uint64, hit bool) []Request {
 	u.scratchL1 = u.scratchL1[:0]
-	line := addr / uint64(u.params.LineBytes)
+	line := u.lineOf(addr)
 	if u.Enabled(msr.DisableL1IP) {
 		if target, ok := u.ip.observe(pc, addr, u.params); ok {
-			tl := target / uint64(u.params.LineBytes)
+			tl := u.lineOf(target)
 			if tl != line {
 				u.scratchL1 = append(u.scratchL1, Request{Line: tl, Level: L1})
 				u.stats.IPIssued++
@@ -185,6 +211,7 @@ type ipTable struct {
 	last    []uint64
 	strides []int64
 	conf    []int8
+	shift   int // pow2Shift(len(pcs)); <0 selects the modulo fallback
 }
 
 func (t *ipTable) init(p Params) {
@@ -192,10 +219,16 @@ func (t *ipTable) init(p Params) {
 	t.last = make([]uint64, p.IPTableSize)
 	t.strides = make([]int64, p.IPTableSize)
 	t.conf = make([]int8, p.IPTableSize)
+	t.shift = pow2Shift(uint64(p.IPTableSize))
 }
 
 func (t *ipTable) observe(pc, addr uint64, p Params) (target uint64, ok bool) {
-	i := int(pc % uint64(len(t.pcs)))
+	var i int
+	if t.shift >= 0 {
+		i = int(pc & (uint64(len(t.pcs)) - 1))
+	} else {
+		i = int(pc % uint64(len(t.pcs)))
+	}
 	if t.pcs[i] != pc {
 		t.pcs[i] = pc
 		t.last[i] = addr
@@ -232,6 +265,14 @@ type streamTable struct {
 	ahead []int64 // furthest line offset already prefetched
 	lru   []uint64
 	clock uint64
+
+	// hint is the tracker touched by the previous observe. Streams revisit
+	// the same page for many accesses in a row, so checking it first skips
+	// the table scan; page ids are unique among valid trackers, making the
+	// probe order irrelevant to which tracker is found.
+	hint int
+	// lppShift is pow2Shift(linesPerPage()); <0 selects division.
+	lppShift int
 }
 
 func (t *streamTable) init(p Params) {
@@ -246,21 +287,35 @@ func (t *streamTable) init(p Params) {
 		t.last[i] = -1
 	}
 	t.clock = 0
+	t.hint = 0
+	t.lppShift = pow2Shift(p.linesPerPage())
 }
 
 // observe feeds an L2 access and appends generated prefetches to out,
 // returning how many were appended.
 func (t *streamTable) observe(line uint64, p Params, out *[]Request) int {
 	lpp := p.linesPerPage()
-	page := line / lpp
-	off := int64(line % lpp)
+	var page uint64
+	var off int64
+	if t.lppShift >= 0 {
+		page = line >> uint(t.lppShift)
+		off = int64(line & (lpp - 1))
+	} else {
+		page = line / lpp
+		off = int64(line % lpp)
+	}
 
-	// Find or allocate the tracker for this page.
+	// Find or allocate the tracker for this page, probing the previously
+	// touched tracker first.
 	idx := -1
-	for i, pg := range t.pages {
-		if pg == page && t.last[i] >= 0 {
-			idx = i
-			break
+	if h := t.hint; t.pages[h] == page && t.last[h] >= 0 {
+		idx = h
+	} else {
+		for i, pg := range t.pages {
+			if pg == page && t.last[i] >= 0 {
+				idx = i
+				break
+			}
 		}
 	}
 	t.clock++
@@ -279,9 +334,11 @@ func (t *streamTable) observe(line uint64, p Params, out *[]Request) int {
 		t.conf[idx] = 0
 		t.ahead[idx] = off
 		t.lru[idx] = t.clock
+		t.hint = idx
 		return 0
 	}
 	t.lru[idx] = t.clock
+	t.hint = idx
 
 	step := off - t.last[idx]
 	t.last[idx] = off

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultMemoryEntries is the default capacity of the in-memory LRU front.
@@ -27,6 +29,8 @@ type Stats struct {
 	// Errors counts non-fatal disk failures (unreadable files, failed
 	// writes) that were absorbed as misses.
 	Errors int64
+	// Evictions counts disk entries removed by Sweep (age or size limit).
+	Evictions int64
 }
 
 // Store is a content-addressed cache of JSON-encoded run results with an
@@ -39,12 +43,19 @@ type Store struct {
 	dir string // "" = memory only
 	cap int
 
+	// maxBytes and maxAge bound the disk body; Sweep enforces them.
+	// Zero means unlimited.
+	maxBytes int64
+	maxAge   time.Duration
+
 	mu       sync.Mutex
 	order    *list.List               // front = most recent; values are *memEntry
 	index    map[string]*list.Element // key -> element in order
 	inflight map[string]*flight
 
-	hits, misses, computes, quarantined, errs atomic.Int64
+	sweepMu sync.Mutex // serializes Sweep walks
+
+	hits, misses, computes, quarantined, errs, evictions atomic.Int64
 }
 
 type memEntry struct {
@@ -70,6 +81,28 @@ func WithMemoryEntries(n int) Option {
 	return func(s *Store) {
 		if n > 0 {
 			s.cap = n
+		}
+	}
+}
+
+// WithMaxBytes caps the disk body's total size; Sweep evicts the
+// least-recently-used entries (by file mtime, which disk reads refresh)
+// until the body fits. n <= 0 means unlimited.
+func WithMaxBytes(n int64) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.maxBytes = n
+		}
+	}
+}
+
+// WithMaxAge expires disk entries not read or written for longer than d;
+// Sweep removes them regardless of the size budget. d <= 0 means
+// unlimited.
+func WithMaxAge(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.maxAge = d
 		}
 	}
 }
@@ -259,6 +292,12 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 		}
 		return nil, false
 	}
+	if s.maxBytes > 0 || s.maxAge > 0 {
+		// Refresh the mtime so Sweep's LRU-by-mtime ordering tracks reads,
+		// not just writes. Best-effort: a read-only body still serves.
+		now := time.Now()
+		os.Chtimes(p, now, now)
+	}
 	return data, true
 }
 
@@ -306,7 +345,65 @@ func (s *Store) Stats() Stats {
 		Computes:    s.computes.Load(),
 		Quarantined: s.quarantined.Load(),
 		Errors:      s.errs.Load(),
+		Evictions:   s.evictions.Load(),
 	}
+}
+
+// Sweep enforces the WithMaxAge / WithMaxBytes limits on the disk body:
+// entries unused for longer than the age limit are removed, then the
+// least-recently-used entries (by mtime; reads refresh it) go until the
+// body fits the byte budget. It returns how many entries were evicted.
+// Memory-only stores and stores without limits are a no-op. Safe for
+// concurrent use; concurrent Sweeps serialize.
+func (s *Store) Sweep() (evicted int, err error) {
+	if s.dir == "" || (s.maxBytes <= 0 && s.maxAge <= 0) {
+		return 0, nil
+	}
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+
+	type diskEntry struct {
+		path  string
+		mtime time.Time
+		size  int64
+	}
+	var entries []diskEntry
+	var total int64
+	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			// Raced with another remover; skip the entry.
+			return nil
+		}
+		entries = append(entries, diskEntry{path: path, mtime: info.ModTime(), size: info.Size()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("runstore: sweep: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	now := time.Now()
+	for _, e := range entries {
+		expired := s.maxAge > 0 && now.Sub(e.mtime) > s.maxAge
+		over := s.maxBytes > 0 && total > s.maxBytes
+		if !expired && !over {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if !os.IsNotExist(err) {
+				s.errs.Add(1)
+			}
+			continue
+		}
+		total -= e.size
+		evicted++
+		s.evictions.Add(1)
+	}
+	return evicted, nil
 }
 
 // DiskUsage walks the disk body and reports how many entries it holds and

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func testKey(i int) string {
@@ -278,5 +279,126 @@ func TestStoreShardLayout(t *testing.T) {
 	want := filepath.Join(dir, key[:2], key+".json")
 	if _, err := os.Stat(want); err != nil {
 		t.Errorf("entry not at sharded path %s: %v", want, err)
+	}
+}
+
+// backdate pushes a disk entry's mtime into the past so sweep tests can
+// order and expire entries deterministically.
+func backdate(t *testing.T, s *Store, key string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.path(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMaxBytesEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	val := []byte(`{"pad":"` + string(bytes.Repeat([]byte{'x'}, 90)) + `"}`) // ~100B each
+	s, err := Open(dir, WithMaxBytes(int64(3*len(val))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testKey(i), val); err != nil {
+			t.Fatal(err)
+		}
+		// Strictly increasing ages: key 0 is the oldest.
+		backdate(t, s, testKey(i), time.Duration(10-i)*time.Hour)
+	}
+	n, err := s.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Sweep evicted %d entries, want 2", n)
+	}
+	if st := s.Stats(); st.Evictions != 2 {
+		t.Fatalf("Stats().Evictions = %d, want 2", st.Evictions)
+	}
+	// The two oldest are gone from disk, the three newest remain.
+	for i := 0; i < 5; i++ {
+		_, err := os.Stat(s.path(testKey(i)))
+		if gone := i < 2; gone != os.IsNotExist(err) {
+			t.Errorf("key %d: on-disk presence wrong after sweep (stat err %v)", i, err)
+		}
+	}
+	entries, bytesOnDisk, err := s.DiskUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 || bytesOnDisk > int64(3*len(val)) {
+		t.Errorf("after sweep: %d entries / %d bytes, want 3 entries within budget", entries, bytesOnDisk)
+	}
+}
+
+func TestSweepMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithMaxAge(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backdate(t, s, testKey(0), 2*time.Hour)
+	n, err := s.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Sweep evicted %d entries, want 1 (only the expired one)", n)
+	}
+	if _, err := os.Stat(s.path(testKey(0))); !os.IsNotExist(err) {
+		t.Error("expired entry still on disk")
+	}
+}
+
+func TestSweepReadRefreshesRecency(t *testing.T) {
+	dir := t.TempDir()
+	val := []byte(`{"v":1}`)
+	s, err := Open(dir, WithMaxBytes(int64(2*len(val))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), val); err != nil {
+			t.Fatal(err)
+		}
+		backdate(t, s, testKey(i), time.Duration(10-i)*time.Hour)
+	}
+	// A disk read of the oldest entry must refresh its mtime; reopen so
+	// the read cannot be served from memory.
+	s2, err := Open(dir, WithMaxBytes(int64(2*len(val))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(testKey(0)); !ok {
+		t.Fatal("disk entry unreadable")
+	}
+	if _, err := s2.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s2.path(testKey(0))); err != nil {
+		t.Error("recently read entry was evicted")
+	}
+	if _, err := os.Stat(s2.path(testKey(1))); !os.IsNotExist(err) {
+		t.Error("LRU entry survived the sweep")
+	}
+}
+
+func TestSweepNoLimitsNoop(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Sweep()
+	if err != nil || n != 0 {
+		t.Fatalf("Sweep on an unlimited store: %d, %v; want 0, nil", n, err)
 	}
 }

@@ -195,5 +195,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "cmm_store_disk_entries %d\n", entries)
 			fmt.Fprintf(w, "cmm_store_disk_bytes %d\n", bytes)
 		}
+		fmt.Fprintf(w, "cmm_store_evictions_total %d\n", s.cfg.Store.Stats().Evictions)
 	}
 }

@@ -1,0 +1,19 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof exposes the standard net/http/pprof profiling endpoints on
+// mux under /debug/pprof/. The daemons mount it only behind their -pprof
+// flag: CPU/heap profiling of a live service is invaluable when chasing a
+// regression, but the handlers cost real CPU while sampling, so they stay
+// off by default.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

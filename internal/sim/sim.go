@@ -101,9 +101,13 @@ type System struct {
 	bank  *msr.Emulated
 	alloc *cat.Allocator
 
-	// masks caches each core's effective CAT fill mask, refreshed on
-	// every relevant MSR write.
-	masks []uint64
+	// masks caches each core's effective CAT fill mask. Relevant MSR
+	// writes only mark it dirty; the recomputation is coalesced to the
+	// next Run/AccessShared so a policy writing many registers
+	// back-to-back (PT combo sampling) triggers one refresh, not one
+	// per write.
+	masks      []uint64
+	masksDirty bool
 
 	now    uint64
 	rotate int
@@ -196,6 +200,15 @@ func (s *System) msrWritten(cpuID int, reg uint32, v uint64) {
 	case reg == msr.PQRAssoc,
 		reg >= msr.L3MaskBase && reg < msr.L3MaskBase+uint32(s.cfg.CAT.NumCLOS),
 		reg >= msr.MBAThrottleBase && reg < msr.MBAThrottleBase+uint32(s.cfg.CAT.NumCLOS):
+		s.masksDirty = true
+	}
+}
+
+// flushMasks applies pending CAT/MBA register writes to the cached fill
+// masks and memory throttles. Cheap no-op when nothing changed.
+func (s *System) flushMasks() {
+	if s.masksDirty {
+		s.masksDirty = false
 		s.refreshMasks()
 	}
 }
@@ -222,12 +235,13 @@ func (s *System) refreshMasks() {
 // victim's owner. Hits on in-flight fills (another core's — or an earlier
 // prefetch's — data still on its way) wait out the remainder.
 func (s *System) AccessShared(core int, line uint64, kind mem.RequestKind, now uint64) (int, bool) {
+	s.flushMasks()
 	demand := kind == mem.Demand
 	if hit, wait := s.llc.Lookup(line, demand, now); hit {
 		return s.cfg.LLC.HitLatency + int(wait), false
 	}
 	lat := s.cfg.LLC.HitLatency + s.memc.Access(core, kind)
-	victim := s.llc.Fill(line, core, !demand, s.masks[core], now+uint64(lat))
+	victim := s.llc.FillAfterMiss(line, core, !demand, s.masks[core], now+uint64(lat))
 	if victim.Valid {
 		dirty := victim.Dirty
 		if victim.Owner >= 0 && victim.Owner < len(s.cores) {
@@ -262,6 +276,7 @@ func (s *System) WritebackShared(core int, line uint64) {
 // the core service order each round to avoid ordering bias, and ticking
 // the memory controller's utilization window at round boundaries.
 func (s *System) Run(d uint64) {
+	s.flushMasks()
 	end := s.now + d
 	for s.now < end {
 		next := s.now + s.cfg.RoundCycles
@@ -280,20 +295,38 @@ func (s *System) Run(d uint64) {
 
 // Snapshots captures every core's PMU state at once.
 func (s *System) Snapshots() []pmu.Snapshot {
-	out := make([]pmu.Snapshot, len(s.cores))
-	for i, c := range s.cores {
-		out[i] = c.PMU().Snapshot()
+	return s.SnapshotsInto(nil)
+}
+
+// SnapshotsInto captures every core's PMU state into buf, reusing its
+// storage when it has capacity. The returned slice has one entry per core.
+func (s *System) SnapshotsInto(buf []pmu.Snapshot) []pmu.Snapshot {
+	if cap(buf) < len(s.cores) {
+		buf = make([]pmu.Snapshot, len(s.cores))
 	}
-	return out
+	buf = buf[:len(s.cores)]
+	for i, c := range s.cores {
+		buf[i] = c.PMU().Snapshot()
+	}
+	return buf
 }
 
 // Deltas returns per-core samples since the given snapshots.
 func (s *System) Deltas(since []pmu.Snapshot) []pmu.Sample {
-	out := make([]pmu.Sample, len(s.cores))
-	for i, c := range s.cores {
-		out[i] = c.PMU().Snapshot().Delta(since[i])
+	return s.DeltasInto(nil, since)
+}
+
+// DeltasInto computes per-core samples since the given snapshots into buf,
+// reusing its storage when it has capacity.
+func (s *System) DeltasInto(buf []pmu.Sample, since []pmu.Snapshot) []pmu.Sample {
+	if cap(buf) < len(s.cores) {
+		buf = make([]pmu.Sample, len(s.cores))
 	}
-	return out
+	buf = buf[:len(s.cores)]
+	for i, c := range s.cores {
+		buf[i] = c.PMU().Snapshot().Delta(since[i])
+	}
+	return buf
 }
 
 // IPCs extracts each core's IPC from a slice of samples.

@@ -406,3 +406,31 @@ func TestWritebackBandwidthAccounted(t *testing.T) {
 		t.Fatal("no writeback traffic with StoreFrac 0.3 and a tiny partition")
 	}
 }
+
+// BenchmarkMeasureLoop is the steady-state epoch measurement loop: advance
+// the machine one round and capture per-core PMU deltas into reused
+// buffers. The Into variants keep this allocation-free (allocs/op must
+// stay ~0; BENCH_*.json tracks it).
+func BenchmarkMeasureLoop(b *testing.B) {
+	specs := []workload.Spec{}
+	for _, n := range []string{"410.bwaves", "462.libquantum", "rand_access", "429.mcf",
+		"471.omnetpp", "453.povray", "444.namd", "rand_access.B"} {
+		s, _ := workload.ByName(n)
+		specs = append(specs, s)
+	}
+	s, err := New(DefaultConfig(), specs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(200_000) // warm
+	var snaps []pmu.Snapshot
+	var samples []pmu.Sample
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snaps = s.SnapshotsInto(snaps)
+		s.Run(DefaultConfig().RoundCycles)
+		samples = s.DeltasInto(samples, snaps)
+	}
+	_ = samples
+}

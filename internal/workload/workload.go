@@ -198,7 +198,10 @@ func newStream(s Spec) *streamGen {
 
 func (g *streamGen) Next() (uint64, uint64) {
 	i := g.turn
-	g.turn = (g.turn + 1) % len(g.pos)
+	g.turn++
+	if g.turn == len(g.pos) {
+		g.turn = 0
+	}
 	addr := g.base[i] + g.pos[i]
 	g.pos[i] += uint64(g.spec.StepBytes)
 	if g.pos[i] >= g.size {
