@@ -95,7 +95,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			startSweeper(ctx, store, *sweepEvery)
+			runstore.StartSweeper(ctx, store, *sweepEvery, 0.1, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "cmmd: "+format+"\n", args...)
+			})
 		}
 		wait := serveMetrics(ctx, *listen, store, *pprofOn)
 		defer func() { stop(); wait() }()
@@ -250,34 +252,6 @@ func serveMetrics(ctx context.Context, addr string, store *runstore.Store, pprof
 		}
 	}()
 	return func() { <-done }
-}
-
-// startSweeper enforces the store's eviction limits once at startup and
-// then every interval until ctx is cancelled.
-func startSweeper(ctx context.Context, store *runstore.Store, every time.Duration) {
-	sweep := func() {
-		if n, err := store.Sweep(); err != nil {
-			fmt.Fprintln(os.Stderr, "cmmd: store sweep:", err)
-		} else if n > 0 {
-			fmt.Printf("store sweep evicted %d entries\n", n)
-		}
-	}
-	sweep()
-	if every <= 0 {
-		return
-	}
-	go func() {
-		t := time.NewTicker(every)
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				sweep()
-			}
-		}
-	}()
 }
 
 // printCounters reports the aggregate telemetry after the epoch loop.

@@ -12,12 +12,24 @@
 //
 // The store can be bounded with -store-max-bytes and -store-max-age:
 // least-recently-used entries past either limit are evicted on a -sweep
-// interval, and /metrics reports cmm_store_evictions_total alongside the
-// disk gauges. -pprof mounts net/http/pprof at /debug/pprof/ for live
-// profiling.
+// interval (jittered so a cluster doesn't sweep in lockstep), and
+// /metrics reports cmm_store_evictions_total alongside the disk gauges.
+// -pprof mounts net/http/pprof at /debug/pprof/ for live profiling.
 //
-// SIGINT/SIGTERM drain the service: the listener stops accepting, queued
-// jobs are cancelled, and running jobs get -grace to finish.
+// With -store, jobs are also durable: records live in <store>/jobs and
+// several cmmserve processes pointed at the same -store form a
+// coordinator-free cluster. Workers claim jobs through atomic leases,
+// heartbeat while running, retry failures with exponential backoff up to
+// -max-attempts, and reap jobs from peers that died mid-run — so a
+// worker can be SIGKILLed and its jobs still finish elsewhere:
+//
+//	cmmserve -listen :8090 -store /var/lib/cmm/runs -worker-id a
+//	cmmserve -listen :8091 -store /var/lib/cmm/runs -worker-id b
+//
+// SIGINT/SIGTERM drain the service: /healthz flips to "draining", the
+// listener stops accepting, queued jobs are cancelled (memory mode) or
+// left for surviving workers (durable mode), and running jobs get -grace
+// to finish — after which they are requeued for the cluster.
 package main
 
 import (
@@ -28,9 +40,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"cmm/internal/jobstore"
 	"cmm/internal/runstore"
 	"cmm/internal/server"
 	"cmm/internal/telemetry"
@@ -42,12 +56,18 @@ func main() {
 		storeDir      = flag.String("store", "", "content-addressed run store directory (empty: in-memory cache only)")
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "evict least-recently-used store entries past this disk size (0 = unlimited)")
 		storeMaxAge   = flag.Duration("store-max-age", 0, "evict store entries unused for longer than this (0 = unlimited)")
-		sweepEvery    = flag.Duration("sweep", 10*time.Minute, "how often to enforce the store limits")
+		sweepEvery    = flag.Duration("sweep", 10*time.Minute, "how often to enforce the store limits (jittered ±10% so workers sharing a store don't sweep in lockstep)")
 		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		jobs          = flag.Int("jobs", 1, "jobs executing concurrently")
 		queue         = flag.Int("queue", 16, "max queued jobs before submissions get 503")
 		timeout       = flag.Duration("timeout", 0, "default per-job execution timeout (0 = none)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight requests and running jobs")
+
+		workerID       = flag.String("worker-id", "", "this worker's identity in the shared job store (default host-pid)")
+		leaseTTL       = flag.Duration("lease-ttl", 15*time.Second, "job lease time-to-live; a worker silent for this long loses its jobs to peers")
+		maxAttempts    = flag.Int("max-attempts", 3, "executions a job gets before it is quarantined as failed")
+		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt execution timeout, retried with backoff (0 = none)")
+		scanEvery      = flag.Duration("scan", 0, "shared-store scan interval for adopting jobs and reaping dead workers (0 = lease-ttl/3)")
 	)
 	flag.Parse()
 
@@ -57,13 +77,35 @@ func main() {
 		fatal(err)
 	}
 
+	// With a durable store, jobs live beside it: any cmmserve process
+	// pointed at the same -store forms a fault-tolerant cluster with this
+	// one, claiming jobs through atomic leases.
+	var jstore *jobstore.Store
+	if *storeDir != "" {
+		var jopts []jobstore.Option
+		if *workerID != "" {
+			jopts = append(jopts, jobstore.WithWorker(*workerID))
+		}
+		jopts = append(jopts, jobstore.WithTTL(*leaseTTL))
+		jstore, err = jobstore.Open(filepath.Join(*storeDir, "jobs"), jopts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cmmserve: durable jobs at %s (worker %s, lease ttl %s)\n",
+			jstore.Dir(), jstore.Worker(), *leaseTTL)
+	}
+
 	var counters telemetry.Counters
 	srv := server.New(server.Config{
 		Store:          store,
+		Jobs:           jstore,
 		Workers:        *jobs,
 		QueueDepth:     *queue,
 		Counters:       &counters,
 		DefaultTimeout: *timeout,
+		MaxAttempts:    *maxAttempts,
+		AttemptTimeout: *attemptTimeout,
+		ScanInterval:   *scanEvery,
 	})
 
 	ln, err := net.Listen("tcp", *listen)
@@ -77,7 +119,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	startSweeper(ctx, store, *sweepEvery)
+	runstore.StartSweeper(ctx, store, *sweepEvery, 0.1, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cmmserve: "+format+"\n", args...)
+	})
+	// Flip /healthz to "draining" the moment the signal arrives, so load
+	// balancers stop routing here while in-flight requests finish.
+	go func() {
+		<-ctx.Done()
+		srv.BeginDrain()
+	}()
 
 	handler := srv.Handler()
 	if *pprofOn {
@@ -100,35 +150,6 @@ func main() {
 	}
 	st := store.Stats()
 	fmt.Printf("cmmserve: drained; store served %d hits / %d misses\n", st.Hits, st.Misses)
-}
-
-// startSweeper enforces the store's eviction limits once at startup and
-// then every interval until ctx is cancelled. Stores without limits make
-// Sweep a no-op, so the goroutine is started unconditionally.
-func startSweeper(ctx context.Context, store *runstore.Store, every time.Duration) {
-	sweep := func() {
-		if n, err := store.Sweep(); err != nil {
-			fmt.Fprintln(os.Stderr, "cmmserve: store sweep:", err)
-		} else if n > 0 {
-			fmt.Printf("cmmserve: store sweep evicted %d entries\n", n)
-		}
-	}
-	sweep()
-	if every <= 0 {
-		return
-	}
-	go func() {
-		t := time.NewTicker(every)
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				sweep()
-			}
-		}
-	}()
 }
 
 func fatal(err error) {

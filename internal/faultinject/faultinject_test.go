@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultInjectOSRoundTrip(t *testing.T) {
+	var osfs OS
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a", "b.txt")
+	if err := osfs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := osfs.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	q := filepath.Join(dir, "a", "c.txt")
+	if err := osfs.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := osfs.ReadDir(filepath.Dir(q))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "c.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := osfs.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjectCreateExclusive(t *testing.T) {
+	var osfs OS
+	p := filepath.Join(t.TempDir(), "lease")
+	if err := osfs.CreateExclusive(p, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := osfs.CreateExclusive(p, []byte("two"), 0o644)
+	if !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("second CreateExclusive = %v, want fs.ErrExist", err)
+	}
+	got, _ := osfs.ReadFile(p)
+	if string(got) != "one" {
+		t.Fatalf("losing create overwrote the file: %q", got)
+	}
+}
+
+// TestFaultInjectCreateExclusiveRace hammers one path from many
+// goroutines: exactly one create may win.
+func TestFaultInjectCreateExclusiveRace(t *testing.T) {
+	var osfs OS
+	p := filepath.Join(t.TempDir(), "lease")
+	const n = 16
+	var wg sync.WaitGroup
+	wins := make(chan int, n)
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := osfs.CreateExclusive(p, []byte{byte(i)}, 0o644); err == nil {
+				wins <- i
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d goroutines won the exclusive create, want 1", len(winners))
+	}
+	got, _ := osfs.ReadFile(p)
+	if len(got) != 1 || int(got[0]) != winners[0] {
+		t.Fatalf("file holds %v, want winner %d's payload", got, winners[0])
+	}
+}
+
+func TestFaultInjectErrorEveryN(t *testing.T) {
+	boom := errors.New("injected EIO")
+	ffs := Wrap(OS{}).Inject(Fault{Op: OpRead, EveryN: 3, Err: boom})
+	p := filepath.Join(t.TempDir(), "f")
+	if err := ffs.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	for range 9 {
+		if _, err := ffs.ReadFile(p); errors.Is(err, boom) {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Errorf("9 reads with every-3rd fault: %d failures, want 3", failures)
+	}
+	if got := ffs.Count(OpRead); got != 9 {
+		t.Errorf("Count(read) = %d, want 9", got)
+	}
+}
+
+func TestFaultInjectTimesBound(t *testing.T) {
+	boom := errors.New("transient")
+	ffs := Wrap(OS{}).Inject(Fault{Op: OpWrite, EveryN: 1, Times: 2, Err: boom})
+	p := filepath.Join(t.TempDir(), "f")
+	var failures int
+	for range 5 {
+		if err := ffs.WriteFile(p, []byte("x"), 0o644); err != nil {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Errorf("Times=2 fault fired %d times, want 2", failures)
+	}
+}
+
+func TestFaultInjectTornWrite(t *testing.T) {
+	ffs := Wrap(OS{}).Inject(Fault{Op: OpWrite, Torn: true, Times: 1})
+	p := filepath.Join(t.TempDir(), "f")
+	data := []byte(`{"complete":"json value"}`)
+	// The torn write "succeeds" silently but persists only a prefix.
+	if err := ffs.WriteFile(p, data, 0o644); err != nil {
+		t.Fatalf("silent torn write returned %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data)/2 {
+		t.Errorf("torn write persisted %d bytes, want %d", len(got), len(data)/2)
+	}
+	// The fault is exhausted; the next write is whole.
+	if err := ffs.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(p); len(got) != len(data) {
+		t.Errorf("post-fault write persisted %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestFaultInjectOpAnyAndReset(t *testing.T) {
+	boom := errors.New("boom")
+	ffs := Wrap(OS{}).Inject(Fault{Op: OpAny, Err: boom})
+	dir := t.TempDir()
+	if err := ffs.MkdirAll(filepath.Join(dir, "x"), 0o755); !errors.Is(err, boom) {
+		t.Errorf("mkdir under OpAny fault = %v, want injected error", err)
+	}
+	if _, err := ffs.ReadDir(dir); !errors.Is(err, boom) {
+		t.Errorf("readdir under OpAny fault = %v, want injected error", err)
+	}
+	ffs.Reset()
+	if err := ffs.MkdirAll(filepath.Join(dir, "x"), 0o755); err != nil {
+		t.Errorf("mkdir after Reset = %v", err)
+	}
+}
+
+func TestFaultInjectLatency(t *testing.T) {
+	ffs := Wrap(OS{}).Inject(Fault{Op: OpRead, Delay: 30 * time.Millisecond})
+	p := filepath.Join(t.TempDir(), "f")
+	os.WriteFile(p, []byte("x"), 0o644)
+	start := time.Now()
+	if _, err := ffs.ReadFile(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("read with injected latency took %v, want >= 30ms", d)
+	}
+}
+
+func TestFaultInjectFakeClock(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewFakeClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now().Sub(start); got != 90*time.Second {
+		t.Fatalf("advanced by %v, want 90s", got)
+	}
+}

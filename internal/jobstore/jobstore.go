@@ -1,0 +1,664 @@
+// Package jobstore is the durable, lease-based job layer that turns N
+// server processes sharing one store directory into a coordinator-free
+// cluster. Every submitted job is persisted as a JSON record next to the
+// content-addressed run store; any worker may claim a queued job by
+// atomically creating its lease file, renews the lease while it runs
+// (heartbeat), and writes the result and terminal state under that
+// lease. A worker that dies mid-job simply stops renewing: once the
+// lease deadline passes, any surviving worker reaps it — atomically, via
+// a rename only one reaper can win — and requeues the job with its
+// attempt count bumped. Delivery is therefore at-least-once; results are
+// exactly-once because the result file is created exclusively and run
+// results are content-addressed (a re-execution recomputes bit-identical
+// bytes or is served from the run store).
+//
+// File layout under the store directory (extensions deliberately not
+// .json so the run store's sweeps and disk gauges never touch them):
+//
+//	<id>.job    the job record: request, state, attempts, error history
+//	<id>.lease  present while a worker owns the job (worker id, deadline)
+//	<id>.result the terminal result payload, created exclusively once
+//
+// Record updates are temp-file+rename so readers never observe a torn
+// record; the lease claim is an exclusive create, and expired-lease
+// takeover renames the stale lease aside so exactly one reaper wins.
+// All I/O goes through the faultinject seam.
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cmm/internal/faultinject"
+)
+
+// Job states, shared with the HTTP server's wire format.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed" // terminal quarantine: MaxAttempts exhausted
+	StateCanceled = "canceled"
+)
+
+// Errors the lease protocol reports.
+var (
+	// ErrNotFound means the job record does not exist.
+	ErrNotFound = errors.New("jobstore: job not found")
+	// ErrLeaseHeld means another worker holds a live lease on the job.
+	ErrLeaseHeld = errors.New("jobstore: lease held by another worker")
+	// ErrLeaseLost means this worker's lease was reaped (it expired and
+	// another worker took the job over). The holder must stop working on
+	// the job and must not write its record or result.
+	ErrLeaseLost = errors.New("jobstore: lease lost")
+	// ErrNotClaimable means the record is not in a claimable state
+	// (terminal, canceled, or its retry backoff has not elapsed).
+	ErrNotClaimable = errors.New("jobstore: job not claimable")
+)
+
+// AttemptError is one failed execution in a record's history.
+type AttemptError struct {
+	Attempt int       `json:"attempt"`
+	Worker  string    `json:"worker"`
+	Time    time.Time `json:"time"`
+	Error   string    `json:"error"`
+}
+
+// Record is the durable form of one job.
+type Record struct {
+	ID      string          `json:"id"`
+	Request json.RawMessage `json:"request"`
+	State   string          `json:"state"`
+	// Attempt counts executions started (claims that reached running).
+	Attempt int `json:"attempt"`
+	// MaxAttempts quarantines the job (State failed) once Attempt reaches
+	// it without success.
+	MaxAttempts int `json:"max_attempts"`
+	// NotBefore gates retries: a queued record is not claimable until
+	// this instant (zero = immediately).
+	NotBefore time.Time `json:"not_before,omitempty"`
+	// Worker is the last worker to run (or requeue) the job.
+	Worker string `json:"worker,omitempty"`
+	// Errors accumulates one entry per failed attempt — the quarantine
+	// post-mortem.
+	Errors    []AttemptError `json:"errors,omitempty"`
+	CreatedAt time.Time      `json:"created_at"`
+	UpdatedAt time.Time      `json:"updated_at"`
+}
+
+// LastError returns the most recent attempt error, or "".
+func (r *Record) LastError() string {
+	if len(r.Errors) == 0 {
+		return ""
+	}
+	return r.Errors[len(r.Errors)-1].Error
+}
+
+// leaseFile is the on-disk lease payload.
+type leaseFile struct {
+	Worker   string    `json:"worker"`
+	Granted  time.Time `json:"granted"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// LeaseInfo describes one live lease for monitoring.
+type LeaseInfo struct {
+	JobID    string
+	Worker   string
+	Granted  time.Time
+	Deadline time.Time
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithWorker sets this process's worker identity (stamped into leases
+// and records). Defaults to host-pid.
+func WithWorker(id string) Option {
+	return func(s *Store) {
+		if id != "" {
+			s.worker = id
+		}
+	}
+}
+
+// WithTTL sets the lease time-to-live: a worker that misses renewals for
+// this long is considered dead and its jobs are reaped. Default 15s.
+func WithTTL(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.ttl = d
+		}
+	}
+}
+
+// WithBackoff tunes the retry backoff: delay = base·2^(attempt-1),
+// capped at max, with ±20% jitter. Defaults 1s base, 1m cap.
+func WithBackoff(base, max time.Duration) Option {
+	return func(s *Store) {
+		if base > 0 {
+			s.backoffBase = base
+		}
+		if max > 0 {
+			s.backoffMax = max
+		}
+	}
+}
+
+// WithFS substitutes the filesystem (fault-injection seam).
+func WithFS(fsys faultinject.FS) Option {
+	return func(s *Store) {
+		if fsys != nil {
+			s.fsys = fsys
+		}
+	}
+}
+
+// WithClock substitutes the time source (lease deadlines and expiry).
+func WithClock(c faultinject.Clock) Option {
+	return func(s *Store) {
+		if c != nil {
+			s.clock = c
+		}
+	}
+}
+
+// Store is one worker's handle on the shared job directory. Safe for
+// concurrent use by multiple goroutines and, by construction, by
+// multiple processes on the same directory.
+type Store struct {
+	dir    string
+	worker string
+	ttl    time.Duration
+
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	fsys  faultinject.FS
+	clock faultinject.Clock
+}
+
+// Open roots a job store at dir, creating it if needed.
+func Open(dir string, opts ...Option) (*Store, error) {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	s := &Store{
+		dir:         dir,
+		worker:      fmt.Sprintf("%s-%d", host, os.Getpid()),
+		ttl:         15 * time.Second,
+		backoffBase: time.Second,
+		backoffMax:  time.Minute,
+		fsys:        faultinject.OS{},
+		clock:       faultinject.RealClock{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: open %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the job directory root.
+func (s *Store) Dir() string { return s.dir }
+
+// Worker returns this store handle's worker identity.
+func (s *Store) Worker() string { return s.worker }
+
+// TTL returns the lease time-to-live (heartbeats should renew well
+// within it, e.g. every TTL/3).
+func (s *Store) TTL() time.Duration { return s.ttl }
+
+func (s *Store) recordPath(id string) string { return filepath.Join(s.dir, id+".job") }
+func (s *Store) leasePath(id string) string  { return filepath.Join(s.dir, id+".lease") }
+func (s *Store) resultPath(id string) string { return filepath.Join(s.dir, id+".result") }
+
+// writeRecord persists rec atomically (temp file + rename).
+func (s *Store) writeRecord(rec *Record) error {
+	rec.UpdatedAt = s.clock.Now()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode record: %w", err)
+	}
+	p := s.recordPath(rec.ID)
+	tmp := p + ".tmp" + fmt.Sprintf("%08x", mrand.Uint32())
+	if err := s.fsys.WriteFile(tmp, data, 0o644); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("jobstore: write record: %w", err)
+	}
+	if err := s.fsys.Rename(tmp, p); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("jobstore: commit record: %w", err)
+	}
+	return nil
+}
+
+// Enqueue persists a new queued record for id. The request payload is
+// the submission's wire JSON so any worker can rebuild the job.
+func (s *Store) Enqueue(id string, request []byte, maxAttempts int) (*Record, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	rec := &Record{
+		ID:          id,
+		Request:     json.RawMessage(request),
+		State:       StateQueued,
+		MaxAttempts: maxAttempts,
+		CreatedAt:   s.clock.Now(),
+	}
+	if err := s.writeRecord(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Get loads the record for id.
+func (s *Store) Get(id string) (*Record, error) {
+	data, err := s.fsys.ReadFile(s.recordPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("jobstore: read record: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("jobstore: decode record %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// List returns every record in the directory, oldest first. Records that
+// fail to parse are skipped (a torn record is unreadable only until its
+// writer's rename lands or its job is re-enqueued).
+func (s *Store) List() ([]*Record, error) {
+	ents, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: list: %w", err)
+	}
+	var recs []*Record
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".job") {
+			continue
+		}
+		rec, err := s.Get(strings.TrimSuffix(name, ".job"))
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].CreatedAt.Before(recs[j].CreatedAt) })
+	return recs, nil
+}
+
+// Delete removes a job's record, lease, and result (best-effort; used
+// when admission fails after the record was persisted).
+func (s *Store) Delete(id string) {
+	s.fsys.Remove(s.leasePath(id))
+	s.fsys.Remove(s.resultPath(id))
+	s.fsys.Remove(s.recordPath(id))
+}
+
+// Lease is a held claim on one job. The holder must Renew before the
+// deadline (heartbeat) and finish with Complete, Fail, Requeue, Cancel,
+// or Release.
+type Lease struct {
+	store    *Store
+	JobID    string
+	Deadline time.Time
+}
+
+// Claim attempts to take the lease on id. It succeeds when no lease
+// exists or the existing lease has expired (takeover: the stale lease is
+// renamed aside, so exactly one claimant wins). ErrLeaseHeld means a
+// live lease is in the way; ErrNotClaimable means the record is not
+// queued or its retry backoff has not elapsed.
+func (s *Store) Claim(id string) (*Lease, error) {
+	rec, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	now := s.clock.Now()
+	switch {
+	case rec.State == StateQueued:
+		if now.Before(rec.NotBefore) {
+			return nil, ErrNotClaimable
+		}
+	case rec.State == StateRunning:
+		// Claimable only over a dead worker's expired lease.
+	default:
+		return nil, ErrNotClaimable
+	}
+
+	deadline := now.Add(s.ttl)
+	payload, _ := json.Marshal(leaseFile{Worker: s.worker, Granted: now, Deadline: deadline})
+	lp := s.leasePath(id)
+	err = s.fsys.CreateExclusive(lp, payload, 0o644)
+	if err == nil {
+		return &Lease{store: s, JobID: id, Deadline: deadline}, nil
+	}
+	if !errors.Is(err, fs.ErrExist) {
+		return nil, fmt.Errorf("jobstore: claim %s: %w", id, err)
+	}
+
+	// A lease file exists. Read it; a live deadline means the job is
+	// owned. An unreadable or expired lease is reaped by renaming it to a
+	// worker-unique tombstone: the rename's source disappears for every
+	// other reaper, so exactly one wins the takeover.
+	data, rerr := s.fsys.ReadFile(lp)
+	if rerr == nil {
+		var lf leaseFile
+		if json.Unmarshal(data, &lf) == nil && now.Before(lf.Deadline) {
+			return nil, ErrLeaseHeld
+		}
+	} else if !os.IsNotExist(rerr) {
+		return nil, ErrLeaseHeld // can't prove it expired; be conservative
+	}
+	tomb := lp + ".reaped." + s.worker + fmt.Sprintf(".%08x", mrand.Uint32())
+	if err := s.fsys.Rename(lp, tomb); err != nil {
+		return nil, ErrLeaseHeld // another reaper won (or transient I/O; retry later)
+	}
+	s.fsys.Remove(tomb)
+	if err := s.fsys.CreateExclusive(lp, payload, 0o644); err != nil {
+		return nil, ErrLeaseHeld // raced with a fresh claimant after our reap
+	}
+	return &Lease{store: s, JobID: id, Deadline: deadline}, nil
+}
+
+// readLease loads and parses the lease file for id.
+func (s *Store) readLease(id string) (*leaseFile, error) {
+	data, err := s.fsys.ReadFile(s.leasePath(id))
+	if err != nil {
+		return nil, err
+	}
+	var lf leaseFile
+	if err := json.Unmarshal(data, &lf); err != nil {
+		return nil, err
+	}
+	return &lf, nil
+}
+
+// Renew extends the lease deadline by the store's TTL — the heartbeat.
+// ErrLeaseLost means the lease was reaped (or rewritten by another
+// worker); the holder must abandon the job immediately.
+func (l *Lease) Renew() error {
+	s := l.store
+	lf, err := s.readLease(l.JobID)
+	if err != nil || lf.Worker != s.worker {
+		return ErrLeaseLost
+	}
+	now := s.clock.Now()
+	lf.Deadline = now.Add(s.ttl)
+	payload, _ := json.Marshal(lf)
+	lp := s.leasePath(l.JobID)
+	tmp := lp + ".renew" + fmt.Sprintf(".%08x", mrand.Uint32())
+	if err := s.fsys.WriteFile(tmp, payload, 0o644); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("jobstore: renew %s: %w", l.JobID, err)
+	}
+	if err := s.fsys.Rename(tmp, lp); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("jobstore: renew %s: %w", l.JobID, err)
+	}
+	l.Deadline = lf.Deadline
+	return nil
+}
+
+// verify checks the lease is still ours before a terminal write — the
+// fencing that keeps a worker whose lease was reaped from clobbering the
+// new owner's state.
+func (l *Lease) verify() error {
+	lf, err := l.store.readLease(l.JobID)
+	if err != nil || lf.Worker != l.store.worker {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// Release drops the lease without changing the record (used after a
+// claim turns out to be moot, e.g. the record was canceled meanwhile).
+func (l *Lease) Release() error {
+	if err := l.verify(); err != nil {
+		return err
+	}
+	return l.store.fsys.Remove(l.store.leasePath(l.JobID))
+}
+
+// MarkRunning transitions the claimed record to running, charging one
+// attempt. Call immediately after Claim.
+func (s *Store) MarkRunning(l *Lease, rec *Record) error {
+	if err := l.verify(); err != nil {
+		return err
+	}
+	rec.State = StateRunning
+	rec.Attempt++
+	rec.Worker = s.worker
+	return s.writeRecord(rec)
+}
+
+// Complete writes the job's result exactly once and marks the record
+// done, then releases the lease. A lease that was reaped meanwhile
+// yields ErrLeaseLost and writes nothing. A result file that already
+// exists (a previous owner won the race to finish) is not overwritten;
+// the record is still marked done.
+func (s *Store) Complete(l *Lease, rec *Record, result []byte) error {
+	if err := l.verify(); err != nil {
+		return err
+	}
+	if err := s.fsys.CreateExclusive(s.resultPath(rec.ID), result, 0o644); err != nil && !errors.Is(err, fs.ErrExist) {
+		return fmt.Errorf("jobstore: write result %s: %w", rec.ID, err)
+	}
+	rec.State = StateDone
+	rec.Worker = s.worker
+	if err := s.writeRecord(rec); err != nil {
+		return err
+	}
+	s.fsys.Remove(s.leasePath(rec.ID))
+	return nil
+}
+
+// Fail records a failed attempt under the lease. Below MaxAttempts the
+// job is requeued with exponential-backoff NotBefore (retried=true);
+// at MaxAttempts it is quarantined: state failed, terminal, with the
+// full error history (retried=false). Either way the lease is released.
+func (s *Store) Fail(l *Lease, rec *Record, errMsg string) (retried bool, err error) {
+	if err := l.verify(); err != nil {
+		return false, err
+	}
+	now := s.clock.Now()
+	rec.Errors = append(rec.Errors, AttemptError{
+		Attempt: rec.Attempt, Worker: s.worker, Time: now, Error: errMsg,
+	})
+	rec.Worker = s.worker
+	if rec.Attempt >= rec.MaxAttempts {
+		rec.State = StateFailed
+		retried = false
+	} else {
+		rec.State = StateQueued
+		rec.NotBefore = now.Add(s.Backoff(rec.Attempt))
+		retried = true
+	}
+	if err := s.writeRecord(rec); err != nil {
+		return retried, err
+	}
+	s.fsys.Remove(s.leasePath(rec.ID))
+	return retried, nil
+}
+
+// Requeue returns a running job to the queue under the lease without
+// charging an error — the drain path: a shutting-down worker hands its
+// in-flight jobs back to the cluster.
+func (s *Store) Requeue(l *Lease, rec *Record) error {
+	if err := l.verify(); err != nil {
+		return err
+	}
+	rec.State = StateQueued
+	rec.NotBefore = time.Time{}
+	rec.Worker = s.worker
+	if err := s.writeRecord(rec); err != nil {
+		return err
+	}
+	s.fsys.Remove(s.leasePath(rec.ID))
+	return nil
+}
+
+// Cancel marks a queued record canceled (best-effort; a worker that
+// claims concurrently re-reads the record and skips canceled jobs).
+func (s *Store) Cancel(id string, reason string) error {
+	rec, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	if rec.State != StateQueued && rec.State != StateRunning {
+		return nil
+	}
+	rec.State = StateCanceled
+	rec.Errors = append(rec.Errors, AttemptError{
+		Attempt: rec.Attempt, Worker: s.worker, Time: s.clock.Now(), Error: reason,
+	})
+	return s.writeRecord(rec)
+}
+
+// CancelUnderLease marks the held record canceled and releases the lease
+// (the owner observed its job's context cancelled by a client).
+func (s *Store) CancelUnderLease(l *Lease, rec *Record, reason string) error {
+	if err := l.verify(); err != nil {
+		return err
+	}
+	rec.State = StateCanceled
+	rec.Errors = append(rec.Errors, AttemptError{
+		Attempt: rec.Attempt, Worker: s.worker, Time: s.clock.Now(), Error: reason,
+	})
+	rec.Worker = s.worker
+	if err := s.writeRecord(rec); err != nil {
+		return err
+	}
+	s.fsys.Remove(s.leasePath(rec.ID))
+	return nil
+}
+
+// Result returns the job's terminal result payload.
+func (s *Store) Result(id string) ([]byte, error) {
+	data, err := s.fsys.ReadFile(s.resultPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("jobstore: read result: %w", err)
+	}
+	return data, nil
+}
+
+// ReapExpired checks a running record's lease and, when it has expired
+// (the owner died), atomically takes it over and requeues the job with
+// its attempt count intact (the dead worker's attempt was already
+// charged at MarkRunning). Exactly one concurrent reaper succeeds;
+// the rest report reaped=false.
+func (s *Store) ReapExpired(rec *Record) (reaped bool, err error) {
+	if rec.State != StateRunning {
+		return false, nil
+	}
+	now := s.clock.Now()
+	lf, rerr := s.readLease(rec.ID)
+	if rerr == nil && now.Before(lf.Deadline) {
+		return false, nil // owner is alive
+	}
+	if rerr != nil && os.IsNotExist(rerr) {
+		// Running record with no lease: the owner crashed between claim
+		// bookkeeping steps. Requeue via the claim path below.
+	} else if rerr != nil {
+		return false, nil // unreadable lease: retry next scan
+	}
+	l, cerr := s.Claim(rec.ID) // running + expired lease → takeover
+	if cerr != nil {
+		return false, nil // another reaper won
+	}
+	// Re-read under the lease: the old owner may have finished just
+	// before we reaped.
+	fresh, gerr := s.Get(rec.ID)
+	if gerr != nil || fresh.State != StateRunning {
+		l.Release()
+		return false, nil
+	}
+	fresh.State = StateQueued
+	fresh.NotBefore = time.Time{}
+	if rec.MaxAttempts > 0 && fresh.Attempt >= fresh.MaxAttempts {
+		// The dead worker burned the last attempt; quarantine rather than
+		// loop forever on a job that kills its workers.
+		fresh.State = StateFailed
+		fresh.Errors = append(fresh.Errors, AttemptError{
+			Attempt: fresh.Attempt, Worker: s.worker, Time: now,
+			Error: fmt.Sprintf("lease expired (worker %s died); attempt limit reached", fresh.Worker),
+		})
+	}
+	if err := s.writeRecord(fresh); err != nil {
+		l.Release()
+		return false, err
+	}
+	s.fsys.Remove(s.leasePath(rec.ID))
+	*rec = *fresh
+	return true, nil
+}
+
+// Leases lists the live leases in the directory (expired ones are
+// skipped) for the /metrics lease-age gauges.
+func (s *Store) Leases() ([]LeaseInfo, error) {
+	ents, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: leases: %w", err)
+	}
+	now := s.clock.Now()
+	var infos []LeaseInfo
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".lease") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".lease")
+		lf, err := s.readLease(id)
+		if err != nil || now.After(lf.Deadline) {
+			continue
+		}
+		infos = append(infos, LeaseInfo{JobID: id, Worker: lf.Worker, Granted: lf.Granted, Deadline: lf.Deadline})
+	}
+	return infos, nil
+}
+
+// Backoff returns the retry delay after the given (1-based) attempt:
+// base·2^(attempt-1) capped at the maximum, with ±20% jitter so a burst
+// of failures doesn't retry in lockstep.
+func (s *Store) Backoff(attempt int) time.Duration {
+	return BackoffDelay(s.backoffBase, s.backoffMax, attempt)
+}
+
+// BackoffDelay is the store's backoff schedule as a free function, for
+// callers (like the server's memory-only retry path) that have no store.
+func BackoffDelay(base, max time.Duration, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := 0.8 + 0.4*mrand.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Now exposes the store's clock (tests and the server's gauges share it).
+func (s *Store) Now() time.Time { return s.clock.Now() }

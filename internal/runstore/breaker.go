@@ -1,0 +1,99 @@
+package runstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default circuit-breaker tuning: the disk has to fail this many times
+// in a row before the store stops talking to it, and stays quiet this
+// long before probing again.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// breaker is a consecutive-failure circuit breaker over the store's disk
+// I/O. When the disk fails threshold times in a row the breaker opens:
+// disk reads report misses and disk writes are skipped without touching
+// the failing device, so callers degrade to compute-without-memoization
+// instead of stalling or erroring on every operation. After cooldown one
+// probe operation is let through (half-open); its outcome closes or
+// re-opens the breaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	openedAt    time.Time
+	probing     bool
+
+	trips   atomic.Int64
+	skipped atomic.Int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a disk operation may proceed now. While open it
+// admits exactly one probe per cooldown window and skips the rest.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if !b.probing && now.Sub(b.openedAt) >= b.cooldown {
+		b.probing = true
+		return true
+	}
+	b.skipped.Add(1)
+	return false
+}
+
+// success records a completed disk operation, closing an open breaker
+// (the probe succeeded) and resetting the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.open = false
+	b.probing = false
+}
+
+// failure records a failed disk operation, opening the breaker once the
+// streak reaches the threshold (or immediately when a probe fails).
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.open && b.probing {
+		// Failed probe: stay open for another cooldown window.
+		b.probing = false
+		b.openedAt = now
+		return
+	}
+	if !b.open && b.consecutive >= b.threshold {
+		b.open = true
+		b.probing = false
+		b.openedAt = now
+		b.trips.Add(1)
+	}
+}
+
+// isOpen reports the breaker state for metrics.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

@@ -2,15 +2,29 @@ package runstore
 
 import (
 	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	mrand "math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cmm/internal/faultinject"
 )
+
+// ErrBreakerOpen is returned by Put when the disk circuit breaker is
+// open: the write was skipped (the in-memory entry is still installed),
+// and the store is degrading to compute-without-memoization until the
+// disk recovers.
+var ErrBreakerOpen = errors.New("runstore: circuit breaker open; disk write skipped")
 
 // DefaultMemoryEntries is the default capacity of the in-memory LRU front.
 const DefaultMemoryEntries = 1024
@@ -31,6 +45,14 @@ type Stats struct {
 	Errors int64
 	// Evictions counts disk entries removed by Sweep (age or size limit).
 	Evictions int64
+	// BreakerOpen reports whether the disk circuit breaker is currently
+	// open (disk I/O suspended, store degraded to memory + compute).
+	BreakerOpen bool
+	// BreakerTrips counts closed→open transitions of the breaker.
+	BreakerTrips int64
+	// BreakerSkipped counts disk operations skipped while the breaker was
+	// open.
+	BreakerSkipped int64
 }
 
 // Store is a content-addressed cache of JSON-encoded run results with an
@@ -47,6 +69,15 @@ type Store struct {
 	// Zero means unlimited.
 	maxBytes int64
 	maxAge   time.Duration
+
+	// fsys and clock are the fault-injection seam: production stores use
+	// the real OS and clock, tests substitute failing/torn/slow variants.
+	fsys  faultinject.FS
+	clock faultinject.Clock
+
+	// brk suspends disk I/O after consecutive failures so a dead disk
+	// degrades the store to memory + compute instead of erroring per op.
+	brk *breaker
 
 	mu       sync.Mutex
 	order    *list.List               // front = most recent; values are *memEntry
@@ -107,6 +138,35 @@ func WithMaxAge(d time.Duration) Option {
 	}
 }
 
+// WithFS substitutes the filesystem the store's disk body goes through —
+// the fault-injection seam. A nil fs keeps the real OS.
+func WithFS(fsys faultinject.FS) Option {
+	return func(s *Store) {
+		if fsys != nil {
+			s.fsys = fsys
+		}
+	}
+}
+
+// WithClock substitutes the store's time source (mtime refreshes, sweep
+// age checks, breaker cooldowns). A nil clock keeps the real one.
+func WithClock(c faultinject.Clock) Option {
+	return func(s *Store) {
+		if c != nil {
+			s.clock = c
+		}
+	}
+}
+
+// WithBreaker tunes the disk circuit breaker: the store stops touching
+// the disk after threshold consecutive I/O failures and probes it again
+// after cooldown. Non-positive values keep the defaults.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(s *Store) {
+		s.brk = newBreaker(threshold, cooldown)
+	}
+}
+
 // Open returns a store rooted at dir, creating the directory if needed.
 // An empty dir yields a memory-only store (no persistence) — useful for
 // tests and for servers run without a -store flag.
@@ -117,12 +177,17 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		order:    list.New(),
 		index:    map[string]*list.Element{},
 		inflight: map[string]*flight{},
+		fsys:     faultinject.OS{},
+		clock:    faultinject.RealClock{},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.brk == nil {
+		s.brk = newBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown)
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("runstore: open %s: %w", dir, err)
 		}
 	}
@@ -274,29 +339,39 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 	if s.dir == "" {
 		return nil, false
 	}
+	if !s.brk.allow(s.clock.Now()) {
+		return nil, false // degraded: treat as a miss without touching the disk
+	}
 	p := s.path(key)
-	data, err := os.ReadFile(p)
+	data, err := s.fsys.ReadFile(p)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.errs.Add(1)
+			s.brk.failure(s.clock.Now())
 		}
+		// Absence is neutral: it is not a fault, but it proves so little
+		// about disk health (a full disk still resolves lookups) that it
+		// must not reset the breaker's consecutive-failure count either —
+		// otherwise a store whose every write fails would interleave
+		// misses with failures and never trip.
 		return nil, false
 	}
+	s.brk.success()
 	if !json.Valid(data) {
 		s.quarantined.Add(1)
-		if err := os.Rename(p, p+".corrupt"); err != nil {
+		if err := s.fsys.Rename(p, p+".corrupt"); err != nil {
 			// Renaming failed (e.g. read-only store); removing is the
 			// other way to free the slot, and if that fails too the
 			// entry simply stays a miss.
-			os.Remove(p)
+			s.fsys.Remove(p)
 		}
 		return nil, false
 	}
 	if s.maxBytes > 0 || s.maxAge > 0 {
 		// Refresh the mtime so Sweep's LRU-by-mtime ordering tracks reads,
 		// not just writes. Best-effort: a read-only body still serves.
-		now := time.Now()
-		os.Chtimes(p, now, now)
+		now := s.clock.Now()
+		s.fsys.Chtimes(p, now, now)
 	}
 	return data, true
 }
@@ -308,44 +383,54 @@ func (s *Store) diskPut(key string, val []byte) error {
 	if s.dir == "" {
 		return nil
 	}
+	if !s.brk.allow(s.clock.Now()) {
+		return ErrBreakerOpen
+	}
 	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := s.fsys.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		s.errs.Add(1)
+		s.brk.failure(s.clock.Now())
 		return fmt.Errorf("runstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
-	if err != nil {
+	tmp := filepath.Join(filepath.Dir(p), "."+key+".tmp"+randSuffix())
+	if err := s.fsys.WriteFile(tmp, val, 0o644); err != nil {
+		s.fsys.Remove(tmp)
 		s.errs.Add(1)
+		s.brk.failure(s.clock.Now())
 		return fmt.Errorf("runstore: %w", err)
 	}
-	if _, err := tmp.Write(val); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if err := s.fsys.Rename(tmp, p); err != nil {
+		s.fsys.Remove(tmp)
 		s.errs.Add(1)
+		s.brk.failure(s.clock.Now())
 		return fmt.Errorf("runstore: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		s.errs.Add(1)
-		return fmt.Errorf("runstore: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		s.errs.Add(1)
-		return fmt.Errorf("runstore: %w", err)
-	}
+	s.brk.success()
 	return nil
+}
+
+// randSuffix makes concurrent temp-file writers collision-free without
+// os.CreateTemp (whose *os.File handle the FS seam doesn't model).
+func randSuffix() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Computes:    s.computes.Load(),
-		Quarantined: s.quarantined.Load(),
-		Errors:      s.errs.Load(),
-		Evictions:   s.evictions.Load(),
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Computes:       s.computes.Load(),
+		Quarantined:    s.quarantined.Load(),
+		Errors:         s.errs.Load(),
+		Evictions:      s.evictions.Load(),
+		BreakerOpen:    s.brk.isOpen(),
+		BreakerTrips:   s.brk.trips.Load(),
+		BreakerSkipped: s.brk.skipped.Load(),
 	}
 }
 
@@ -369,7 +454,7 @@ func (s *Store) Sweep() (evicted int, err error) {
 	}
 	var entries []diskEntry
 	var total int64
-	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+	err = s.fsys.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
 			return err
 		}
@@ -386,14 +471,14 @@ func (s *Store) Sweep() (evicted int, err error) {
 		return 0, fmt.Errorf("runstore: sweep: %w", err)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
-	now := time.Now()
+	now := s.clock.Now()
 	for _, e := range entries {
 		expired := s.maxAge > 0 && now.Sub(e.mtime) > s.maxAge
 		over := s.maxBytes > 0 && total > s.maxBytes
 		if !expired && !over {
 			break
 		}
-		if err := os.Remove(e.path); err != nil {
+		if err := s.fsys.Remove(e.path); err != nil {
 			if !os.IsNotExist(err) {
 				s.errs.Add(1)
 			}
@@ -413,7 +498,7 @@ func (s *Store) DiskUsage() (entries int, bytes int64, err error) {
 	if s.dir == "" {
 		return 0, 0, nil
 	}
-	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+	err = s.fsys.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
 			return err
 		}
@@ -426,4 +511,50 @@ func (s *Store) DiskUsage() (entries int, bytes int64, err error) {
 		return nil
 	})
 	return entries, bytes, err
+}
+
+// StartSweeper enforces the store's eviction limits once synchronously
+// and then on a jittered interval until ctx is cancelled. Each wait is
+// drawn uniformly from every·[1-jitter, 1+jitter] so multiple workers
+// sharing one store directory don't sweep in lockstep (jitter is clamped
+// to [0, 0.5]; pass 0 for a fixed period). logf receives human-readable
+// progress and errors; nil discards them. every <= 0 runs only the
+// initial sweep. Stores without limits make Sweep a no-op, so callers
+// may start the sweeper unconditionally.
+func StartSweeper(ctx context.Context, s *Store, every time.Duration, jitter float64, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sweep := func() {
+		if n, err := s.Sweep(); err != nil {
+			logf("store sweep: %v", err)
+		} else if n > 0 {
+			logf("store sweep evicted %d entries", n)
+		}
+	}
+	sweep()
+	if every <= 0 {
+		return
+	}
+	jitter = math.Min(math.Max(jitter, 0), 0.5)
+	next := func() time.Duration {
+		if jitter == 0 {
+			return every
+		}
+		f := 1 + jitter*(2*mrand.Float64()-1)
+		return time.Duration(float64(every) * f)
+	}
+	go func() {
+		t := time.NewTimer(next())
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				sweep()
+				t.Reset(next())
+			}
+		}
+	}()
 }

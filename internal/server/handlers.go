@@ -4,10 +4,16 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 )
+
+// retryAfterSeconds is the hint sent with 503 rejections: full queues
+// drain on job-completion timescales, so a short client pause is right.
+const retryAfterSeconds = "5"
 
 // Handler returns the service's HTTP API:
 //
@@ -16,8 +22,8 @@ import (
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result finished result (JSON; ?format=csv for comparisons)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /metrics             counters + store/queue gauges, text exposition
-//	GET    /healthz             liveness
+//	GET    /metrics             counters + store/queue/lease gauges, text exposition
+//	GET    /healthz             liveness ("ok", or 503 "draining" during shutdown)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -26,11 +32,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz distinguishes draining from healthy so load balancers
+// stop routing to a worker that is shutting down while it finishes its
+// running jobs.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // httpError is the uniform error body.
@@ -38,6 +54,14 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpUnavailable is httpError(503) plus a Retry-After hint so
+// well-behaved clients back off instead of hammering a full queue or a
+// draining worker.
+func httpUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	httpError(w, http.StatusServiceUnavailable, format, args...)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -49,16 +73,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
 	var req jobRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "parse request: %v", err)
 		return
 	}
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	if s.Draining() {
+		httpUnavailable(w, "server shutting down")
 		return
 	}
 	j, err := s.buildJob(req)
@@ -66,17 +92,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.cfg.Jobs != nil {
+		// Durable-first: once the record exists any worker in the cluster
+		// can run the job, even if this process dies right now.
+		if _, err := s.cfg.Jobs.Enqueue(j.id, body, s.cfg.MaxAttempts); err != nil {
+			httpUnavailable(w, "persist job: %v", err)
+			return
+		}
+	}
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	j.mu.Lock()
+	j.inQueue = true
+	j.mu.Unlock()
 	if err := s.queue.push(j); err != nil {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		if s.cfg.Jobs != nil {
+			s.cfg.Jobs.Delete(j.id)
+		}
+		httpUnavailable(w, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// readBody slurps a bounded request body (the durable store persists the
+// raw submission, so it is needed as bytes, not just decoded).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	lim := http.MaxBytesReader(w, r.Body, 1<<20)
+	defer lim.Close()
+	return io.ReadAll(lim)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -94,21 +142,52 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
-// jobFor resolves the {id} path component, writing 404 on a miss.
+// jobFor resolves the {id} path component, writing 404 on a miss. With a
+// durable store it also adopts records created by other workers, so any
+// cluster member can answer for any job.
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
+	j := s.jobs[id]
 	s.mu.Unlock()
+	if j == nil && s.cfg.Jobs != nil {
+		if rec, err := s.cfg.Jobs.Get(id); err == nil {
+			if nj, err := s.buildJobFromRecord(rec); err == nil {
+				s.mu.Lock()
+				if exist := s.jobs[id]; exist != nil {
+					j = exist
+				} else {
+					s.jobs[id] = nj
+					j = nj
+				}
+				s.mu.Unlock()
+				syncFromRecord(j, rec)
+			}
+		}
+	}
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, "no job %q", id)
 	}
 	return j
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if j := s.jobFor(w, r); j != nil {
-		writeJSON(w, http.StatusOK, j.status())
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
 	}
+	// Refresh the mirror for jobs another worker is driving.
+	if s.cfg.Jobs != nil {
+		j.mu.Lock()
+		local := j.localRun
+		j.mu.Unlock()
+		if !local {
+			if rec, err := s.cfg.Jobs.Get(j.id); err == nil {
+				syncFromRecord(j, rec)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, j.status())
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -117,14 +196,32 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	state, result := j.state, j.result
+	state, result, raw := j.state, j.result, j.resultRaw
 	j.mu.Unlock()
+
+	// A job finished by another worker has no in-memory result; fetch the
+	// durable bytes (and re-check state, which may have advanced).
+	if s.cfg.Jobs != nil && result == nil && raw == nil {
+		if b, err := s.cfg.Jobs.Result(j.id); err == nil {
+			raw = b
+			state = StateDone
+			j.mu.Lock()
+			j.resultRaw = b
+			j.state = StateDone
+			j.mu.Unlock()
+		}
+	}
 	if state != StateDone {
 		httpError(w, http.StatusConflict, "job %s is %s, result requires done", j.id, state)
 		return
 	}
 	if format := r.URL.Query().Get("format"); format == "csv" {
 		comp, ok := result.(ComparisonResult)
+		if !ok && raw != nil && j.kind == "comparison" {
+			if err := json.Unmarshal(raw, &comp); err == nil {
+				ok = true
+			}
+		}
 		if !ok {
 			httpError(w, http.StatusBadRequest, "csv is only available for comparison jobs")
 			return
@@ -133,7 +230,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeComparisonCSV(w, comp)
 		return
 	}
-	writeJSON(w, http.StatusOK, result)
+	if result != nil {
+		writeJSON(w, http.StatusOK, result)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
 }
 
 // writeComparisonCSV flattens a comparison to one row per (policy, mix).
@@ -160,18 +262,36 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	switch j.state {
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch state {
 	case StateQueued:
-		j.state = StateCanceled
-		j.err = "cancelled by client"
+		// Drop it from the local heap right away so it stops occupying
+		// queue capacity and can never be popped.
+		s.queue.remove(j)
+		if s.cfg.Jobs != nil {
+			// Best-effort: if another worker claimed it in this window the
+			// durable cancel is refused and that worker's run proceeds.
+			s.cfg.Jobs.Cancel(j.id, "cancelled by client")
+		}
+		j.mu.Lock()
+		if j.state == StateQueued { // still ours to cancel
+			j.state = StateCanceled
+			j.err = "cancelled by client"
+			j.inQueue = false
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
 	case StateRunning:
-		// The worker observes the context error and finishes the state
-		// transition itself; report the current (still running) status.
-		if j.cancel != nil {
-			j.cancel()
+		// The executing worker observes the context error and finishes the
+		// state transition itself; report the current (still running)
+		// status. Jobs running on another worker cannot be interrupted
+		// from here.
+		if cancel != nil {
+			cancel()
 		}
 	}
-	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, j.status())
 }
 
@@ -195,6 +315,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "cmm_store_disk_entries %d\n", entries)
 			fmt.Fprintf(w, "cmm_store_disk_bytes %d\n", bytes)
 		}
-		fmt.Fprintf(w, "cmm_store_evictions_total %d\n", s.cfg.Store.Stats().Evictions)
+		st := s.cfg.Store.Stats()
+		fmt.Fprintf(w, "cmm_store_evictions_total %d\n", st.Evictions)
+		open := 0
+		if st.BreakerOpen {
+			open = 1
+		}
+		fmt.Fprintf(w, "cmm_store_breaker_open %d\n", open)
+		fmt.Fprintf(w, "cmm_store_breaker_trips_total %d\n", st.BreakerTrips)
+		fmt.Fprintf(w, "cmm_store_breaker_skipped_total %d\n", st.BreakerSkipped)
+	}
+	if s.cfg.Jobs != nil {
+		if leases, err := s.cfg.Jobs.Leases(); err == nil {
+			var oldest float64
+			now := s.cfg.Jobs.Now()
+			for _, l := range leases {
+				if age := now.Sub(l.Granted).Seconds(); age > oldest {
+					oldest = age
+				}
+			}
+			fmt.Fprintf(w, "cmm_leases_active %d\n", len(leases))
+			fmt.Fprintf(w, "cmm_lease_age_seconds_max %g\n", oldest)
+		}
 	}
 }

@@ -79,6 +79,21 @@ func (q *jobQueue) pop() (j *job, ok bool) {
 	return heap.Pop(&q.heap).(*job), true
 }
 
+// remove deletes a specific job from the heap immediately (cancellation
+// of a still-queued job), so canceled jobs stop occupying queue
+// capacity. It reports whether the job was found.
+func (q *jobQueue) remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, x := range q.heap {
+		if x == j {
+			heap.Remove(&q.heap, i)
+			return true
+		}
+	}
+	return false
+}
+
 // depth reports how many jobs are waiting.
 func (q *jobQueue) depth() int {
 	q.mu.Lock()

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueCloseUnderConcurrentPushPop races pushers, poppers, and close
+// (run under -race): every job pushed must come out exactly once — either
+// popped by a worker or returned by close — and blocked pops must wake.
+func TestQueueCloseUnderConcurrentPushPop(t *testing.T) {
+	q := newJobQueue(1 << 20)
+	const pushers, perPusher, poppers = 8, 200, 4
+
+	var popped atomic.Int64
+	var wgPop sync.WaitGroup
+	for range poppers {
+		wgPop.Add(1)
+		go func() {
+			defer wgPop.Done()
+			for {
+				if _, ok := q.pop(); !ok {
+					return
+				}
+				popped.Add(1)
+			}
+		}()
+	}
+
+	var pushed atomic.Int64
+	var wgPush sync.WaitGroup
+	for p := range pushers {
+		wgPush.Add(1)
+		go func(p int) {
+			defer wgPush.Done()
+			for i := range perPusher {
+				j := &job{id: "j", priority: i % 3, seq: uint64(p*perPusher + i)}
+				if err := q.push(j); err == nil {
+					pushed.Add(1)
+				}
+			}
+		}(p)
+	}
+
+	time.Sleep(5 * time.Millisecond) // let the race heat up mid-traffic
+	drained := q.close()
+	wgPush.Wait()
+	wgPop.Wait()
+
+	if got, want := popped.Load()+int64(len(drained)), pushed.Load(); got != want {
+		t.Errorf("popped %d + drained %d = %d, want every pushed job once (%d)",
+			popped.Load(), len(drained), got, want)
+	}
+	if err := q.push(&job{}); err != ErrQueueClosed {
+		t.Errorf("push after close = %v, want ErrQueueClosed", err)
+	}
+	if _, ok := q.pop(); ok {
+		t.Error("pop after close and drain returned a job")
+	}
+}
+
+// TestQueueRemoveFreesSlotAndSkipsJob pins the immediate-removal
+// contract: a removed job never pops, and its capacity slot is reusable
+// at once.
+func TestQueueRemoveFreesSlotAndSkipsJob(t *testing.T) {
+	q := newJobQueue(2)
+	a := &job{id: "a", seq: 1}
+	b := &job{id: "b", seq: 2}
+	if err := q.push(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(&job{id: "c", seq: 3}); err != ErrQueueFull {
+		t.Fatalf("push into full queue = %v, want ErrQueueFull", err)
+	}
+
+	if !q.remove(a) {
+		t.Fatal("remove(a) = false, want true")
+	}
+	if q.remove(a) {
+		t.Error("second remove(a) = true, want false")
+	}
+	c := &job{id: "c", seq: 3}
+	if err := q.push(c); err != nil {
+		t.Fatalf("push after remove should reuse the slot: %v", err)
+	}
+
+	var got []string
+	for range 2 {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop returned closed")
+		}
+		got = append(got, j.id)
+	}
+	if got[0] != "b" || got[1] != "c" {
+		t.Errorf("pop order %v, want [b c] (a removed)", got)
+	}
+	if q.depth() != 0 {
+		t.Errorf("depth = %d after draining", q.depth())
+	}
+}
+
+// TestQueueRemoveConcurrentWithPop races removers against poppers: each
+// job must be observed by exactly one side.
+func TestQueueRemoveConcurrentWithPop(t *testing.T) {
+	q := newJobQueue(1 << 20)
+	const n = 500
+	jobs := make([]*job, n)
+	for i := range jobs {
+		jobs[i] = &job{seq: uint64(i)}
+		if err := q.push(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var popped, removed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, j := range jobs {
+			if q.remove(j) {
+				removed.Add(1)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := q.pop(); !ok {
+				return
+			}
+			popped.Add(1)
+		}
+	}()
+	go func() {
+		for q.depth() > 0 {
+			time.Sleep(time.Millisecond)
+		}
+		q.close()
+	}()
+	wg.Wait()
+	if got := popped.Load() + removed.Load(); got != n {
+		t.Errorf("popped %d + removed %d = %d, want %d exactly",
+			popped.Load(), removed.Load(), got, n)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"cmm/internal/cmm"
 	"cmm/internal/experiments"
+	"cmm/internal/jobstore"
 	"cmm/internal/runstore"
 	"cmm/internal/telemetry"
 	"cmm/internal/workload"
@@ -21,6 +24,12 @@ import (
 type Config struct {
 	// Store memoizes run results across jobs (nil disables caching).
 	Store *runstore.Store
+	// Jobs is the durable, lease-based job layer (nil keeps the job list
+	// in memory only). When several server processes share one jobs
+	// directory they form a cluster: any worker claims queued jobs via
+	// atomic leases, heartbeats while running, and reaps jobs whose
+	// owners died.
+	Jobs *jobstore.Store
 	// Workers is how many jobs execute concurrently (default 1). Each job
 	// additionally fans its simulation runs across its own Options.Workers.
 	Workers int
@@ -36,6 +45,27 @@ type Config struct {
 	// DefaultTimeout bounds a job's execution when the submission carries
 	// no timeout_seconds. Zero means no limit.
 	DefaultTimeout time.Duration
+	// MaxAttempts bounds how many times a failing job is executed before
+	// it is quarantined in the terminal failed state (default 3).
+	MaxAttempts int
+	// AttemptTimeout bounds each individual execution attempt, layered
+	// under the job's overall timeout: an attempt that exceeds it counts
+	// as a failed attempt (retried with backoff), while the job timeout
+	// still cancels the job outright. Zero disables it.
+	AttemptTimeout time.Duration
+	// RetryBase is the first retry's backoff delay in memory-only mode;
+	// it doubles per attempt with jitter (default 1s). Durable stores
+	// carry their own backoff settings (jobstore.WithBackoff).
+	RetryBase time.Duration
+	// ScanInterval is how often the durable-job scanner looks for
+	// requeued work and expired leases (default TTL/3, floor 50ms).
+	// Ignored without Jobs.
+	ScanInterval time.Duration
+
+	// execute substitutes the job execution function. Tests install stubs
+	// here so the stub is in place before the scanner can adopt durable
+	// jobs; nil means the real experiment engine.
+	execute func(ctx context.Context, j *job) (any, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -54,10 +84,22 @@ func (c Config) withDefaults() Config {
 	if c.Counters == nil {
 		c.Counters = &telemetry.Counters{}
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = time.Second
+	}
+	if c.Jobs != nil && c.ScanInterval <= 0 {
+		c.ScanInterval = c.Jobs.TTL() / 3
+	}
+	if c.Jobs != nil && c.ScanInterval < 50*time.Millisecond {
+		c.ScanInterval = 50 * time.Millisecond
+	}
 	return c
 }
 
-// Job states.
+// Job states (the durable jobstore shares the same strings).
 const (
 	StateQueued   = "queued"
 	StateRunning  = "running"
@@ -79,14 +121,21 @@ type job struct {
 
 	done, total atomic.Int64
 
-	mu       sync.Mutex
-	state    string
-	err      string
-	cancel   context.CancelFunc
-	result   any
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu        sync.Mutex
+	state     string
+	err       string
+	attempt   int
+	history   []string // one line per failed attempt
+	inQueue   bool     // sitting in the local priority heap
+	localRun  bool     // this process is executing it right now
+	leaseLost bool     // our lease was reaped mid-run; another worker owns it
+	worker    string   // last worker seen running it (cluster mirror)
+	cancel    context.CancelFunc
+	result    any
+	resultRaw []byte // terminal result fetched from the durable store
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // Server runs the job queue, the worker pool, and the HTTP API.
@@ -103,21 +152,36 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
+	scanStop chan struct{}
+	scanDone chan struct{}
+	scanOnce sync.Once
+
+	// dead simulates a SIGKILL for chaos tests: heartbeats stop, durable
+	// state is never written, leases are left to expire.
+	dead atomic.Bool
+
 	// execute runs one job's experiment; tests substitute it to exercise
 	// queueing and cancellation without driving the simulator.
 	execute func(ctx context.Context, j *job) (any, error)
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool (and, with a durable
+// job store, the scanner that adopts requeued work and reaps expired
+// leases).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		queue: newJobQueue(cfg.QueueDepth),
-		jobs:  map[string]*job{},
+		cfg:      cfg,
+		queue:    newJobQueue(cfg.QueueDepth),
+		jobs:     map[string]*job{},
+		scanStop: make(chan struct{}),
+		scanDone: make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.execute = s.executeJob
+	if cfg.execute != nil {
+		s.execute = cfg.execute
+	}
 	s.wg.Add(cfg.Workers)
 	for range cfg.Workers {
 		go func() {
@@ -131,23 +195,60 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
+	if cfg.Jobs != nil {
+		go s.scanLoop()
+	} else {
+		close(s.scanDone)
+	}
 	return s
 }
 
-// Shutdown drains the service: admission stops immediately, queued jobs
-// are cancelled, and running jobs get until ctx expires to finish before
-// their contexts are cancelled. It returns ctx.Err() when the deadline
-// forced cancellation, nil on a clean drain.
-func (s *Server) Shutdown(ctx context.Context) error {
+// stopScanner halts the durable-job scanner (idempotent).
+func (s *Server) stopScanner() {
+	s.scanOnce.Do(func() { close(s.scanStop) })
+	<-s.scanDone
+}
+
+// BeginDrain marks the server as draining without stopping anything:
+// /healthz flips to "draining" (503) so load balancers stop routing, and
+// new submissions are rejected, while running jobs continue. Call it
+// when SIGTERM arrives, before the HTTP listener's grace period.
+func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+}
+
+// Draining reports whether admission has been closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the service: admission stops immediately, queued jobs
+// are cancelled (memory mode) or left in the durable store for surviving
+// workers, and running jobs get until ctx expires to finish before their
+// contexts are cancelled — in durable mode a forced cancellation
+// requeues the job so another worker can finish it. It returns ctx.Err()
+// when the deadline forced cancellation, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	s.stopScanner()
 	for _, j := range s.queue.close() {
 		j.mu.Lock()
+		j.inQueue = false
 		if j.state == StateQueued {
-			j.state = StateCanceled
-			j.err = "server shutting down"
-			j.finished = time.Now()
+			if s.cfg.Jobs != nil {
+				// The durable record stays queued; surviving workers in
+				// the cluster will claim it. Only the local mirror notes
+				// why this process dropped it.
+				j.err = "server shutting down; job remains queued for other workers"
+			} else {
+				j.state = StateCanceled
+				j.err = "server shutting down"
+				j.finished = time.Now()
+			}
 		}
 		j.mu.Unlock()
 	}
@@ -187,10 +288,13 @@ type jobStatus struct {
 		Done  int64 `json:"done"`
 		Total int64 `json:"total"`
 	} `json:"progress"`
-	Error      string `json:"error,omitempty"`
-	CreatedAt  string `json:"created_at,omitempty"`
-	StartedAt  string `json:"started_at,omitempty"`
-	FinishedAt string `json:"finished_at,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Attempt    int      `json:"attempt,omitempty"`
+	Attempts   []string `json:"attempt_errors,omitempty"`
+	Worker     string   `json:"worker,omitempty"`
+	CreatedAt  string   `json:"created_at,omitempty"`
+	StartedAt  string   `json:"started_at,omitempty"`
+	FinishedAt string   `json:"finished_at,omitempty"`
 }
 
 func (j *job) status() jobStatus {
@@ -199,6 +303,7 @@ func (j *job) status() jobStatus {
 	st := jobStatus{
 		ID: j.id, Kind: j.kind, Preset: j.preset,
 		State: j.state, Priority: j.priority, Error: j.err,
+		Attempt: j.attempt, Attempts: j.history, Worker: j.worker,
 	}
 	st.Progress.Done = j.done.Load()
 	st.Progress.Total = j.total.Load()
@@ -321,22 +426,234 @@ func (s *Server) buildJob(req jobRequest) (*job, error) {
 	return j, nil
 }
 
-// run executes one popped job through its full lifecycle.
+// buildJobFromRecord rebuilds a job from its durable record — how a
+// worker materializes work submitted to (or abandoned by) another
+// process in the cluster.
+func (s *Server) buildJobFromRecord(rec *jobstore.Record) (*job, error) {
+	var req jobRequest
+	if err := json.Unmarshal(rec.Request, &req); err != nil {
+		return nil, fmt.Errorf("record %s: %w", rec.ID, err)
+	}
+	j, err := s.buildJob(req)
+	if err != nil {
+		return nil, fmt.Errorf("record %s: %w", rec.ID, err)
+	}
+	j.id = rec.ID
+	j.created = rec.CreatedAt
+	return j, nil
+}
+
+// syncFromRecord refreshes a local mirror from the durable record.
+// Callers must not hold j.mu. Jobs this process is executing are
+// authoritative locally and are left alone.
+func syncFromRecord(j *job, rec *jobstore.Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.localRun {
+		return
+	}
+	j.state = rec.State
+	j.attempt = rec.Attempt
+	j.worker = rec.Worker
+	j.err = rec.LastError()
+	j.history = j.history[:0]
+	for _, e := range rec.Errors {
+		j.history = append(j.history, fmt.Sprintf("attempt %d (worker %s): %s", e.Attempt, e.Worker, e.Error))
+	}
+}
+
+// scanLoop is the durable-job scanner: on a jittered interval it adopts
+// records this process has never seen, pushes due queued work into the
+// local heap, and reaps running jobs whose workers stopped heartbeating.
+// Every worker in the cluster runs one; the lease protocol makes their
+// overlap safe.
+func (s *Server) scanLoop() {
+	defer close(s.scanDone)
+	t := time.NewTicker(s.cfg.ScanInterval)
+	defer t.Stop()
+	s.scanOnceNow()
+	for {
+		select {
+		case <-s.scanStop:
+			return
+		case <-t.C:
+			if s.dead.Load() {
+				return
+			}
+			s.scanOnceNow()
+		}
+	}
+}
+
+// scanOnceNow performs one scanner pass.
+func (s *Server) scanOnceNow() {
+	recs, err := s.cfg.Jobs.List()
+	if err != nil {
+		return // transient store trouble; next tick retries
+	}
+	now := s.cfg.Jobs.Now()
+	for _, rec := range recs {
+		s.mu.Lock()
+		j := s.jobs[rec.ID]
+		s.mu.Unlock()
+		if j == nil {
+			nj, err := s.buildJobFromRecord(rec)
+			if err != nil {
+				continue // malformed record; quarantined by inspection, not crash
+			}
+			s.mu.Lock()
+			if exist := s.jobs[rec.ID]; exist != nil {
+				j = exist
+			} else {
+				s.jobs[rec.ID] = nj
+				j = nj
+			}
+			s.mu.Unlock()
+		}
+
+		switch rec.State {
+		case jobstore.StateRunning:
+			reaped, err := s.cfg.Jobs.ReapExpired(rec)
+			if err != nil || !reaped {
+				if err == nil {
+					syncFromRecord(j, rec)
+				}
+				continue
+			}
+			// rec now reflects the post-reap state (queued, or failed when
+			// the dead worker burned the last attempt).
+			s.cfg.Counters.JobRequeued()
+			if rec.State == jobstore.StateFailed {
+				s.cfg.Counters.JobQuarantined()
+			}
+			syncFromRecord(j, rec)
+			s.maybeEnqueueLocal(j, rec, now)
+		case jobstore.StateQueued:
+			syncFromRecord(j, rec)
+			s.maybeEnqueueLocal(j, rec, now)
+		default:
+			syncFromRecord(j, rec)
+		}
+	}
+}
+
+// maybeEnqueueLocal pushes a due, queued, durable job into this worker's
+// local heap (once).
+func (s *Server) maybeEnqueueLocal(j *job, rec *jobstore.Record, now time.Time) {
+	if rec.State != jobstore.StateQueued || now.Before(rec.NotBefore) {
+		return
+	}
+	j.mu.Lock()
+	if j.state != StateQueued || j.inQueue || j.localRun {
+		j.mu.Unlock()
+		return
+	}
+	j.inQueue = true
+	j.mu.Unlock()
+	if err := s.queue.push(j); err != nil {
+		j.mu.Lock()
+		j.inQueue = false
+		j.mu.Unlock()
+	}
+}
+
+// run executes one popped job through its full lifecycle: claim (durable
+// mode), heartbeat, per-attempt timeout, execution, and the terminal or
+// retry transition.
 func (s *Server) run(j *job) {
 	j.mu.Lock()
+	j.inQueue = false
 	if j.state != StateQueued { // cancelled while waiting
 		j.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.mu.Unlock()
+
+	// Durable mode: the local heap is only a hint — the lease is the
+	// cluster-wide mutual exclusion.
+	var lease *jobstore.Lease
+	var rec *jobstore.Record
+	if s.cfg.Jobs != nil {
+		var err error
+		lease, err = s.cfg.Jobs.Claim(j.id)
+		if err != nil {
+			// Held by another worker, canceled, or backoff-gated: the
+			// scanner keeps the mirror fresh and re-enqueues when due.
+			return
+		}
+		rec, err = s.cfg.Jobs.Get(j.id)
+		if err != nil || (rec.State != jobstore.StateQueued && rec.State != jobstore.StateRunning) {
+			if err == nil {
+				syncFromRecord(j, rec)
+			}
+			lease.Release()
+			return
+		}
+		if err := s.cfg.Jobs.MarkRunning(lease, rec); err != nil {
+			return
+		}
+	}
+
+	j.mu.Lock()
+	jobCtx, jobCancel := context.WithCancel(s.baseCtx)
 	if j.timeout > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+		jobCtx, jobCancel = context.WithTimeout(s.baseCtx, j.timeout)
 	}
 	j.state = StateRunning
+	j.localRun = true
+	j.leaseLost = false
+	if rec != nil {
+		j.attempt = rec.Attempt
+		j.worker = s.cfg.Jobs.Worker()
+	} else {
+		j.attempt++
+	}
 	j.started = time.Now()
-	j.cancel = cancel
+	j.cancel = jobCancel
 	j.mu.Unlock()
-	defer cancel()
+	defer jobCancel()
+
+	// Heartbeat: renew the lease at TTL/3 so the job survives long
+	// executions; a failed renewal means we lost the job to a reaper —
+	// cancel the attempt and write nothing durable (fencing).
+	hbStop := make(chan struct{})
+	var hbDone chan struct{}
+	if lease != nil {
+		hbDone = make(chan struct{})
+		interval := s.cfg.Jobs.TTL() / 3
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if s.dead.Load() {
+						return
+					}
+					if err := lease.Renew(); err != nil {
+						j.mu.Lock()
+						j.leaseLost = true
+						j.mu.Unlock()
+						jobCancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Per-attempt timeout, layered under the job timeout: its expiry is a
+	// failed attempt (retryable), not a job cancellation.
+	attemptCtx, attemptCancel := jobCtx, context.CancelFunc(func() {})
+	if s.cfg.AttemptTimeout > 0 {
+		attemptCtx, attemptCancel = context.WithTimeout(jobCtx, s.cfg.AttemptTimeout)
+	}
 
 	result, err := func() (result any, err error) {
 		defer func() {
@@ -344,23 +661,196 @@ func (s *Server) run(j *job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
-		return s.execute(ctx, j)
+		return s.execute(attemptCtx, j)
 	}()
+	attemptCancel()
+	close(hbStop)
+	if hbDone != nil {
+		<-hbDone
+	}
+
+	if s.dead.Load() {
+		// Chaos-test SIGKILL: the process is "gone" — no durable writes,
+		// no lease release; the lease expires and another worker reaps.
+		return
+	}
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	leaseLost := j.leaseLost
+	j.mu.Unlock()
+
+	switch {
+	case leaseLost:
+		// Another worker reaped our lease (e.g. a long GC pause or a
+		// store stall starved the heartbeat); it owns the job now. Drop
+		// back to a passive mirror — the scanner reports the new owner's
+		// progress.
+		j.mu.Lock()
+		j.localRun = false
+		j.cancel = nil
+		j.state = StateQueued
+		j.err = "lease lost; job taken over by another worker"
+		j.mu.Unlock()
+
+	case err == nil:
+		s.finishDone(j, lease, rec, result)
+
+	case jobCtx.Err() != nil:
+		s.finishCanceled(j, lease, rec, err)
+
+	default:
+		// Failed attempt (including a per-attempt timeout): retry with
+		// backoff until MaxAttempts, then quarantine.
+		s.finishFailedAttempt(j, lease, rec, err)
+	}
+}
+
+// finishDone writes the job's successful terminal state, durably first.
+func (s *Server) finishDone(j *job, lease *jobstore.Lease, rec *jobstore.Record, result any) {
+	var raw []byte
+	if lease != nil {
+		var err error
+		raw, err = json.Marshal(result)
+		if err == nil {
+			err = s.cfg.Jobs.Complete(lease, rec, raw)
+		}
+		if errors.Is(err, jobstore.ErrLeaseLost) {
+			j.mu.Lock()
+			j.localRun = false
+			j.cancel = nil
+			j.state = StateQueued
+			j.err = "lease lost at completion; job taken over by another worker"
+			j.mu.Unlock()
+			return
+		}
+		// Any other durable-write failure degrades to memory-only state:
+		// the computed result is still served from this process.
+	}
+	j.mu.Lock()
 	j.finished = time.Now()
 	j.cancel = nil
-	switch {
-	case err == nil:
-		j.state = StateDone
-		j.result = result
-	case ctx.Err() != nil:
+	j.localRun = false
+	j.state = StateDone
+	j.err = ""
+	j.result = result
+	j.mu.Unlock()
+}
+
+// finishCanceled handles a job whose context ended: client cancellation,
+// the job-level timeout, or a forced shutdown. In durable mode a forced
+// shutdown requeues the job so surviving workers finish it instead.
+func (s *Server) finishCanceled(j *job, lease *jobstore.Lease, rec *jobstore.Record, err error) {
+	if lease != nil && s.baseCtx.Err() != nil {
+		// Forced drain: hand the in-flight job back to the cluster.
+		s.cfg.Jobs.Requeue(lease, rec)
+		j.mu.Lock()
+		j.finished = time.Now()
+		j.cancel = nil
+		j.localRun = false
 		j.state = StateCanceled
-		j.err = err.Error()
-	default:
+		j.err = "server shutting down; job requeued for surviving workers"
+		j.mu.Unlock()
+		return
+	}
+	if lease != nil {
+		s.cfg.Jobs.CancelUnderLease(lease, rec, err.Error())
+	}
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	j.localRun = false
+	j.state = StateCanceled
+	j.err = err.Error()
+	j.mu.Unlock()
+}
+
+// finishFailedAttempt charges one failed attempt: requeue with backoff
+// below MaxAttempts, quarantine at the limit.
+func (s *Server) finishFailedAttempt(j *job, lease *jobstore.Lease, rec *jobstore.Record, execErr error) {
+	j.mu.Lock()
+	attempt := j.attempt
+	worker := j.worker
+	if worker == "" {
+		worker = "local"
+	}
+	j.history = append(j.history, fmt.Sprintf("attempt %d (worker %s): %s", attempt, worker, execErr.Error()))
+	j.mu.Unlock()
+
+	if lease != nil {
+		retried, err := s.cfg.Jobs.Fail(lease, rec, execErr.Error())
+		if errors.Is(err, jobstore.ErrLeaseLost) {
+			j.mu.Lock()
+			j.localRun = false
+			j.cancel = nil
+			j.state = StateQueued
+			j.mu.Unlock()
+			return
+		}
+		if retried {
+			s.cfg.Counters.JobRetried()
+			j.mu.Lock()
+			j.cancel = nil
+			j.localRun = false
+			j.state = StateQueued
+			j.err = execErr.Error()
+			j.mu.Unlock()
+			// The scanner (ours or any peer's) re-enqueues once NotBefore
+			// passes.
+			return
+		}
+		s.cfg.Counters.JobQuarantined()
+		j.mu.Lock()
+		j.finished = time.Now()
+		j.cancel = nil
+		j.localRun = false
 		j.state = StateFailed
-		j.err = err.Error()
+		j.err = execErr.Error()
+		j.mu.Unlock()
+		return
+	}
+
+	// Memory-only retries: reschedule locally with exponential backoff.
+	if attempt < s.cfg.MaxAttempts {
+		s.cfg.Counters.JobRetried()
+		delay := jobstore.BackoffDelay(s.cfg.RetryBase, 64*s.cfg.RetryBase, attempt)
+		j.mu.Lock()
+		j.cancel = nil
+		j.localRun = false
+		j.state = StateQueued
+		j.err = execErr.Error()
+		j.mu.Unlock()
+		time.AfterFunc(delay, func() { s.repush(j) })
+		return
+	}
+	s.cfg.Counters.JobQuarantined()
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	j.localRun = false
+	j.state = StateFailed
+	j.err = execErr.Error()
+	j.mu.Unlock()
+}
+
+// repush returns a backoff-delayed job to the local heap if it is still
+// wanted (not cancelled meanwhile, server not draining).
+func (s *Server) repush(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued || j.inQueue || j.localRun {
+		j.mu.Unlock()
+		return
+	}
+	j.inQueue = true
+	j.mu.Unlock()
+	if err := s.queue.push(j); err != nil {
+		j.mu.Lock()
+		j.inQueue = false
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = "server shutting down"
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
 	}
 }
 

@@ -280,7 +280,26 @@ type Counters struct {
 	soloRuns         atomic.Int64
 	storeHits        atomic.Int64
 	storeMisses      atomic.Int64
+
+	// Job-lifecycle robustness counters, bumped directly by the job
+	// server (they have no epoch-event form): attempts retried after a
+	// failure, jobs requeued from dead workers' expired leases, and jobs
+	// quarantined after exhausting their attempt budget.
+	jobsRetried     atomic.Int64
+	jobsRequeued    atomic.Int64
+	jobsQuarantined atomic.Int64
 }
+
+// JobRetried records one failed attempt that was requeued for retry.
+func (c *Counters) JobRetried() { c.jobsRetried.Add(1) }
+
+// JobRequeued records one job reclaimed from a dead worker's expired
+// lease and returned to the queue.
+func (c *Counters) JobRequeued() { c.jobsRequeued.Add(1) }
+
+// JobQuarantined records one job that exhausted MaxAttempts and was
+// parked in the terminal failed state.
+func (c *Counters) JobQuarantined() { c.jobsQuarantined.Add(1) }
 
 // Emit implements Sink.
 func (c *Counters) Emit(e Event) {
@@ -320,6 +339,9 @@ func (c *Counters) Snapshot() map[string]uint64 {
 		"solo_runs_total":         uint64(c.soloRuns.Load()),
 		"store_hits_total":        uint64(c.storeHits.Load()),
 		"store_misses_total":      uint64(c.storeMisses.Load()),
+		"jobs_retried_total":      uint64(c.jobsRetried.Load()),
+		"jobs_requeued_total":     uint64(c.jobsRequeued.Load()),
+		"jobs_quarantined_total":  uint64(c.jobsQuarantined.Load()),
 	}
 }
 
@@ -352,6 +374,9 @@ func (c *Counters) PublishExpvar(prefix string) {
 		"solo_runs_total":         func() uint64 { return uint64(c.soloRuns.Load()) },
 		"store_hits_total":        func() uint64 { return uint64(c.storeHits.Load()) },
 		"store_misses_total":      func() uint64 { return uint64(c.storeMisses.Load()) },
+		"jobs_retried_total":      func() uint64 { return uint64(c.jobsRetried.Load()) },
+		"jobs_requeued_total":     func() uint64 { return uint64(c.jobsRequeued.Load()) },
+		"jobs_quarantined_total":  func() uint64 { return uint64(c.jobsQuarantined.Load()) },
 	} {
 		load := load
 		expvar.Publish(prefix+name, expvar.Func(func() any { return load() }))

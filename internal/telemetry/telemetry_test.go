@@ -106,6 +106,10 @@ func TestTelemetryCounters(t *testing.T) {
 	c.Emit(Event{Type: TypeStore, Hit: true})
 	c.Emit(Event{Type: TypeStore, Hit: true})
 	c.Emit(Event{Type: TypeStore, Hit: false})
+	c.JobRetried()
+	c.JobRetried()
+	c.JobRequeued()
+	c.JobQuarantined()
 
 	got := c.Snapshot()
 	want := map[string]uint64{
@@ -117,6 +121,9 @@ func TestTelemetryCounters(t *testing.T) {
 		"solo_runs_total":         1,
 		"store_hits_total":        2,
 		"store_misses_total":      1,
+		"jobs_retried_total":      2,
+		"jobs_requeued_total":     1,
+		"jobs_quarantined_total":  1,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Snapshot:\n got %v\nwant %v", got, want)

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Two-process fault-tolerance smoke test.
+#
+# Starts two cmmserve workers on one shared -store directory, submits a
+# comparison job, SIGKILLs whichever worker is executing it mid-run, and
+# requires the survivor to reap the dead worker's lease and finish the
+# job. The shared content-addressed run store makes the takeover cheap:
+# every simulation the dead worker completed is served from cache during
+# the re-run.
+#
+# Usage: scripts/two_worker_smoke.sh
+# Exits 0 on success; prints a FAIL line and exits 1 otherwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+STORE="$WORK/store"
+BIN="$WORK/cmmserve"
+PORT_A=18290
+PORT_B=18291
+A_URL="http://127.0.0.1:$PORT_A"
+B_URL="http://127.0.0.1:$PORT_B"
+
+A_PID=""
+B_PID=""
+cleanup() {
+    [ -n "$A_PID" ] && kill -9 "$A_PID" 2>/dev/null || true
+    [ -n "$B_PID" ] && kill -9 "$B_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- worker A log ---" >&2; cat "$WORK/a.log" >&2 || true
+    echo "--- worker B log ---" >&2; cat "$WORK/b.log" >&2 || true
+    exit 1
+}
+
+# jsonfield FILE KEY -> first scalar value of "KEY" in pretty JSON.
+jsonfield() {
+    grep -o "\"$2\": *\"[^\"]*\"" "$1" | head -1 | sed 's/.*: *"//; s/"$//'
+}
+
+echo "building cmmserve"
+go build -o "$BIN" ./cmd/cmmserve
+
+echo "starting workers a and b on shared store $STORE"
+"$BIN" -listen "127.0.0.1:$PORT_A" -store "$STORE" -worker-id smoke-a \
+    -lease-ttl 2s -scan 300ms >"$WORK/a.log" 2>&1 &
+A_PID=$!
+"$BIN" -listen "127.0.0.1:$PORT_B" -store "$STORE" -worker-id smoke-b \
+    -lease-ttl 2s -scan 300ms >"$WORK/b.log" 2>&1 &
+B_PID=$!
+
+for i in $(seq 1 50); do
+    ok_a=$(curl -sf "$A_URL/healthz" 2>/dev/null || true)
+    ok_b=$(curl -sf "$B_URL/healthz" 2>/dev/null || true)
+    [ "$ok_a" = ok ] && [ "$ok_b" = ok ] && break
+    [ "$i" = 50 ] && fail "workers did not become healthy"
+    sleep 0.2
+done
+
+echo "submitting job to worker a"
+curl -s "$A_URL/v1/jobs" \
+    -d '{"kind":"comparison","preset":"quick","seeds":[1],"mixes_per_category":2}' \
+    >"$WORK/submit.json"
+JOB=$(jsonfield "$WORK/submit.json" id)
+[ -n "$JOB" ] || fail "no job id in $(cat "$WORK/submit.json")"
+echo "job $JOB accepted"
+
+# Wait until one worker is executing it and has made real progress, so
+# the kill lands mid-job, then identify the runner by the status' worker
+# field.
+RUNNER=""
+for i in $(seq 1 100); do
+    curl -s "$A_URL/v1/jobs/$JOB" >"$WORK/status.json" || true
+    state=$(jsonfield "$WORK/status.json" state)
+    done_runs=$(grep -o '"done": *[0-9]*' "$WORK/status.json" | head -1 | grep -o '[0-9]*' || echo 0)
+    if [ "$state" = running ] && [ "${done_runs:-0}" -ge 3 ]; then
+        RUNNER=$(jsonfield "$WORK/status.json" worker)
+        break
+    fi
+    [ "$state" = done ] && fail "job finished before the kill window (too fast for this host)"
+    sleep 0.3
+done
+[ -n "$RUNNER" ] || fail "job never reached running with progress: $(cat "$WORK/status.json")"
+
+if [ "$RUNNER" = smoke-a ]; then
+    VICTIM_PID=$A_PID; VICTIM=a; SURVIVOR_URL=$B_URL; A_PID=""
+else
+    VICTIM_PID=$B_PID; VICTIM=b; SURVIVOR_URL=$A_URL; B_PID=""
+fi
+echo "job running on worker $VICTIM ($done_runs runs done); SIGKILL pid $VICTIM_PID"
+kill -9 "$VICTIM_PID"
+
+echo "waiting for the survivor to reap the lease and finish the job"
+for i in $(seq 1 400); do
+    curl -s "$SURVIVOR_URL/v1/jobs/$JOB" >"$WORK/status.json" || true
+    state=$(jsonfield "$WORK/status.json" state)
+    if [ "$state" = done ]; then
+        attempt=$(grep -o '"attempt": *[0-9]*' "$WORK/status.json" | head -1 | grep -o '[0-9]*' || echo "")
+        worker=$(jsonfield "$WORK/status.json" worker)
+        echo "job done on worker $worker (attempt ${attempt:-?})"
+        curl -sf "$SURVIVOR_URL/v1/jobs/$JOB/result" >"$WORK/result.json" \
+            || fail "survivor served no result"
+        grep -q '"results"' "$WORK/result.json" || fail "result payload looks wrong"
+        echo "PASS: killed worker $VICTIM mid-job; survivor finished it and serves the result"
+        exit 0
+    fi
+    [ "$state" = failed ] && fail "job quarantined instead of finishing: $(cat "$WORK/status.json")"
+    sleep 0.5
+done
+fail "survivor never finished the job: $(cat "$WORK/status.json")"
