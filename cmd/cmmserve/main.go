@@ -10,6 +10,13 @@
 //	curl -s localhost:8090/v1/jobs/<id>
 //	curl -s localhost:8090/v1/jobs/<id>/result?format=csv
 //
+// Finished results are also served content-addressed on the read path:
+// every job status carries a result_hash, GET /v1/results/<hash> returns
+// the memoized bytes sub-millisecond from an in-memory front (-read-cache
+// entries) with a strong ETag for If-None-Match revalidation, and
+// POST /v1/results/lookup maps a config to its hash server-side, serving
+// the cached result or enqueuing the compute (?wait= blocks briefly).
+//
 // The store can be bounded with -store-max-bytes and -store-max-age:
 // least-recently-used entries past either limit are evicted on a -sweep
 // interval (jittered so a cluster doesn't sweep in lockstep), and
@@ -57,6 +64,7 @@ func main() {
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "evict least-recently-used store entries past this disk size (0 = unlimited)")
 		storeMaxAge   = flag.Duration("store-max-age", 0, "evict store entries unused for longer than this (0 = unlimited)")
 		sweepEvery    = flag.Duration("sweep", 10*time.Minute, "how often to enforce the store limits (jittered ±10% so workers sharing a store don't sweep in lockstep)")
+		readCache     = flag.Int("read-cache", 0, "read-path byte-cache capacity in entries (0 = default)")
 		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		jobs          = flag.Int("jobs", 1, "jobs executing concurrently")
 		queue         = flag.Int("queue", 16, "max queued jobs before submissions get 503")
@@ -106,6 +114,8 @@ func main() {
 		MaxAttempts:    *maxAttempts,
 		AttemptTimeout: *attemptTimeout,
 		ScanInterval:   *scanEvery,
+
+		ReadCacheEntries: *readCache,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

@@ -37,6 +37,49 @@ type policyKey struct {
 	Seed                      int64
 }
 
+// jobKey is everything that determines one whole job-level result payload
+// (a full comparison, characterisation, or fig3 run) — the key space the
+// HTTP read path serves from. Like policyKey, it deliberately excludes
+// observation options (Telemetry, Progress) and execution shape (Workers,
+// Context, Store): they never change the produced bytes.
+type jobKey struct {
+	Schema                            int
+	Kind                              string
+	Sim                               sim.Config
+	CMM                               cmm.Config
+	Cores                             int
+	WarmEpochs, MeasureEpochs         int
+	SoloWarmCycles, SoloMeasureCycles uint64
+	Seeds                             []int64
+	MixesPerCategory                  int
+	BaseSeed                          int64
+	Policies                          []string
+}
+
+// JobKey returns the content-address of a whole job's result: the store
+// key under which the serving tier memoizes (and the read path looks up)
+// the canonical result bytes for kind run with these options. policies
+// lists the policy names in run order for comparison jobs and must be nil
+// for kinds whose output does not depend on policies (characterize, fig3),
+// so semantically identical requests hash identically.
+func JobKey(kind string, o Options, policies []string) (string, error) {
+	return runstore.Hash(jobKey{
+		Schema:            StoreSchema,
+		Kind:              "job/" + kind,
+		Sim:               o.Sim,
+		CMM:               o.CMM,
+		Cores:             o.Cores,
+		WarmEpochs:        o.WarmEpochs,
+		MeasureEpochs:     o.MeasureEpochs,
+		SoloWarmCycles:    o.SoloWarmCycles,
+		SoloMeasureCycles: o.SoloMeasureCycles,
+		Seeds:             o.Seeds,
+		MixesPerCategory:  o.MixesPerCategory,
+		BaseSeed:          o.BaseSeed,
+		Policies:          policies,
+	})
+}
+
 // soloKey is everything that determines one solo characterisation run.
 type soloKey struct {
 	Schema                 int

@@ -161,6 +161,54 @@ func TestStoreKeyScope(t *testing.T) {
 	}
 }
 
+// TestJobKeyScope pins the job-level content address the HTTP read path
+// serves under: deterministic, insensitive to observation/shape options,
+// and sensitive to everything that changes the produced payload.
+func TestJobKeyScope(t *testing.T) {
+	opts := tinyOptions()
+	policies := []string{"PT", "Dunn"}
+	base, err := JobKey("comparison", opts, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := JobKey("comparison", opts, []string{"PT", "Dunn"}); err != nil || again != base {
+		t.Errorf("JobKey is not deterministic: %s vs %s (err %v)", again, base, err)
+	}
+
+	shaped := opts
+	shaped.Workers = 7
+	shaped.Progress = func(int, int) {}
+	shaped.Telemetry = &telemetry.Counters{}
+	shaped.Context = context.Background()
+	if got, err := JobKey("comparison", shaped, policies); err != nil || got != base {
+		t.Errorf("observation/shape options moved the job key: %s vs %s (err %v)", got, base, err)
+	}
+
+	for name, mut := range map[string]func(*Options){
+		"seeds":        func(o *Options) { o.Seeds = append([]int64{99}, o.Seeds...) },
+		"mixes":        func(o *Options) { o.MixesPerCategory++ },
+		"base seed":    func(o *Options) { o.BaseSeed++ },
+		"epoch length": func(o *Options) { o.CMM.ExecutionEpoch++ },
+		"llc size":     func(o *Options) { o.Sim.LLC.Ways++ },
+		"cores":        func(o *Options) { o.Cores++ },
+	} {
+		changed := opts
+		mut(&changed)
+		if got, err := JobKey("comparison", changed, policies); err != nil || got == base {
+			t.Errorf("%s: job key unchanged (%s), must invalidate (err %v)", name, got, err)
+		}
+	}
+	if got, err := JobKey("characterize", opts, nil); err != nil || got == base {
+		t.Errorf("kind: job key unchanged (%s), must invalidate (err %v)", got, err)
+	}
+	if got, err := JobKey("comparison", opts, []string{"Dunn", "PT"}); err != nil || got == base {
+		t.Errorf("policy order: job key unchanged (%s), must invalidate (err %v)", got, err)
+	}
+	if got, err := JobKey("comparison", opts, []string{"PT"}); err != nil || got == base {
+		t.Errorf("policy set: job key unchanged (%s), must invalidate (err %v)", got, err)
+	}
+}
+
 // TestComparisonContextCancelled verifies Options.Context is honoured: a
 // pre-cancelled context stops the run before any simulation.
 func TestComparisonContextCancelled(t *testing.T) {

@@ -70,6 +70,13 @@ type Store struct {
 	maxBytes int64
 	maxAge   time.Duration
 
+	// touchEvery throttles memory-hit disk-mtime refreshes: a hot key
+	// served from the LRU front refreshes its file's mtime at most once
+	// per window, so Sweep's recency ordering sees memory hits without
+	// every hot read paying a Chtimes. Zero disables (no disk body or no
+	// limits to cooperate with).
+	touchEvery time.Duration
+
 	// fsys and clock are the fault-injection seam: production stores use
 	// the real OS and clock, tests substitute failing/torn/slow variants.
 	fsys  faultinject.FS
@@ -92,6 +99,10 @@ type Store struct {
 type memEntry struct {
 	key string
 	val []byte
+	// touched is when the entry's disk mtime was last refreshed (by a
+	// disk write, a disk read, or a throttled memory-hit touch); it is
+	// the LRU front's half of the sweeper-cooperation contract.
+	touched time.Time
 }
 
 // flight is one in-progress computation; waiters block on done. hit
@@ -190,6 +201,15 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("runstore: open %s: %w", dir, err)
 		}
+		// Keep hot memory-front entries alive on disk: refresh their
+		// mtime often enough that a key read every epoch can never age
+		// past the sweep limits, but far less often than it is read.
+		switch {
+		case s.maxAge > 0:
+			s.touchEvery = s.maxAge / 8
+		case s.maxBytes > 0:
+			s.touchEvery = time.Minute
+		}
 	}
 	return s, nil
 }
@@ -210,7 +230,10 @@ func (s *Store) path(key string) string {
 // Get returns the cached value for key, reporting whether it was found.
 // Disk entries that fail to parse are quarantined and reported as misses.
 func (s *Store) Get(key string) ([]byte, bool) {
-	if v, ok := s.memGet(key); ok {
+	if v, ok, touch := s.memGet(key); ok {
+		if touch {
+			s.touchDisk(key)
+		}
 		s.hits.Add(1)
 		return v, true
 	}
@@ -239,7 +262,10 @@ func (s *Store) Put(key string, val []byte) error {
 // the cache (for the caller that computed, and for the waiters that shared
 // its flight, hit is false).
 func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
-	if v, ok := s.memGet(key); ok {
+	if v, ok, touch := s.memGet(key); ok {
+		if touch {
+			s.touchDisk(key)
+		}
 		s.hits.Add(1)
 		return v, true, nil
 	}
@@ -248,8 +274,12 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (val []
 	// the unlocked peek and here.
 	if el, ok := s.index[key]; ok {
 		s.order.MoveToFront(el)
-		v := el.Value.(*memEntry).val
+		e := el.Value.(*memEntry)
+		v, touch := e.val, s.noteTouch(e)
 		s.mu.Unlock()
+		if touch {
+			s.touchDisk(key)
+		}
 		s.hits.Add(1)
 		return v, true, nil
 	}
@@ -302,28 +332,61 @@ func (s *Store) fill(key string, compute func() ([]byte, error)) ([]byte, bool, 
 	return v, false, nil
 }
 
-// memGet looks the key up in the LRU, refreshing its recency.
-func (s *Store) memGet(key string) ([]byte, bool) {
+// memGet looks the key up in the LRU, refreshing its recency. touch
+// reports that the caller must refresh the entry's disk mtime — decided
+// and recorded under the lock, so concurrent hits on one key touch the
+// disk once per window, never in a stampede.
+func (s *Store) memGet(key string) (val []byte, ok, touch bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[key]
-	if !ok {
-		return nil, false
+	el, found := s.index[key]
+	if !found {
+		return nil, false, false
 	}
 	s.order.MoveToFront(el)
-	return el.Value.(*memEntry).val, true
+	e := el.Value.(*memEntry)
+	return e.val, true, s.noteTouch(e)
+}
+
+// noteTouch decides whether a memory hit is due a disk-mtime refresh and
+// stamps the entry if so. Callers must hold s.mu and, on true, call
+// touchDisk after releasing it.
+func (s *Store) noteTouch(e *memEntry) bool {
+	if s.touchEvery <= 0 {
+		return false
+	}
+	now := s.clock.Now()
+	if now.Sub(e.touched) < s.touchEvery {
+		return false
+	}
+	e.touched = now
+	return true
+}
+
+// touchDisk refreshes key's on-disk mtime so Sweep's recency ordering
+// sees memory-front hits, not just disk reads. Best-effort and outside
+// the LRU lock: the file may have been swept meanwhile (the memory entry
+// keeps serving), and a tripped breaker skips the poke entirely.
+func (s *Store) touchDisk(key string) {
+	now := s.clock.Now()
+	if !s.brk.allow(now) {
+		return
+	}
+	s.fsys.Chtimes(s.path(key), now, now)
 }
 
 // memPut inserts or refreshes the key, evicting from the back past cap.
 func (s *Store) memPut(key string, val []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.clock.Now()
 	if el, ok := s.index[key]; ok {
-		el.Value.(*memEntry).val = val
+		e := el.Value.(*memEntry)
+		e.val, e.touched = val, now
 		s.order.MoveToFront(el)
 		return
 	}
-	s.index[key] = s.order.PushFront(&memEntry{key: key, val: val})
+	s.index[key] = s.order.PushFront(&memEntry{key: key, val: val, touched: now})
 	for s.order.Len() > s.cap {
 		back := s.order.Back()
 		s.order.Remove(back)

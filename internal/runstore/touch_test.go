@@ -1,0 +1,135 @@
+package runstore
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"cmm/internal/faultinject"
+)
+
+// TestTouchOnReadKeepsHotEntryThroughSweep is the read-path/sweeper
+// cooperation regression test: a key served from the in-memory LRU front
+// must refresh its on-disk mtime, so a hash that is hot (but never read
+// from disk, where reads already refreshed recency) is not expired by
+// WithMaxAge while it is being served. The clock is fake but anchored at
+// the real time so Put's real file mtimes and the fake sweep ages agree.
+func TestTouchOnReadKeepsHotEntryThroughSweep(t *testing.T) {
+	clk := faultinject.NewFakeClock(time.Now())
+	s, err := Open(t.TempDir(), WithMaxAge(time.Hour), WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := testKey(1), testKey(2)
+	for _, k := range []string{hot, cold} {
+		if err := s.Put(k, []byte(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 35 minutes in, the hot key is read from memory. That is past the
+	// touch window (maxAge/8), so the hit must refresh the disk mtime.
+	clk.Advance(35 * time.Minute)
+	if _, ok := s.Get(hot); !ok {
+		t.Fatal("hot key missing from memory front")
+	}
+
+	// 30 more minutes: the cold key is 65 minutes old (expired), the hot
+	// key's file was touched 30 minutes ago (alive).
+	clk.Advance(30 * time.Minute)
+	n, err := s.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Sweep evicted %d entries, want 1 (only the cold one)", n)
+	}
+	if _, err := os.Stat(s.path(hot)); err != nil {
+		t.Errorf("hot key evicted from disk despite being read: %v", err)
+	}
+	if _, err := os.Stat(s.path(cold)); !os.IsNotExist(err) {
+		t.Error("cold key survived the age sweep")
+	}
+}
+
+// TestTouchOnReadThrottled pins that memory hits do not pay a Chtimes per
+// read: within one touch window, any number of hits issues at most one.
+func TestTouchOnReadThrottled(t *testing.T) {
+	clk := faultinject.NewFakeClock(time.Now())
+	ffs := faultinject.Wrap(faultinject.OS{})
+	s, err := Open(t.TempDir(), WithMaxAge(time.Hour), WithClock(clk), WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	base := ffs.Count(faultinject.OpChtimes)
+	for i := 0; i < 100; i++ {
+		s.Get(testKey(1)) // fresh entry, inside the window: no touches
+	}
+	if got := ffs.Count(faultinject.OpChtimes); got != base {
+		t.Fatalf("hits inside the touch window issued %d Chtimes, want 0", got-base)
+	}
+	clk.Advance(10 * time.Minute) // past maxAge/8 = 7.5 min
+	for i := 0; i < 100; i++ {
+		s.Get(testKey(1))
+	}
+	if got := ffs.Count(faultinject.OpChtimes); got != base+1 {
+		t.Fatalf("hits past the window issued %d Chtimes, want exactly 1", got-base)
+	}
+}
+
+// TestSweepDoesNotRaceHotReads hammers the LRU front with reads of a hot
+// key while Sweep runs concurrently over an injected-latency filesystem
+// (so sweep walks and touch Chtimes calls genuinely overlap the reads).
+// The hot key must stay readable throughout: sweeping the disk body may
+// remove files, but it never invalidates the memory front mid-read.
+func TestSweepDoesNotRaceHotReads(t *testing.T) {
+	ffs := faultinject.Wrap(faultinject.OS{}).
+		Inject(faultinject.Fault{Op: faultinject.OpChtimes, Delay: 200 * time.Microsecond}).
+		Inject(faultinject.Fault{Op: faultinject.OpWalk, Delay: 200 * time.Microsecond})
+	s, err := Open(t.TempDir(), WithMaxAge(5*time.Millisecond), WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := testKey(1)
+	if err := s.Put(hot, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 10; i++ {
+		if err := s.Put(testKey(i), []byte(`{"v":2}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := s.Get(hot); !ok {
+					t.Error("hot key vanished from the store during sweep")
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := s.Sweep(); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

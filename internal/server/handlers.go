@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"cmm/internal/runstore"
 )
 
 // retryAfterSeconds is the hint sent with 503 rejections: full queues
@@ -22,8 +24,15 @@ const retryAfterSeconds = "5"
 //	GET    /v1/jobs/{id}        job status and progress
 //	GET    /v1/jobs/{id}/result finished result (JSON; ?format=csv for comparisons)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/results/{hash}   memoized result by content hash (ETag/304,
+//	                            ?format=csv, ?wait= to block for publication)
+//	POST   /v1/results/lookup   config JSON -> canonical store key; serves the
+//	                            cached result or enqueues the compute (?wait=)
 //	GET    /metrics             counters + store/queue/lease gauges, text exposition
 //	GET    /healthz             liveness ("ok", or 503 "draining" during shutdown)
+//
+// The results endpoints keep serving cached entries while the server is
+// draining; only compute-on-miss is refused then.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -31,6 +40,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleGetResult)
+	mux.HandleFunc("POST /v1/results/lookup", s.handleLookup)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -92,27 +103,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if s.cfg.Jobs != nil {
-		// Durable-first: once the record exists any worker in the cluster
-		// can run the job, even if this process dies right now.
-		if _, err := s.cfg.Jobs.Enqueue(j.id, body, s.cfg.MaxAttempts); err != nil {
-			httpUnavailable(w, "persist job: %v", err)
-			return
-		}
-	}
-	s.mu.Lock()
-	s.jobs[j.id] = j
-	s.mu.Unlock()
-	j.mu.Lock()
-	j.inQueue = true
-	j.mu.Unlock()
-	if err := s.queue.push(j); err != nil {
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.mu.Unlock()
-		if s.cfg.Jobs != nil {
-			s.cfg.Jobs.Delete(j.id)
-		}
+	if err := s.enqueueJob(j, body); err != nil {
 		httpUnavailable(w, "%v", err)
 		return
 	}
@@ -215,27 +206,27 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "job %s is %s, result requires done", j.id, state)
 		return
 	}
-	if format := r.URL.Query().Get("format"); format == "csv" {
-		comp, ok := result.(ComparisonResult)
-		if !ok && raw != nil && j.kind == "comparison" {
-			if err := json.Unmarshal(raw, &comp); err == nil {
-				ok = true
-			}
+	// Render once in canonical form so this endpoint and the read path
+	// (GET /v1/results/{hash}) serve byte-identical payloads.
+	if raw == nil && result != nil {
+		if b, err := runstore.Canonical(result); err == nil {
+			raw = b
+			j.mu.Lock()
+			j.resultRaw = b
+			j.mu.Unlock()
 		}
-		if !ok {
-			httpError(w, http.StatusBadRequest, "csv is only available for comparison jobs")
-			return
-		}
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		writeComparisonCSV(w, comp)
+	}
+	if raw != nil {
+		s.serveResultBytes(w, r, j.resultKey, raw)
 		return
 	}
+	// Unmarshalable result (never produced by the engine's wire structs):
+	// fall back to a plain render without caching headers.
 	if result != nil {
 		writeJSON(w, http.StatusOK, result)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(raw)
+	httpError(w, http.StatusInternalServerError, "job %s has no result payload", j.id)
 }
 
 // writeComparisonCSV flattens a comparison to one row per (policy, mix).
@@ -310,6 +301,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "cmm_jobs{state=%q} %d\n", st, states[st])
 	}
 	fmt.Fprintf(w, "cmm_queue_depth %d\n", s.queue.depth())
+	if s.reads != nil {
+		fmt.Fprintf(w, "cmm_readcache_entries %d\n", s.reads.len())
+		fmt.Fprintf(w, "cmm_readcache_hits_total %d\n", s.reads.hits.Load())
+		fmt.Fprintf(w, "cmm_readcache_misses_total %d\n", s.reads.misses.Load())
+		fmt.Fprintf(w, "cmm_readcache_evictions_total %d\n", s.reads.evictions.Load())
+	}
 	if s.cfg.Store != nil {
 		if entries, bytes, err := s.cfg.Store.DiskUsage(); err == nil {
 			fmt.Fprintf(w, "cmm_store_disk_entries %d\n", entries)

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultReadCacheEntries sizes the serving tier's byte-cache front when
+// the config leaves it zero.
+const DefaultReadCacheEntries = 4096
+
+// readCacheShards is the lock-stripe count. Result keys are hex SHA-256
+// hashes, so the first nibble distributes uniformly across 16 shards and
+// hot concurrent readers rarely contend on one mutex.
+const readCacheShards = 16
+
+// readCache is the read path's in-memory front: a lock-striped LRU of
+// content hash → canonical result bytes. It sits above the run store so
+// a hot GET costs one shard mutex and zero store bookkeeping (no store
+// counters, no disk-recency touches — those are paid on the fill path).
+// Bodies are shared with the store's own entries and must never be
+// mutated by callers.
+type readCache struct {
+	shards   [readCacheShards]readCacheShard
+	shardCap int
+
+	hits, misses, evictions atomic.Int64
+}
+
+type readCacheShard struct {
+	mu    sync.Mutex
+	order *list.List               // front = most recent; values are *readCacheEntry
+	index map[string]*list.Element // key -> element in order
+}
+
+type readCacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newReadCache builds a cache holding about capacity entries in total
+// (rounded up to a whole number per shard); capacity <= 0 gets the
+// default.
+func newReadCache(capacity int) *readCache {
+	if capacity <= 0 {
+		capacity = DefaultReadCacheEntries
+	}
+	c := &readCache{shardCap: (capacity + readCacheShards - 1) / readCacheShards}
+	for i := range c.shards {
+		c.shards[i].order = list.New()
+		c.shards[i].index = map[string]*list.Element{}
+	}
+	return c
+}
+
+// shard maps a key to its stripe. Keys are lowercase hex hashes; any
+// other byte degrades gracefully to stripe content, never a panic.
+func (c *readCache) shard(key string) *readCacheShard {
+	if key == "" {
+		return &c.shards[0]
+	}
+	b := key[0]
+	switch {
+	case b >= '0' && b <= '9':
+		b -= '0'
+	case b >= 'a' && b <= 'f':
+		b -= 'a' - 10
+	default:
+		b %= readCacheShards
+	}
+	return &c.shards[b%readCacheShards]
+}
+
+// get returns the cached body for key, refreshing its recency.
+func (c *readCache) get(key string) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.index[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.order.MoveToFront(el)
+	body := el.Value.(*readCacheEntry).body
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return body, true
+}
+
+// put inserts or refreshes key, evicting the shard's LRU tail past cap.
+func (c *readCache) put(key string, body []byte) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.index[key]; ok {
+		el.Value.(*readCacheEntry).body = body
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.index[key] = sh.order.PushFront(&readCacheEntry{key: key, body: body})
+	for sh.order.Len() > c.shardCap {
+		back := sh.order.Back()
+		sh.order.Remove(back)
+		delete(sh.index, back.Value.(*readCacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports how many entries the cache holds across all shards.
+func (c *readCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

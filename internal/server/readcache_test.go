@@ -1,0 +1,120 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// rcKey makes a realistic cache key: a hex SHA-256.
+func rcKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestReadCacheGetPut(t *testing.T) {
+	c := newReadCache(64)
+	if _, ok := c.get(rcKey(1)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(rcKey(1), []byte("one"))
+	b, ok := c.get(rcKey(1))
+	if !ok || string(b) != "one" {
+		t.Fatalf("get = %q, %v", b, ok)
+	}
+	// put on an existing key refreshes the body.
+	c.put(rcKey(1), []byte("uno"))
+	if b, _ := c.get(rcKey(1)); string(b) != "uno" {
+		t.Fatalf("refresh: get = %q", b)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 2 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", h, m)
+	}
+}
+
+// TestReadCacheEviction fills one shard past its cap and checks the LRU
+// tail goes first while recently-read entries survive.
+func TestReadCacheEviction(t *testing.T) {
+	c := newReadCache(readCacheShards) // one entry per shard
+	sh := c.shard(rcKey(0))
+
+	// Collect keys that land on the same shard as key 0.
+	same := []string{rcKey(0)}
+	for i := 1; len(same) < 3; i++ {
+		if c.shard(rcKey(i)) == sh {
+			same = append(same, rcKey(i))
+		}
+	}
+	c.put(same[0], []byte("a"))
+	c.put(same[1], []byte("b")) // evicts a (cap 1)
+	if _, ok := c.get(same[0]); ok {
+		t.Fatal("LRU tail survived past the shard cap")
+	}
+	if _, ok := c.get(same[1]); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	if c.evictions.Load() == 0 {
+		t.Fatal("eviction counter not incremented")
+	}
+}
+
+// TestReadCacheRecency pins that get refreshes recency: with cap 2, the
+// read entry survives the next insert and the unread one goes.
+func TestReadCacheRecency(t *testing.T) {
+	c := newReadCache(2 * readCacheShards) // two entries per shard
+	sh := c.shard(rcKey(0))
+	same := []string{rcKey(0)}
+	for i := 1; len(same) < 3; i++ {
+		if c.shard(rcKey(i)) == sh {
+			same = append(same, rcKey(i))
+		}
+	}
+	c.put(same[0], []byte("a"))
+	c.put(same[1], []byte("b"))
+	c.get(same[0])              // a is now most recent
+	c.put(same[2], []byte("c")) // evicts b
+	if _, ok := c.get(same[0]); !ok {
+		t.Fatal("recently-read entry evicted")
+	}
+	if _, ok := c.get(same[1]); ok {
+		t.Fatal("least-recent entry survived")
+	}
+}
+
+func TestReadCacheDefaultCapacity(t *testing.T) {
+	c := newReadCache(0)
+	want := (DefaultReadCacheEntries + readCacheShards - 1) / readCacheShards
+	if c.shardCap != want {
+		t.Fatalf("shardCap = %d, want %d", c.shardCap, want)
+	}
+}
+
+// TestReadCacheConcurrent hammers the cache from many goroutines; run
+// under -race this pins the striped locking.
+func TestReadCacheConcurrent(t *testing.T) {
+	c := newReadCache(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := rcKey(i % 64)
+				if i%3 == 0 {
+					c.put(k, []byte{byte(w)})
+				} else {
+					c.get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 128+readCacheShards {
+		t.Fatalf("len = %d, exceeds capacity", c.len())
+	}
+}

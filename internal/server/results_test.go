@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmm/internal/runstore"
+)
+
+// getRaw issues a GET with optional headers and returns status, headers
+// and body.
+func getRaw(t *testing.T, url string, hdr map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// postLookup posts a config to /v1/results/lookup and returns status and
+// body.
+func postLookup(t *testing.T, ts *httptest.Server, query, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/results/lookup"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// TestReadPathConformance is the serving-tier acceptance test: for one
+// finished job, GET /v1/results/{hash} must serve bytes identical to
+// GET /v1/jobs/{id}/result, in JSON and in CSV, with the caching
+// headers (strong ETag, immutable Cache-Control) and 304 revalidation
+// working on both endpoints.
+func TestReadPathConformance(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := tinyServer(t, Config{Store: store})
+
+	st := postJob(t, ts, `{"kind":"comparison","preset":"tiny","policies":["PT"]}`)
+	if st.ResultHash == "" {
+		t.Fatal("submitted job status carries no result_hash")
+	}
+	if !validResultHash(st.ResultHash) {
+		t.Fatalf("result_hash %q is not a store key", st.ResultHash)
+	}
+	awaitState(t, ts, st.ID, StateDone)
+
+	jobCode, jobHdr, jobBody := getRaw(t, ts.URL+"/v1/jobs/"+st.ID+"/result", nil)
+	readCode, readHdr, readBody := getRaw(t, ts.URL+"/v1/results/"+st.ResultHash, nil)
+	if jobCode != http.StatusOK || readCode != http.StatusOK {
+		t.Fatalf("status: job endpoint %d, read path %d", jobCode, readCode)
+	}
+	if !bytes.Equal(jobBody, readBody) {
+		t.Fatalf("payloads differ: job endpoint %d bytes, read path %d bytes", len(jobBody), len(readBody))
+	}
+
+	wantETag := `"` + st.ResultHash + `"`
+	for name, hdr := range map[string]http.Header{"job endpoint": jobHdr, "read path": readHdr} {
+		if got := hdr.Get("ETag"); got != wantETag {
+			t.Errorf("%s ETag %q, want %q", name, got, wantETag)
+		}
+		if got := hdr.Get("Cache-Control"); !strings.Contains(got, "immutable") {
+			t.Errorf("%s Cache-Control %q, want immutable", name, got)
+		}
+		if got := hdr.Get("X-Result-Hash"); got != st.ResultHash {
+			t.Errorf("%s X-Result-Hash %q, want %q", name, got, st.ResultHash)
+		}
+	}
+
+	// CSV renderings must also match byte-for-byte across endpoints.
+	_, _, jobCSV := getRaw(t, ts.URL+"/v1/jobs/"+st.ID+"/result?format=csv", nil)
+	_, _, readCSV := getRaw(t, ts.URL+"/v1/results/"+st.ResultHash+"?format=csv", nil)
+	if !bytes.Equal(jobCSV, readCSV) || len(jobCSV) == 0 {
+		t.Fatalf("csv differs: job endpoint %q, read path %q", jobCSV, readCSV)
+	}
+
+	// Revalidation: the correct tag gets 304 with no body on both paths,
+	// a stale tag gets the full 200.
+	inm := map[string]string{"If-None-Match": wantETag}
+	for _, url := range []string{ts.URL + "/v1/jobs/" + st.ID + "/result", ts.URL + "/v1/results/" + st.ResultHash} {
+		code, hdr, body := getRaw(t, url, inm)
+		if code != http.StatusNotModified || len(body) != 0 {
+			t.Errorf("GET %s If-None-Match: status %d body %d bytes, want 304 empty", url, code, len(body))
+		}
+		if got := hdr.Get("ETag"); got != wantETag {
+			t.Errorf("304 ETag %q, want %q", got, wantETag)
+		}
+	}
+	if code, _, _ := getRaw(t, ts.URL+"/v1/results/"+st.ResultHash, map[string]string{"If-None-Match": `"stale"`}); code != http.StatusOK {
+		t.Errorf("stale If-None-Match: status %d, want 200", code)
+	}
+
+	// The CSV variant revalidates under its own tag, not the JSON one.
+	code, hdr, _ := getRaw(t, ts.URL+"/v1/results/"+st.ResultHash+"?format=csv", inm)
+	if code != http.StatusOK {
+		t.Errorf("csv with JSON ETag: status %d, want 200 (different variant)", code)
+	}
+	if got := hdr.Get("ETag"); got != `"`+st.ResultHash+`-csv"` {
+		t.Errorf("csv ETag %q, want variant tag", got)
+	}
+
+	// POST /v1/results/lookup with the same config resolves to the same
+	// hash and serves the same bytes.
+	lkCode, lkHdr, lkBody := postLookup(t, ts, "", `{"kind":"comparison","preset":"tiny","policies":["PT"]}`)
+	if lkCode != http.StatusOK {
+		t.Fatalf("lookup: status %d: %s", lkCode, lkBody)
+	}
+	if got := lkHdr.Get("X-Result-Hash"); got != st.ResultHash {
+		t.Errorf("lookup resolved hash %q, want %q", got, st.ResultHash)
+	}
+	if !bytes.Equal(lkBody, readBody) {
+		t.Fatal("lookup payload differs from read path")
+	}
+}
+
+// TestLookupSingleflight pins the compute-on-miss dedup: N concurrent
+// lookups for one uncached config run exactly one compute, and every
+// request gets the identical payload.
+func TestLookupSingleflight(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := tinyServer(t, Config{Store: store, Workers: 4})
+	var execs atomic.Int64
+	s.execute = func(ctx context.Context, j *job) (any, error) {
+		execs.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the window open so lookups overlap
+		return map[string]string{"payload": "singleflight"}, nil
+	}
+
+	const n = 16
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, bodies[i] = postLookup(t, ts, "?wait=30s", `{"kind":"comparison","preset":"tiny","policies":["PT"]}`)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d concurrent lookups ran %d computes, want exactly 1", n, got)
+	}
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("lookup %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("lookup %d payload differs from lookup 0", i)
+		}
+	}
+
+	// The dedup entry must be gone after the terminal transition, so the
+	// singleflight map cannot leak jobs.
+	s.mu.Lock()
+	left := len(s.lookups)
+	s.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d lookup entries linger after completion, want 0", left)
+	}
+}
+
+// TestDrainReadWriteSplit pins shutdown behavior: after BeginDrain,
+// cached reads keep serving 200 while job submission and compute-on-miss
+// are refused with 503.
+func TestDrainReadWriteSplit(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := tinyServer(t, Config{Store: store})
+	s.execute = func(ctx context.Context, j *job) (any, error) {
+		return map[string]string{"payload": "drain"}, nil
+	}
+
+	cfgJSON := `{"kind":"comparison","preset":"tiny","policies":["PT"]}`
+	st := postJob(t, ts, cfgJSON)
+	awaitState(t, ts, st.ID, StateDone)
+
+	s.BeginDrain()
+
+	// Cached reads still serve.
+	if code, _, body := getRaw(t, ts.URL+"/v1/results/"+st.ResultHash, nil); code != http.StatusOK {
+		t.Errorf("draining cached GET: status %d (%s), want 200", code, body)
+	}
+	if code, _, _ := postLookup(t, ts, "", cfgJSON); code != http.StatusOK {
+		t.Errorf("draining cached lookup: status %d, want 200", code)
+	}
+
+	// Writes and compute-on-miss are refused.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit: status %d, want 503", resp.StatusCode)
+	}
+	uncached := `{"kind":"comparison","preset":"tiny","policies":["PT"],"seeds":[99]}`
+	code, _, body := postLookup(t, ts, "", uncached)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining uncached lookup: status %d (%s), want 503", code, body)
+	}
+}
+
+// TestGetResultValidation covers the read path's error contract.
+func TestGetResultValidation(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := tinyServer(t, Config{Store: store})
+
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/v1/results/nothex", http.StatusBadRequest},
+		{"/v1/results/" + strings.Repeat("g", 64), http.StatusBadRequest},
+		{"/v1/results/" + strings.Repeat("ab", 32), http.StatusNotFound},
+		{"/v1/results/" + strings.Repeat("ab", 32) + "?wait=bogus", http.StatusBadRequest},
+		{"/v1/results/" + strings.Repeat("ab", 32) + "?wait=-1s", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, _, body := getRaw(t, ts.URL+c.url, nil); code != c.want {
+			t.Errorf("GET %s: status %d (%s), want %d", c.url, code, body, c.want)
+		}
+	}
+
+	// Uppercase hashes normalize to the canonical lowercase key.
+	if code, _, _ := getRaw(t, ts.URL+"/v1/results/"+strings.ToUpper(strings.Repeat("ab", 32)), nil); code != http.StatusNotFound {
+		t.Errorf("uppercase hash: want 404 after normalization")
+	}
+
+	// Without a run store the whole read path is 503.
+	_, noStore := tinyServer(t, Config{})
+	if code, _, _ := getRaw(t, noStore.URL+"/v1/results/"+strings.Repeat("ab", 32), nil); code != http.StatusServiceUnavailable {
+		t.Errorf("no-store GET: want 503")
+	}
+	if code, _, _ := postLookup(t, noStore, "", `{"preset":"tiny"}`); code != http.StatusServiceUnavailable {
+		t.Errorf("no-store lookup: want 503")
+	}
+}
+
+// TestLookupWaitDeadline pins the blocking contract: a lookup whose wait
+// expires before the compute finishes gets 202 with the hash and job to
+// poll, and a later wait sees the published result; a GET with ?wait=
+// blocks for a result another request is computing.
+func TestLookupWaitDeadline(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := tinyServer(t, Config{Store: store})
+	release := make(chan struct{})
+	s.execute = func(ctx context.Context, j *job) (any, error) {
+		select {
+		case <-release:
+			return map[string]string{"payload": "deadline"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	cfgJSON := `{"kind":"comparison","preset":"tiny","policies":["PT"]}`
+	code, hdr, body := postLookup(t, ts, "?wait=50ms", cfgJSON)
+	if code != http.StatusAccepted {
+		t.Fatalf("expired wait: status %d (%s), want 202", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "json") {
+		t.Errorf("202 Content-Type %q", ct)
+	}
+	var accepted struct {
+		ResultHash string    `json:"result_hash"`
+		Job        jobStatus `json:"job"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatalf("202 body %q: %v", body, err)
+	}
+	if !validResultHash(accepted.ResultHash) || accepted.Job.ID == "" {
+		t.Fatalf("202 body lacks hash/job: %+v", accepted)
+	}
+
+	// A GET ?wait= on the announced hash blocks until the job publishes.
+	type get struct {
+		code int
+		body []byte
+	}
+	done := make(chan get, 1)
+	go func() {
+		c, _, b := getRaw(t, ts.URL+"/v1/results/"+accepted.ResultHash+"?wait=30s", nil)
+		done <- get{c, b}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the GET reach its poll loop
+	close(release)
+	g := <-done
+	if g.code != http.StatusOK {
+		t.Fatalf("waiting GET: status %d (%s), want 200 after release", g.code, g.body)
+	}
+
+	// And the lookup now serves from cache instantly.
+	if code, _, body := postLookup(t, ts, "", cfgJSON); code != http.StatusOK || !bytes.Equal(body, g.body) {
+		t.Fatalf("post-release lookup: status %d, bytes equal %v", code, bytes.Equal(body, g.body))
+	}
+}
+
+// TestLookupComputeFailure maps a failed compute to 502 for waiting
+// requests instead of a silent deadline expiry.
+func TestLookupComputeFailure(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := tinyServer(t, Config{Store: store, MaxAttempts: 1})
+	s.execute = func(ctx context.Context, j *job) (any, error) {
+		return nil, fmt.Errorf("synthetic compute failure")
+	}
+
+	code, _, body := postLookup(t, ts, "?wait=30s", `{"kind":"comparison","preset":"tiny","policies":["PT"]}`)
+	if code != http.StatusBadGateway {
+		t.Fatalf("failed compute: status %d (%s), want 502", code, body)
+	}
+	if !strings.Contains(string(body), "synthetic compute failure") {
+		t.Errorf("502 body %q does not carry the cause", body)
+	}
+}

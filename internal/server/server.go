@@ -61,6 +61,12 @@ type Config struct {
 	// requeued work and expired leases (default TTL/3, floor 50ms).
 	// Ignored without Jobs.
 	ScanInterval time.Duration
+	// ReadCacheEntries sizes the read path's in-memory byte-cache front
+	// (entries, not bytes; default DefaultReadCacheEntries). The cache
+	// holds canonical result bytes keyed by content hash, so warm
+	// GET /v1/results/{hash} requests cost one shard mutex and no store
+	// traffic.
+	ReadCacheEntries int
 
 	// execute substitutes the job execution function. Tests install stubs
 	// here so the stub is in place before the scanner can adopt durable
@@ -121,6 +127,11 @@ type job struct {
 
 	done, total atomic.Int64
 
+	// resultKey is the content-address of the job's result payload
+	// (experiments.JobKey over the resolved options); immutable after
+	// buildJob. The serving tier publishes finished results under it.
+	resultKey string
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -147,6 +158,16 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	draining bool
+	// lookups deduplicates compute-on-miss: at most one live job per
+	// result hash is enqueued by POST /v1/results/lookup, and concurrent
+	// lookups for the same config share it (the HTTP-level singleflight
+	// over the store's own). Entries are cleared on terminal transitions
+	// and lazily replaced when a stale one is found.
+	lookups map[string]*job
+
+	// reads is the serving tier's byte-cache front (nil only when the
+	// server has no run store to serve from).
+	reads *readCache
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -174,8 +195,12 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		queue:    newJobQueue(cfg.QueueDepth),
 		jobs:     map[string]*job{},
+		lookups:  map[string]*job{},
 		scanStop: make(chan struct{}),
 		scanDone: make(chan struct{}),
+	}
+	if cfg.Store != nil {
+		s.reads = newReadCache(cfg.ReadCacheEntries)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.execute = s.executeJob
@@ -288,13 +313,16 @@ type jobStatus struct {
 		Done  int64 `json:"done"`
 		Total int64 `json:"total"`
 	} `json:"progress"`
-	Error      string   `json:"error,omitempty"`
-	Attempt    int      `json:"attempt,omitempty"`
-	Attempts   []string `json:"attempt_errors,omitempty"`
-	Worker     string   `json:"worker,omitempty"`
-	CreatedAt  string   `json:"created_at,omitempty"`
-	StartedAt  string   `json:"started_at,omitempty"`
-	FinishedAt string   `json:"finished_at,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Attempt  int      `json:"attempt,omitempty"`
+	Attempts []string `json:"attempt_errors,omitempty"`
+	Worker   string   `json:"worker,omitempty"`
+	// ResultHash is the content-address the finished result is (or will
+	// be) served under at GET /v1/results/{hash}; known from submission.
+	ResultHash string `json:"result_hash,omitempty"`
+	CreatedAt  string `json:"created_at,omitempty"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
 }
 
 func (j *job) status() jobStatus {
@@ -304,6 +332,7 @@ func (j *job) status() jobStatus {
 		ID: j.id, Kind: j.kind, Preset: j.preset,
 		State: j.state, Priority: j.priority, Error: j.err,
 		Attempt: j.attempt, Attempts: j.history, Worker: j.worker,
+		ResultHash: j.resultKey,
 	}
 	st.Progress.Done = j.done.Load()
 	st.Progress.Total = j.total.Load()
@@ -404,16 +433,33 @@ func (s *Server) buildJob(req jobRequest) (*job, error) {
 		}
 	}
 
+	// The result's content-address is known the moment the request is
+	// resolved: it keys the serving tier's publish on completion and lets
+	// clients poll GET /v1/results/{hash} without waiting for the job.
+	// Policies only shape comparison output; other kinds hash without
+	// them so semantically identical requests address one result.
+	var keyPolicies []string
+	if req.Kind == "comparison" {
+		for _, p := range policies {
+			keyPolicies = append(keyPolicies, p.Name())
+		}
+	}
+	resultKey, err := experiments.JobKey(req.Kind, opts, keyPolicies)
+	if err != nil {
+		return nil, fmt.Errorf("result key: %w", err)
+	}
+
 	j := &job{
-		id:       newJobID(),
-		kind:     req.Kind,
-		preset:   req.Preset,
-		priority: req.Priority,
-		seq:      s.seq.Add(1),
-		opts:     opts,
-		policies: policies,
-		state:    StateQueued,
-		created:  time.Now(),
+		id:        newJobID(),
+		kind:      req.Kind,
+		preset:    req.Preset,
+		priority:  req.Priority,
+		seq:       s.seq.Add(1),
+		opts:      opts,
+		policies:  policies,
+		resultKey: resultKey,
+		state:     StateQueued,
+		created:   time.Now(),
 	}
 	switch {
 	case req.TimeoutSeconds < 0:
@@ -424,6 +470,35 @@ func (s *Server) buildJob(req jobRequest) (*job, error) {
 		j.timeout = s.cfg.DefaultTimeout
 	}
 	return j, nil
+}
+
+// enqueueJob registers a built job and pushes it onto the queue,
+// durable-first when a job store is configured (so any cluster worker can
+// run it even if this process dies immediately). rawReq is the original
+// request body the durable record persists. On failure the job is fully
+// unregistered and the error maps to a 503.
+func (s *Server) enqueueJob(j *job, rawReq []byte) error {
+	if s.cfg.Jobs != nil {
+		if _, err := s.cfg.Jobs.Enqueue(j.id, rawReq, s.cfg.MaxAttempts); err != nil {
+			return fmt.Errorf("persist job: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	j.mu.Lock()
+	j.inQueue = true
+	j.mu.Unlock()
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		if s.cfg.Jobs != nil {
+			s.cfg.Jobs.Delete(j.id)
+		}
+		return err
+	}
+	return nil
 }
 
 // buildJobFromRecord rebuilds a job from its durable record — how a
@@ -706,11 +781,18 @@ func (s *Server) run(j *job) {
 }
 
 // finishDone writes the job's successful terminal state, durably first.
+// The result is rendered once in canonical JSON and those exact bytes are
+// (a) written to the durable job record, (b) published to the run store
+// and readcache under the job's content-address, and (c) kept as the
+// job's raw result — so the job endpoint and the read path serve
+// byte-identical payloads.
 func (s *Server) finishDone(j *job, lease *jobstore.Lease, rec *jobstore.Record, result any) {
-	var raw []byte
+	raw, rawErr := runstore.Canonical(result)
+	if rawErr != nil {
+		raw = nil // unmarshalable result; serve the in-memory value only
+	}
 	if lease != nil {
-		var err error
-		raw, err = json.Marshal(result)
+		err := rawErr
 		if err == nil {
 			err = s.cfg.Jobs.Complete(lease, rec, raw)
 		}
@@ -726,6 +808,12 @@ func (s *Server) finishDone(j *job, lease *jobstore.Lease, rec *jobstore.Record,
 		// Any other durable-write failure degrades to memory-only state:
 		// the computed result is still served from this process.
 	}
+	if raw != nil && j.resultKey != "" && s.cfg.Store != nil {
+		// Publish on the read path. A failed store write (full disk, open
+		// breaker) is absorbed: the readcache still serves this process.
+		s.cfg.Store.Put(j.resultKey, raw)
+		s.reads.put(j.resultKey, raw)
+	}
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.cancel = nil
@@ -733,7 +821,9 @@ func (s *Server) finishDone(j *job, lease *jobstore.Lease, rec *jobstore.Record,
 	j.state = StateDone
 	j.err = ""
 	j.result = result
+	j.resultRaw = raw
 	j.mu.Unlock()
+	s.clearLookup(j)
 }
 
 // finishCanceled handles a job whose context ended: client cancellation,
@@ -750,6 +840,7 @@ func (s *Server) finishCanceled(j *job, lease *jobstore.Lease, rec *jobstore.Rec
 		j.state = StateCanceled
 		j.err = "server shutting down; job requeued for surviving workers"
 		j.mu.Unlock()
+		s.clearLookup(j)
 		return
 	}
 	if lease != nil {
@@ -762,6 +853,20 @@ func (s *Server) finishCanceled(j *job, lease *jobstore.Lease, rec *jobstore.Rec
 	j.state = StateCanceled
 	j.err = err.Error()
 	j.mu.Unlock()
+	s.clearLookup(j)
+}
+
+// clearLookup drops j's compute-on-miss dedup entry once it is terminal,
+// so a later lookup for the same config can enqueue a fresh job.
+func (s *Server) clearLookup(j *job) {
+	if j.resultKey == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.lookups[j.resultKey] == j {
+		delete(s.lookups, j.resultKey)
+	}
+	s.mu.Unlock()
 }
 
 // finishFailedAttempt charges one failed attempt: requeue with backoff
@@ -806,6 +911,7 @@ func (s *Server) finishFailedAttempt(j *job, lease *jobstore.Lease, rec *jobstor
 		j.state = StateFailed
 		j.err = execErr.Error()
 		j.mu.Unlock()
+		s.clearLookup(j)
 		return
 	}
 
@@ -830,6 +936,7 @@ func (s *Server) finishFailedAttempt(j *job, lease *jobstore.Lease, rec *jobstor
 	j.state = StateFailed
 	j.err = execErr.Error()
 	j.mu.Unlock()
+	s.clearLookup(j)
 }
 
 // repush returns a backoff-delayed job to the local heap if it is still

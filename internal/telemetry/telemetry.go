@@ -288,7 +288,24 @@ type Counters struct {
 	jobsRetried     atomic.Int64
 	jobsRequeued    atomic.Int64
 	jobsQuarantined atomic.Int64
+
+	// Read-path serving-tier counters, bumped directly by the results
+	// handlers: memoized results served (readcache or store), lookups
+	// that found nothing cached, and conditional requests answered 304.
+	readHits        atomic.Int64
+	readMisses      atomic.Int64
+	readNotModified atomic.Int64
 }
+
+// ReadHit records one read-path request served from the memoized corpus.
+func (c *Counters) ReadHit() { c.readHits.Add(1) }
+
+// ReadMiss records one read-path request that found no cached result.
+func (c *Counters) ReadMiss() { c.readMisses.Add(1) }
+
+// ReadNotModified records one conditional read answered 304 (the hit is
+// counted separately by ReadHit; this tracks bytes saved on the wire).
+func (c *Counters) ReadNotModified() { c.readNotModified.Add(1) }
 
 // JobRetried records one failed attempt that was requeued for retry.
 func (c *Counters) JobRetried() { c.jobsRetried.Add(1) }
@@ -342,6 +359,9 @@ func (c *Counters) Snapshot() map[string]uint64 {
 		"jobs_retried_total":      uint64(c.jobsRetried.Load()),
 		"jobs_requeued_total":     uint64(c.jobsRequeued.Load()),
 		"jobs_quarantined_total":  uint64(c.jobsQuarantined.Load()),
+		"read_hits_total":         uint64(c.readHits.Load()),
+		"read_misses_total":       uint64(c.readMisses.Load()),
+		"read_not_modified_total": uint64(c.readNotModified.Load()),
 	}
 }
 
@@ -377,6 +397,9 @@ func (c *Counters) PublishExpvar(prefix string) {
 		"jobs_retried_total":      func() uint64 { return uint64(c.jobsRetried.Load()) },
 		"jobs_requeued_total":     func() uint64 { return uint64(c.jobsRequeued.Load()) },
 		"jobs_quarantined_total":  func() uint64 { return uint64(c.jobsQuarantined.Load()) },
+		"read_hits_total":         func() uint64 { return uint64(c.readHits.Load()) },
+		"read_misses_total":       func() uint64 { return uint64(c.readMisses.Load()) },
+		"read_not_modified_total": func() uint64 { return uint64(c.readNotModified.Load()) },
 	} {
 		load := load
 		expvar.Publish(prefix+name, expvar.Func(func() any { return load() }))

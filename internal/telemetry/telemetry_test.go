@@ -110,6 +110,11 @@ func TestTelemetryCounters(t *testing.T) {
 	c.JobRetried()
 	c.JobRequeued()
 	c.JobQuarantined()
+	c.ReadHit()
+	c.ReadHit()
+	c.ReadHit()
+	c.ReadMiss()
+	c.ReadNotModified()
 
 	got := c.Snapshot()
 	want := map[string]uint64{
@@ -124,6 +129,9 @@ func TestTelemetryCounters(t *testing.T) {
 		"jobs_retried_total":      2,
 		"jobs_requeued_total":     1,
 		"jobs_quarantined_total":  1,
+		"read_hits_total":         3,
+		"read_misses_total":       1,
+		"read_not_modified_total": 1,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Snapshot:\n got %v\nwant %v", got, want)
