@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 
 	"cmm/internal/cmm"
 	"cmm/internal/experiments"
+	"cmm/internal/mixes"
 	"cmm/internal/runstore"
 	"cmm/internal/telemetry"
 	"cmm/internal/workload"
@@ -45,7 +47,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15 or 'comparison'")
+		fig        = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15, 'comparison', or 'bwsweep'")
 		table1     = flag.Bool("table1", false, "print Table I")
 		full       = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
 		quick      = flag.Bool("quick", true, "cut-down run (2 mixes/category, short windows); the default, -quick=false is -full")
@@ -57,6 +59,7 @@ func main() {
 		storeDir   = flag.String("store", "", "content-addressed run store directory; cached runs skip simulation and reproduce bit-identical output")
 		progress   = flag.Bool("progress", false, "report per-run progress on stderr")
 		teleOut    = flag.String("telemetry", "", "write per-epoch controller telemetry as JSONL to this file")
+		sweepJSON  = flag.String("sweepjson", "", "with -fig bwsweep: also write the machine-readable sweep artifact (JSON) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
@@ -205,6 +208,10 @@ func main() {
 			fatal(err)
 		}
 		experiments.WriteFig3(w, rows)
+	case "bwsweep":
+		if err := runBWSweep(w, opts, *sweepJSON, *csv); err != nil {
+			fatal(err)
+		}
 	case "7", "8", "9", "10", "11", "12", "13", "14", "15", "comparison":
 		comp, err := experiments.RunComparison(opts, cmm.Policies()[1:])
 		if err != nil {
@@ -224,6 +231,93 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
+}
+
+// runBWSweep evaluates the CBP policies against the paper's coordinated
+// mechanisms on the bandwidth-saturated mix family — the workloads where
+// cache and prefetch control alone cannot relieve memory queueing delay.
+// jsonPath, when set, receives the machine-readable artifact.
+func runBWSweep(w io.Writer, opts experiments.Options, jsonPath string, asCSV bool) error {
+	fam, err := mixes.BWSaturated(opts.Cores, opts.BaseSeed, 2*opts.MixesPerCategory)
+	if err != nil {
+		return err
+	}
+	policies := []cmm.Policy{
+		cmm.Coordinated{Variant: cmm.VariantA},
+		cmm.Coordinated{Variant: cmm.VariantB},
+		cmm.Coordinated{Variant: cmm.VariantC},
+		cmm.CoordinatedMBA{},
+		&cmm.CPBW{},
+		&cmm.CPBWPT{},
+	}
+	comp, err := experiments.RunComparisonMixes(opts, fam, policies)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		fmt.Fprint(w, experiments.CSV(comp))
+		return nil
+	}
+	art := newBWSweepArtifact(comp)
+	fmt.Fprintln(w, "BW sweep: bandwidth-saturated mixes, normalized HS and WS")
+	experiments.WriteHSWS(w, comp, comp.Policies...)
+	fmt.Fprintln(w)
+	experiments.WriteTelemetry(w, comp)
+	fmt.Fprintf(w, "\nmean NormHS: best CMM (%s) %.4f, CP+BW %.4f, CP+BW+PT %.4f — three-way wins: %v\n",
+		art.BestCMM, art.BestCMMMeanHS, art.MeanNormHS["CP+BW"], art.MeanNormHS["CP+BW+PT"], art.ThreeWayWins)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	}
+	return nil
+}
+
+// bwSweepArtifact is the committed evidence format for the CBP evaluation:
+// per-mix scores plus the family-mean comparison against the best of the
+// paper's CMM variants.
+type bwSweepArtifact struct {
+	Cores         int
+	Seeds         []int64
+	Mixes         []string
+	Policies      []string
+	Results       map[string][]experiments.MixResult
+	MeanNormHS    map[string]float64
+	MeanNormWS    map[string]float64
+	BestCMM       string
+	BestCMMMeanHS float64
+	// ThreeWayWins records the acceptance check: CP+BW+PT's family-mean
+	// NormHS strictly above the best of CMM-a/b/c.
+	ThreeWayWins bool
+}
+
+func newBWSweepArtifact(comp *experiments.Comparison) bwSweepArtifact {
+	art := bwSweepArtifact{
+		Cores:      comp.Options.Cores,
+		Seeds:      comp.Options.Seeds,
+		Policies:   comp.Policies,
+		Results:    comp.Results,
+		MeanNormHS: map[string]float64{},
+		MeanNormWS: map[string]float64{},
+	}
+	for _, m := range comp.Mixes {
+		art.Mixes = append(art.Mixes, m.Name)
+	}
+	for _, p := range comp.Policies {
+		hs := comp.CategoryMeans(p, experiments.MetricHS)
+		ws := comp.CategoryMeans(p, experiments.MetricWS)
+		art.MeanNormHS[p] = hs[mixes.BWSat]
+		art.MeanNormWS[p] = ws[mixes.BWSat]
+	}
+	for _, p := range []string{"CMM-a", "CMM-b", "CMM-c"} {
+		if hs, ok := art.MeanNormHS[p]; ok && (art.BestCMM == "" || hs > art.BestCMMMeanHS) {
+			art.BestCMM, art.BestCMMMeanHS = p, hs
+		}
+	}
+	art.ThreeWayWins = art.MeanNormHS["CP+BW+PT"] > art.BestCMMMeanHS
+	return art
 }
 
 func writeFigure(w io.Writer, comp *experiments.Comparison, fig string) {

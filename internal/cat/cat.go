@@ -25,6 +25,12 @@ type Config struct {
 	Ways int
 	// NumCLOS is the number of classes of service (16 on the target part).
 	NumCLOS int
+	// CoresPerPackage is the number of CPUs per physical package. CLOS mask
+	// and MBA throttle registers are replicated per package, so writes must
+	// reach every package and readbacks must use the queried core's own
+	// package. 0 means a single package spanning all CPUs (the paper's
+	// single-socket model).
+	CoresPerPackage int `json:",omitempty"`
 }
 
 // DefaultConfig matches the paper's E5-2620 v4: 20 ways, 16 CLOS.
@@ -38,7 +44,18 @@ func (c Config) Validate() error {
 	if c.NumCLOS < 1 {
 		return fmt.Errorf("cat: NumCLOS %d must be >= 1", c.NumCLOS)
 	}
+	if c.CoresPerPackage < 0 {
+		return fmt.Errorf("cat: CoresPerPackage %d must be >= 0", c.CoresPerPackage)
+	}
 	return nil
+}
+
+// PackageOf returns the package a CPU belongs to.
+func (c Config) PackageOf(cpu int) int {
+	if c.CoresPerPackage <= 0 {
+		return 0
+	}
+	return cpu / c.CoresPerPackage
 }
 
 // FullMask returns the CBM selecting the whole LLC.
@@ -106,9 +123,36 @@ func NewAllocator(cfg Config, bank msr.Bank) *Allocator {
 // Config returns the capability description.
 func (a *Allocator) Config() Config { return a.cfg }
 
+// packageLeaders returns the first CPU of every package present in the
+// bank; per-package registers are programmed through these CPUs.
+func (a *Allocator) packageLeaders() []int {
+	n := a.bank.NumCPU()
+	if a.cfg.CoresPerPackage <= 0 || a.cfg.CoresPerPackage >= n {
+		return []int{0}
+	}
+	leaders := make([]int, 0, (n+a.cfg.CoresPerPackage-1)/a.cfg.CoresPerPackage)
+	for cpu := 0; cpu < n; cpu += a.cfg.CoresPerPackage {
+		leaders = append(leaders, cpu)
+	}
+	return leaders
+}
+
+// leaderOf returns the CPU whose register bank holds the package-replicated
+// registers governing the given core.
+func (a *Allocator) leaderOf(core int) int {
+	if a.cfg.CoresPerPackage <= 0 {
+		return 0
+	}
+	leader := (core / a.cfg.CoresPerPackage) * a.cfg.CoresPerPackage
+	if leader >= a.bank.NumCPU() {
+		return 0
+	}
+	return leader
+}
+
 // SetMask programs the capacity bitmask of a CLOS. The mask is validated
 // first; CAT mask registers are replicated per package, so the write goes
-// to cpu 0 (single-socket model, as in the paper).
+// to the leader CPU of every package.
 func (a *Allocator) SetMask(clos int, mask uint64) error {
 	if clos < 0 || clos >= a.cfg.NumCLOS {
 		return fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
@@ -116,10 +160,16 @@ func (a *Allocator) SetMask(clos int, mask uint64) error {
 	if err := a.cfg.CheckMask(mask); err != nil {
 		return err
 	}
-	return a.bank.Write(0, msr.L3MaskBase+uint32(clos), mask)
+	for _, cpu := range a.packageLeaders() {
+		if err := a.bank.Write(cpu, msr.L3MaskBase+uint32(clos), mask); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// MaskOf reads back the capacity bitmask of a CLOS.
+// MaskOf reads back package 0's copy of a CLOS capacity bitmask. Use
+// EffectiveMask for the mask actually governing a specific core.
 func (a *Allocator) MaskOf(clos int) (uint64, error) {
 	if clos < 0 || clos >= a.cfg.NumCLOS {
 		return 0, fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
@@ -149,13 +199,17 @@ func (a *Allocator) ClosOf(core int) (int, error) {
 }
 
 // EffectiveMask returns the capacity bitmask governing a core's fills:
-// the mask of the CLOS it is associated with.
+// the mask of the CLOS it is associated with, read from the core's own
+// package (packages carry independent register copies).
 func (a *Allocator) EffectiveMask(core int) (uint64, error) {
 	clos, err := a.ClosOf(core)
 	if err != nil {
 		return 0, err
 	}
-	return a.MaskOf(clos)
+	if clos < 0 || clos >= a.cfg.NumCLOS {
+		return 0, fmt.Errorf("cat: CLOS %d out of range [0,%d)", clos, a.cfg.NumCLOS)
+	}
+	return a.bank.Read(a.leaderOf(core), msr.L3MaskBase+uint32(clos))
 }
 
 // Reset restores the power-on state: every core in CLOS0 and every CLOS

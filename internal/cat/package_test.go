@@ -1,0 +1,151 @@
+package cat
+
+import (
+	"testing"
+
+	"cmm/internal/msr"
+)
+
+// twoPackageAlloc emulates a 2-socket machine: 8 CPUs, 4 per package, with
+// independent per-package register copies in the emulated bank.
+func twoPackageAlloc(t *testing.T) (*Allocator, *msr.Emulated) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CoresPerPackage = 4
+	bank := msr.NewEmulated(8, cfg.NumCLOS)
+	return NewAllocator(cfg, bank), bank
+}
+
+func TestPackageOf(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.PackageOf(7) != 0 {
+		t.Fatal("single-package config must map every cpu to package 0")
+	}
+	cfg.CoresPerPackage = 4
+	for cpu, want := range []int{0, 0, 0, 0, 1, 1, 1, 1} {
+		if got := cfg.PackageOf(cpu); got != want {
+			t.Errorf("PackageOf(%d) = %d, want %d", cpu, got, want)
+		}
+	}
+}
+
+// TestMBAPerPackageWrites is the regression test for the readback-drift
+// bug: SetMBA used to program only bank 0, so package 1's register kept its
+// reset value while MBAOf (also bank 0) made the write look successful.
+func TestMBAPerPackageWrites(t *testing.T) {
+	a, bank := twoPackageAlloc(t)
+	if err := a.SetMBA(2, 40); err != nil {
+		t.Fatal(err)
+	}
+	for _, leader := range []int{0, 4} {
+		v, err := bank.Read(leader, msr.MBAThrottleBase+2)
+		if err != nil || v != 40 {
+			t.Fatalf("package leader cpu %d: MBA register = %d, %v; want 40", leader, v, err)
+		}
+	}
+	// A core on package 1 must observe the programmed throttle through the
+	// per-core readback path.
+	if err := a.Assign(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.MBAOfCore(6)
+	if err != nil || v != 40 {
+		t.Fatalf("MBAOfCore(6) = %d, %v; want 40", v, err)
+	}
+	// An unassociated core stays at CLOS0's zero throttle.
+	v, err = a.MBAOfCore(1)
+	if err != nil || v != 0 {
+		t.Fatalf("MBAOfCore(1) = %d, %v; want 0", v, err)
+	}
+}
+
+// TestMBAReadbackUsesOwnPackage plants divergent register values directly
+// in the bank and checks each core reads its own package's copy.
+func TestMBAReadbackUsesOwnPackage(t *testing.T) {
+	a, bank := twoPackageAlloc(t)
+	if err := bank.Write(0, msr.MBAThrottleBase+1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Write(4, msr.MBAThrottleBase+1, 70); err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range []int{0, 5} {
+		if err := a.Assign(core, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := a.MBAOfCore(0); v != 20 {
+		t.Fatalf("package-0 core read %d, want 20", v)
+	}
+	if v, _ := a.MBAOfCore(5); v != 70 {
+		t.Fatalf("package-1 core read %d, want 70", v)
+	}
+}
+
+// TestMaskPerPackageWrites checks CAT mask writes reach every package and
+// EffectiveMask reads the queried core's own package.
+func TestMaskPerPackageWrites(t *testing.T) {
+	a, bank := twoPackageAlloc(t)
+	mask, err := a.cfg.Mask(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetMask(3, mask); err != nil {
+		t.Fatal(err)
+	}
+	for _, leader := range []int{0, 4} {
+		v, err := bank.Read(leader, msr.L3MaskBase+3)
+		if err != nil || v != mask {
+			t.Fatalf("package leader cpu %d: mask register = %#x, %v; want %#x", leader, v, err, mask)
+		}
+	}
+	for _, core := range []int{0, 7} {
+		if err := a.Assign(core, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := a.EffectiveMask(7)
+	if err != nil || v != mask {
+		t.Fatalf("EffectiveMask(7) = %#x, %v; want %#x", v, err, mask)
+	}
+	// Divergent copies: a core must see its own package's register, not
+	// package 0's.
+	other, err := a.cfg.Mask(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Write(4, msr.L3MaskBase+3, other); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.EffectiveMask(7); v != other {
+		t.Fatalf("EffectiveMask(7) = %#x, want package-1 copy %#x", v, other)
+	}
+	if v, _ := a.EffectiveMask(0); v != mask {
+		t.Fatalf("EffectiveMask(0) = %#x, want package-0 copy %#x", v, mask)
+	}
+}
+
+// TestSinglePackageUnchanged pins that the default (CoresPerPackage 0)
+// behaves exactly as the original single-socket model: one write, to cpu 0.
+func TestSinglePackageUnchanged(t *testing.T) {
+	bank := msr.NewEmulated(8, 16)
+	a := NewAllocator(DefaultConfig(), bank)
+	writes := 0
+	bank.AddWatcher(msr.WatcherFunc(func(cpu int, reg uint32, v uint64) {
+		if reg >= msr.MBAThrottleBase && reg < msr.MBAThrottleBase+16 {
+			writes++
+			if cpu != 0 {
+				t.Errorf("single-package MBA write hit cpu %d", cpu)
+			}
+		}
+	}))
+	if err := a.SetMBA(1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if writes != 1 {
+		t.Fatalf("SetMBA issued %d writes, want 1", writes)
+	}
+	if v, _ := a.MBAOfCore(3); v != 0 {
+		t.Fatalf("core 3 (CLOS0) throttle = %d, want 0", v)
+	}
+}

@@ -52,6 +52,23 @@ type Config struct {
 	// prefetch-unfriendly cores by the CMM-mba extension (a multiple of
 	// 10 in [0,90]).
 	MBAPercent uint64
+
+	// MBALevels is the grid of MBA delay percentages the CBP policies
+	// (CP+BW, CP+BW+PT) profile per throttle-entity candidate, each a
+	// multiple of 10 in [0,90]. Listed gentlest-first: single-entity
+	// throttling wins cluster at low delays, and the sampling budget cuts
+	// the grid's tail. Zeros are ignored — the unthrottled baseline is
+	// always measured.
+	MBALevels []uint64 `json:",omitempty"`
+	// MBASampleBudget caps the (entity, level) sampling intervals one MBA
+	// refresh may spend — each costs a full sampling interval on top of
+	// the prefetch-combo search, so this bounds the three-way policies'
+	// profiling overhead. 0 disables MBA sampling entirely.
+	MBASampleBudget int `json:",omitempty"`
+	// MBARefreshEpochs is how many epochs a profiled bandwidth partition
+	// is reused before re-profiling (the Agg split changing forces an
+	// early refresh). 1 re-profiles every epoch.
+	MBARefreshEpochs int `json:",omitempty"`
 }
 
 // DefaultConfig returns the scaled-down paper configuration.
@@ -68,6 +85,9 @@ func DefaultConfig() Config {
 		Groups:            3,
 		PartitionFactor:   1.5,
 		MBAPercent:        50,
+		MBALevels:         []uint64{10, 40},
+		MBASampleBudget:   8,
+		MBARefreshEpochs:  4,
 	}
 }
 
@@ -99,6 +119,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cmm: PartitionFactor %g must be positive", c.PartitionFactor)
 	case c.MBAPercent > 90 || c.MBAPercent%10 != 0:
 		return fmt.Errorf("cmm: MBAPercent %d must be a multiple of 10 in [0,90]", c.MBAPercent)
+	case c.MBASampleBudget < 0:
+		return fmt.Errorf("cmm: MBASampleBudget %d must be >= 0", c.MBASampleBudget)
+	case c.MBARefreshEpochs < 1:
+		return fmt.Errorf("cmm: MBARefreshEpochs %d must be >= 1", c.MBARefreshEpochs)
+	}
+	for _, lvl := range c.MBALevels {
+		if lvl > 90 || lvl%10 != 0 {
+			return fmt.Errorf("cmm: MBA level %d must be a multiple of 10 in [0,90]", lvl)
+		}
 	}
 	return nil
 }

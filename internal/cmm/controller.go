@@ -130,15 +130,40 @@ func epochEvent(index int, dec Decision, prev *Decision, execCycles, profCycles 
 		ProfCycles:     profCycles,
 		MBAThrottled:   sortedCopy(dec.MBAThrottled),
 		MBAPercent:     dec.MBAPercent,
+		MBALevels:      append([]uint64(nil), dec.MBALevels...),
 	}
 	var prevDisabled []int
 	var prevPlan *cat.Plan
+	var prevLevels []uint64
 	if prev != nil {
-		prevDisabled, prevPlan = prev.Disabled, prev.Plan
+		prevDisabled, prevPlan, prevLevels = prev.Disabled, prev.Plan, prev.MBALevels
 	}
 	e.ThrottleFlip = !equalInts(sortedCopy(dec.Disabled), sortedCopy(prevDisabled))
 	e.PartitionChange = !plansEqual(dec.Plan, prevPlan)
+	e.MBAChange = !mbaLevelsEqual(dec.MBALevels, prevLevels)
 	return e
+}
+
+// mbaLevelsEqual compares two per-core MBA level vectors; nil means
+// "no bandwidth partitioning", equivalent to an all-zero vector.
+func mbaLevelsEqual(a, b []uint64) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		var av, bv uint64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		if av != bv {
+			return false
+		}
+	}
+	return true
 }
 
 // DecisionStats aggregates a decision history for reporting: how many
@@ -151,6 +176,9 @@ type DecisionStats struct {
 	ThrottleFlips    int
 	PartitionChanges int
 	SampledCombos    int
+	// MBAChanges counts epochs whose per-core MBA level vector differs
+	// from the previous epoch's (bandwidth repartitioning events).
+	MBAChanges int `json:",omitempty"`
 }
 
 // SummarizeDecisions reduces a decision history (Controller.Decisions) to
@@ -167,14 +195,18 @@ func SummarizeDecisions(decs []Decision) DecisionStats {
 		}
 		var prevDisabled []int
 		var prevPlan *cat.Plan
+		var prevLevels []uint64
 		if prev != nil {
-			prevDisabled, prevPlan = prev.Disabled, prev.Plan
+			prevDisabled, prevPlan, prevLevels = prev.Disabled, prev.Plan, prev.MBALevels
 		}
 		if !equalInts(sortedCopy(d.Disabled), sortedCopy(prevDisabled)) {
 			s.ThrottleFlips++
 		}
 		if !plansEqual(d.Plan, prevPlan) {
 			s.PartitionChanges++
+		}
+		if !mbaLevelsEqual(d.MBALevels, prevLevels) {
+			s.MBAChanges++
 		}
 		s.SampledCombos += d.SampledCombos
 		prev = d
@@ -281,10 +313,11 @@ func Policies() []Policy {
 }
 
 // ExtensionPolicies returns back ends beyond the paper's evaluated set:
-// currently PT-fine, the per-prefetcher throttling variant the paper
-// leaves as an option.
+// PT-fine (the per-prefetcher throttling variant the paper leaves as an
+// option), CMM-mba (fixed MBA throttling of the unfriendly class), and
+// the CBP three-way coordination policies CP+BW and CP+BW+PT.
 func ExtensionPolicies() []Policy {
-	return []Policy{FinePT{}, CoordinatedMBA{}}
+	return []Policy{FinePT{}, CoordinatedMBA{}, &CPBW{}, &CPBWPT{}}
 }
 
 // PolicyByName returns the policy with the given report name, searching

@@ -15,7 +15,12 @@ type fakeCore struct {
 	aggressive bool
 	// victimPenalty is subtracted from every *other* core's IPC while
 	// this core's prefetchers are on (models inter-core interference).
+	// MBA-throttling this core scales the penalty by (1 - delay).
 	victimPenalty float64
+	// demandPenalty is inter-core interference from demand traffic: it
+	// hits the other cores regardless of this core's prefetcher state,
+	// and only MBA throttling relieves it.
+	demandPenalty float64
 }
 
 // fakeTarget is a deterministic, instantly-reacting machine for policy
@@ -73,14 +78,37 @@ func (f *fakeTarget) enabledFraction(cpu int) float64 {
 	return float64(on) / 4
 }
 
+// mbaFraction returns the MBA delay governing cpu as a fraction in [0,0.9]
+// (0 when unprogrammed): the throttle of the CLOS the cpu is associated
+// with, as the emulated machine's memory interface would apply it.
+func (f *fakeTarget) mbaFraction(cpu int) float64 {
+	v, err := f.bank.Read(cpu, msr.PQRAssoc)
+	if err != nil {
+		return 0
+	}
+	// MBA throttle registers are per-package; the fake is one package, so
+	// cpu 0 holds the authoritative copy (the allocator writes leaders only).
+	pct, err := f.bank.Read(0, msr.MBAThrottleBase+uint32(msr.ClosOf(v)))
+	if err != nil {
+		return 0
+	}
+	return float64(pct) / 100
+}
+
 func (f *fakeTarget) RunCycles(n uint64) {
 	f.cycles += n
 	for i, c := range f.cores {
 		frac := f.enabledFraction(i)
 		ipc := c.ipcOff + (c.ipcOn-c.ipcOff)*frac
+		// MBA throttling slows the core itself a little...
+		ipc *= 1 - 0.2*f.mbaFraction(i)
 		for j, other := range f.cores {
 			if j != i {
-				ipc -= other.victimPenalty * f.enabledFraction(j)
+				// ...and shields everyone else from its bandwidth
+				// pressure, prefetch- and demand-side alike.
+				relief := 1 - f.mbaFraction(j)
+				ipc -= other.victimPenalty * f.enabledFraction(j) * relief
+				ipc -= other.demandPenalty * relief
 			}
 		}
 		if ipc < 0.01 {

@@ -1,7 +1,6 @@
 package cmm
 
 import (
-	"cmm/internal/cat"
 	"cmm/internal/pmu"
 )
 
@@ -71,36 +70,9 @@ func (p CoordinatedMBA) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision
 
 	// Fig. 6(c) partitions via fixed CLOS ids so the MBA knob targets
 	// exactly the unfriendly class.
-	catCfg := t.CATConfig()
-	plan := cat.NewPlan(t.NumCores(), catCfg.FullMask())
-	wF := aggWays(cfg, catCfg, len(dec.Friendly))
-	if len(dec.Friendly) > 0 {
-		mask, err := catCfg.Mask(0, wF)
-		if err != nil {
-			return Decision{}, err
-		}
-		plan.Masks[mbaCLOSFriendly] = mask
-		for _, c := range dec.Friendly {
-			plan.ClosByCore[c] = mbaCLOSFriendly
-		}
-	}
-	if len(dec.Unfriendly) > 0 {
-		start := 0
-		if len(dec.Friendly) > 0 {
-			start = wF
-		}
-		wU := aggWays(cfg, catCfg, len(dec.Unfriendly))
-		if start+wU > catCfg.Ways {
-			start = catCfg.Ways - wU
-		}
-		mask, err := catCfg.Mask(start, wU)
-		if err != nil {
-			return Decision{}, err
-		}
-		plan.Masks[mbaCLOSUnfriendly] = mask
-		for _, c := range dec.Unfriendly {
-			plan.ClosByCore[c] = mbaCLOSUnfriendly
-		}
+	plan, err := twoClassPlan(t, cfg, dec.Friendly, dec.Unfriendly)
+	if err != nil {
+		return Decision{}, err
 	}
 	if err := applyPlan(t, plan); err != nil {
 		return Decision{}, err
@@ -117,5 +89,6 @@ func (p CoordinatedMBA) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision
 	}
 	dec.MBAThrottled = sortedCopy(dec.Unfriendly)
 	dec.MBAPercent = pct
+	dec.MBALevels = mbaLevelVector(t.NumCores(), dec.MBAThrottled, pct)
 	return dec, nil
 }

@@ -35,6 +35,14 @@ type Decision struct {
 	// (CMM-mba extension), with MBAPercent the programmed delay value.
 	MBAThrottled []int
 	MBAPercent   uint64
+	// MBALevels is the per-core MBA delay level programmed for the next
+	// epoch (nil when the policy left bandwidth partitioning untouched).
+	// The CBP policies fill it after sampling the level grid.
+	MBALevels []uint64
+	// MBAGain is the profiled harmonic-mean speedup of the applied
+	// bandwidth partition over the unthrottled baseline (1 when no
+	// throttling was applied; 0 when the policy does not profile MBA).
+	MBAGain float64
 }
 
 // Policy is one CMM back end. Epoch runs the profiling phase (sampling

@@ -249,6 +249,23 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 			}
 		}
 	}
+	return RunComparisonMixes(opts, selected, policies)
+}
+
+// RunComparisonMixes is RunComparison over an explicit mix list instead of
+// the paper's category selection — the entry point for sweeps outside the
+// Fig. 13 set (e.g. the bandwidth-saturated family). Every mix must be
+// sized for opts.Cores.
+func RunComparisonMixes(opts Options, selected []mixes.Mix, policies []cmm.Policy) (*Comparison, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	for _, m := range selected {
+		if len(m.Specs) != opts.Cores {
+			return nil, fmt.Errorf("experiments: mix %q has %d specs, options want %d cores",
+				m.Name, len(m.Specs), opts.Cores)
+		}
+	}
 
 	comp := &Comparison{Options: opts, Mixes: selected, Results: map[string][]MixResult{}}
 	for _, p := range policies {
@@ -285,7 +302,7 @@ func RunComparison(opts Options, policies []cmm.Policy) (*Comparison, error) {
 			}
 		}
 	}
-	err = parallel.ForEachCtx(opts.ctx(), opts.Workers, len(jobs), func(j int) error {
+	err := parallel.ForEachCtx(opts.ctx(), opts.Workers, len(jobs), func(j int) error {
 		jb := jobs[j]
 		mix, p := selected[jb.mi], runPolicies[jb.pi]
 		r, err := runPolicyCached(opts, mix, p, opts.Seeds[jb.si])

@@ -19,7 +19,11 @@ import (
 // policy that keeps its name. Every key embeds the version, so a bump
 // invalidates the whole store at once (old entries are simply never
 // addressed again; the files stay on disk until cleaned up).
-const StoreSchema = 1
+//
+// v2: cmm.Config gained the MBA level grid (MBALevels, MBASampleBudget)
+// and cmm.DecisionStats gained MBAChanges; cached DecisionStats from v1
+// would silently report zero MBA changes for the CBP policies.
+const StoreSchema = 2
 
 // policyKey is everything that determines one (mix, policy, seed)
 // controller run's policyRun result. Observation-only options (Telemetry,

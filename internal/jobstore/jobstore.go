@@ -18,6 +18,9 @@
 //	<id>.job    the job record: request, state, attempts, error history
 //	<id>.lease  present while a worker owns the job (worker id, deadline)
 //	<id>.result the terminal result payload, created exclusively once
+//	<id>.cancel a durable cancel request: any worker may create it; the
+//	            leaseholder observes it on its next heartbeat and aborts,
+//	            and Claim refuses flagged queued records
 //
 // Record updates are temp-file+rename so readers never observe a torn
 // record; the lease claim is an exclusive create, and expired-lease
@@ -223,6 +226,7 @@ func (s *Store) TTL() time.Duration { return s.ttl }
 func (s *Store) recordPath(id string) string { return filepath.Join(s.dir, id+".job") }
 func (s *Store) leasePath(id string) string  { return filepath.Join(s.dir, id+".lease") }
 func (s *Store) resultPath(id string) string { return filepath.Join(s.dir, id+".result") }
+func (s *Store) cancelPath(id string) string { return filepath.Join(s.dir, id+".cancel") }
 
 // writeRecord persists rec atomically (temp file + rename).
 func (s *Store) writeRecord(rec *Record) error {
@@ -303,11 +307,12 @@ func (s *Store) List() ([]*Record, error) {
 	return recs, nil
 }
 
-// Delete removes a job's record, lease, and result (best-effort; used
-// when admission fails after the record was persisted).
+// Delete removes a job's record, lease, cancel flag, and result
+// (best-effort; used when admission fails after the record was persisted).
 func (s *Store) Delete(id string) {
 	s.fsys.Remove(s.leasePath(id))
 	s.fsys.Remove(s.resultPath(id))
+	s.fsys.Remove(s.cancelPath(id))
 	s.fsys.Remove(s.recordPath(id))
 }
 
@@ -333,6 +338,12 @@ func (s *Store) Claim(id string) (*Lease, error) {
 	now := s.clock.Now()
 	switch {
 	case rec.State == StateQueued:
+		if reason, ok := s.CancelRequested(id); ok {
+			// A durable cancel request beat us to the claim: finish the
+			// cancellation instead of running the job.
+			s.Cancel(id, reason)
+			return nil, ErrNotClaimable
+		}
 		if now.Before(rec.NotBefore) {
 			return nil, ErrNotClaimable
 		}
@@ -466,6 +477,7 @@ func (s *Store) Complete(l *Lease, rec *Record, result []byte) error {
 		return err
 	}
 	s.fsys.Remove(s.leasePath(rec.ID))
+	s.fsys.Remove(s.cancelPath(rec.ID)) // finished before the cancel landed
 	return nil
 }
 
@@ -494,6 +506,9 @@ func (s *Store) Fail(l *Lease, rec *Record, errMsg string) (retried bool, err er
 		return retried, err
 	}
 	s.fsys.Remove(s.leasePath(rec.ID))
+	if !retried {
+		s.fsys.Remove(s.cancelPath(rec.ID)) // terminal; retried jobs keep the flag for the next Claim
+	}
 	return retried, nil
 }
 
@@ -528,7 +543,71 @@ func (s *Store) Cancel(id string, reason string) error {
 	rec.Errors = append(rec.Errors, AttemptError{
 		Attempt: rec.Attempt, Worker: s.worker, Time: s.clock.Now(), Error: reason,
 	})
-	return s.writeRecord(rec)
+	if err := s.writeRecord(rec); err != nil {
+		return err
+	}
+	s.fsys.Remove(s.cancelPath(id))
+	return nil
+}
+
+// cancelFlag is the on-disk cancel-request payload.
+type cancelFlag struct {
+	Worker string    `json:"worker"`
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+}
+
+// RequestCancel records a durable cancel request for id, from any worker
+// in the cluster — not just the leaseholder. A queued record is canceled
+// immediately; a running one keeps its flag file until the owning
+// worker's next heartbeat observes it and writes the terminal canceled
+// state under its lease (or, if the owner dies first, until a reaper or
+// claimant honors the flag). Terminal records are left untouched.
+func (s *Store) RequestCancel(id, reason string) error {
+	rec, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	switch rec.State {
+	case StateQueued, StateRunning:
+	default:
+		return nil // already terminal
+	}
+	payload, _ := json.Marshal(cancelFlag{Worker: s.worker, Time: s.clock.Now(), Reason: reason})
+	cp := s.cancelPath(id)
+	tmp := cp + ".tmp" + fmt.Sprintf("%08x", mrand.Uint32())
+	if err := s.fsys.WriteFile(tmp, payload, 0o644); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("jobstore: request cancel %s: %w", id, err)
+	}
+	if err := s.fsys.Rename(tmp, cp); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("jobstore: request cancel %s: %w", id, err)
+	}
+	if rec.State == StateQueued {
+		// Cancel it now if we can; a concurrently claiming worker either
+		// sees the canceled record (and refuses) or won the claim and will
+		// observe the flag on its first heartbeat.
+		return s.Cancel(id, reason)
+	}
+	return nil
+}
+
+// CancelRequested reports whether a durable cancel request is pending for
+// id, with its reason. Leaseholders check it on every heartbeat.
+func (s *Store) CancelRequested(id string) (reason string, ok bool) {
+	data, err := s.fsys.ReadFile(s.cancelPath(id))
+	if err != nil {
+		return "", false
+	}
+	var cf cancelFlag
+	if json.Unmarshal(data, &cf) != nil {
+		return "cancel requested", true // torn or legacy flag still counts
+	}
+	if cf.Reason == "" {
+		return "cancel requested", true
+	}
+	return cf.Reason, true
 }
 
 // CancelUnderLease marks the held record canceled and releases the lease
@@ -546,6 +625,7 @@ func (s *Store) CancelUnderLease(l *Lease, rec *Record, reason string) error {
 		return err
 	}
 	s.fsys.Remove(s.leasePath(rec.ID))
+	s.fsys.Remove(s.cancelPath(rec.ID))
 	return nil
 }
 
@@ -594,7 +674,14 @@ func (s *Store) ReapExpired(rec *Record) (reaped bool, err error) {
 	}
 	fresh.State = StateQueued
 	fresh.NotBefore = time.Time{}
-	if rec.MaxAttempts > 0 && fresh.Attempt >= fresh.MaxAttempts {
+	if reason, ok := s.CancelRequested(rec.ID); ok {
+		// The dead owner never saw the client's cancel request; honor it
+		// now instead of requeueing work nobody wants.
+		fresh.State = StateCanceled
+		fresh.Errors = append(fresh.Errors, AttemptError{
+			Attempt: fresh.Attempt, Worker: s.worker, Time: now, Error: reason,
+		})
+	} else if rec.MaxAttempts > 0 && fresh.Attempt >= fresh.MaxAttempts {
 		// The dead worker burned the last attempt; quarantine rather than
 		// loop forever on a job that kills its workers.
 		fresh.State = StateFailed
@@ -608,6 +695,9 @@ func (s *Store) ReapExpired(rec *Record) (reaped bool, err error) {
 		return false, err
 	}
 	s.fsys.Remove(s.leasePath(rec.ID))
+	if fresh.State != StateQueued {
+		s.fsys.Remove(s.cancelPath(rec.ID))
+	}
 	*rec = *fresh
 	return true, nil
 }

@@ -509,3 +509,132 @@ func TestFaultInjectTornRecordSkippedByList(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRequestCancelQueued pins the easy half of durable cancellation: a
+// queued record flips straight to canceled from any worker, and the flag
+// does not outlive the terminal state.
+func TestRequestCancelQueued(t *testing.T) {
+	a, b, _ := twoWorkers(t)
+	if _, err := a.Enqueue("job-1", []byte(`{}`), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RequestCancel("job-1", "cancelled by client"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.Get("job-1")
+	if err != nil || rec.State != StateCanceled {
+		t.Fatalf("after queued cancel: %+v, %v", rec, err)
+	}
+	if rec.LastError() != "cancelled by client" {
+		t.Errorf("reason = %q", rec.LastError())
+	}
+	if _, ok := a.CancelRequested("job-1"); ok {
+		t.Error("cancel flag survives the terminal transition")
+	}
+	if _, err := a.Claim("job-1"); !errors.Is(err, ErrNotClaimable) {
+		t.Errorf("claim of canceled job = %v, want ErrNotClaimable", err)
+	}
+	// Terminal records ignore further requests.
+	if err := b.RequestCancel("job-1", "again"); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = a.Get("job-1")
+	if len(rec.Errors) != 1 {
+		t.Errorf("repeat cancel appended history: %+v", rec.Errors)
+	}
+}
+
+// TestRequestCancelRunningObservedByLeaseholder pins the cross-node
+// protocol: the flag from a non-owning worker persists until the
+// leaseholder sees it on a heartbeat and writes canceled under its lease.
+func TestRequestCancelRunningObservedByLeaseholder(t *testing.T) {
+	a, b, _ := twoWorkers(t)
+	rec, _ := a.Enqueue("job-1", []byte(`{}`), 3)
+	l, err := a.Claim("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkRunning(l, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer cannot touch the running record, only flag it.
+	if err := b.RequestCancel("job-1", "cancelled by client"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Get("job-1")
+	if got.State != StateRunning {
+		t.Fatalf("peer cancel rewrote a running record: %+v", got)
+	}
+	reason, ok := a.CancelRequested("job-1")
+	if !ok || reason != "cancelled by client" {
+		t.Fatalf("CancelRequested = (%q, %v), want the client's reason", reason, ok)
+	}
+
+	// The leaseholder honors the flag.
+	if err := a.CancelUnderLease(l, rec, reason); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = b.Get("job-1")
+	if got.State != StateCanceled || got.LastError() != "cancelled by client" {
+		t.Fatalf("after leaseholder cancel: %+v", got)
+	}
+	if _, ok := b.CancelRequested("job-1"); ok {
+		t.Error("cancel flag survives CancelUnderLease")
+	}
+	if leases, _ := b.Leases(); len(leases) != 0 {
+		t.Errorf("lease not released: %v", leases)
+	}
+}
+
+// TestClaimRefusesCancelRequested covers the race where the flag lands
+// while the record is queued but nobody has canceled it yet (e.g. the
+// requesting worker crashed between flag and record write): the next
+// claimant finishes the cancellation instead of running the job.
+func TestClaimRefusesCancelRequested(t *testing.T) {
+	a, b, _ := twoWorkers(t)
+	if _, err := a.Enqueue("job-1", []byte(`{}`), 3); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the flag alone, simulating a crash after the flag write.
+	payload, _ := json.Marshal(cancelFlag{Worker: "w-b", Reason: "cancelled by client"})
+	if err := (faultinject.OS{}).WriteFile(b.cancelPath("job-1"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Claim("job-1"); !errors.Is(err, ErrNotClaimable) {
+		t.Fatalf("claim of flagged job = %v, want ErrNotClaimable", err)
+	}
+	rec, _ := a.Get("job-1")
+	if rec.State != StateCanceled {
+		t.Fatalf("claimant did not finish the cancellation: %+v", rec)
+	}
+}
+
+// TestReapExpiredHonorsCancelRequest: a dead owner's flagged job is
+// canceled by the reaper, not requeued.
+func TestReapExpiredHonorsCancelRequest(t *testing.T) {
+	a, b, clock := twoWorkers(t)
+	rec, _ := a.Enqueue("job-1", []byte(`{}`), 3)
+	l, err := a.Claim("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkRunning(l, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RequestCancel("job-1", "cancelled by client"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(11 * time.Second) // the owner dies without a heartbeat
+	brec, _ := b.Get("job-1")
+	reaped, err := b.ReapExpired(brec)
+	if err != nil || !reaped {
+		t.Fatalf("reap = %v, %v", reaped, err)
+	}
+	if brec.State != StateCanceled || brec.LastError() != "cancelled by client" {
+		t.Fatalf("reaped flagged record %+v, want canceled", brec)
+	}
+	if _, ok := b.CancelRequested("job-1"); ok {
+		t.Error("cancel flag survives the reap")
+	}
+}

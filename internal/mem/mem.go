@@ -104,6 +104,22 @@ type Controller struct {
 	// throttled core is delayed by throttle*BaseLatency extra cycles
 	// (request-rate limiting at the core's memory interface).
 	throttle []float64
+
+	// share is the fraction of PeakBytesPerCycle reserved for each core.
+	// A core with share 0 draws from the shared pool exactly as before;
+	// a core with share s > 0 is served by its own slice of the channel:
+	// its traffic leaves the pool accounting and its queueing delay is
+	// computed from its private utilization, so a saturating pool cannot
+	// starve it and it cannot inflate the pool's latency.
+	share []float64
+	// shareTotal is the sum of all reserved fractions; the shared pool's
+	// ceiling shrinks by this amount (reserved bandwidth is not free).
+	shareTotal float64
+	// shareWindowBytes accumulates a partitioned core's bytes per window.
+	shareWindowBytes []float64
+	// shareLatency is the per-access latency charged to each partitioned
+	// core, refreshed by Tick from its private utilization.
+	shareLatency []int
 }
 
 // NewController builds a controller for n cores. It panics on invalid
@@ -115,12 +131,19 @@ func NewController(n int, cfg Config) *Controller {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: n=%d cores", n))
 	}
-	return &Controller{
-		cfg:           cfg,
-		loadedLatency: cfg.BaseLatency,
-		bytes:         make([][numKinds]uint64, n),
-		throttle:      make([]float64, n),
+	m := &Controller{
+		cfg:              cfg,
+		loadedLatency:    cfg.BaseLatency,
+		bytes:            make([][numKinds]uint64, n),
+		throttle:         make([]float64, n),
+		share:            make([]float64, n),
+		shareWindowBytes: make([]float64, n),
+		shareLatency:     make([]int, n),
 	}
+	for i := range m.shareLatency {
+		m.shareLatency[i] = cfg.BaseLatency
+	}
+	return m
 }
 
 // Config returns the controller's configuration.
@@ -130,6 +153,11 @@ func (m *Controller) Config() Config { return m.cfg }
 // cycles, the requester observes under the current load and the core's
 // MBA throttle.
 func (m *Controller) Access(core int, kind RequestKind) int {
+	if m.share[core] > 0 {
+		m.shareWindowBytes[core] += float64(m.cfg.LineBytes)
+		m.bytes[core][kind] += uint64(m.cfg.LineBytes)
+		return m.shareLatency[core] + int(m.throttle[core]*float64(m.cfg.BaseLatency))
+	}
 	m.windowBytes += float64(m.cfg.LineBytes)
 	m.bytes[core][kind] += uint64(m.cfg.LineBytes)
 	return m.loadedLatency + int(m.throttle[core]*float64(m.cfg.BaseLatency))
@@ -150,6 +178,43 @@ func (m *Controller) SetThrottle(core int, frac float64) {
 // Throttle reports core's MBA delay fraction.
 func (m *Controller) Throttle(core int) float64 { return m.throttle[core] }
 
+// SetShare reserves frac of the channel for core. frac must be in [0,1)
+// and the reserved fractions across all cores must not exceed the whole
+// channel; a violating call is rejected without changing any share.
+// SetShare(core, 0) returns the core to the shared pool.
+func (m *Controller) SetShare(core int, frac float64) error {
+	if core < 0 || core >= len(m.share) {
+		return fmt.Errorf("mem: SetShare core %d out of range [0,%d)", core, len(m.share))
+	}
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("mem: SetShare fraction %g must be in [0,1)", frac)
+	}
+	total := frac
+	for i, s := range m.share {
+		if i != core {
+			total += s
+		}
+	}
+	if total > 1 {
+		return fmt.Errorf("mem: SetShare core %d to %g would reserve %g of the channel (max 1)", core, frac, total)
+	}
+	if m.share[core] == 0 && frac > 0 {
+		// Entering a fresh partition: start from the unloaded latency and
+		// an empty window rather than inheriting a stale measurement.
+		m.shareLatency[core] = m.cfg.BaseLatency
+		m.shareWindowBytes[core] = 0
+	}
+	m.share[core] = frac
+	m.shareTotal = total
+	return nil
+}
+
+// Share reports the channel fraction reserved for core (0 = shared pool).
+func (m *Controller) Share(core int) float64 { return m.share[core] }
+
+// ShareTotal reports the sum of all reserved fractions.
+func (m *Controller) ShareTotal() float64 { return m.shareTotal }
+
 // Tick closes the current accounting window of the given length in cycles
 // and recomputes the loaded latency applied to the next window. The
 // simulator calls it once per round.
@@ -157,7 +222,16 @@ func (m *Controller) Tick(windowCycles int) {
 	if windowCycles <= 0 {
 		return
 	}
-	util := m.windowBytes / (m.cfg.PeakBytesPerCycle * float64(windowCycles))
+	// Reserved fractions are carved out of the channel, so the shared
+	// pool's ceiling shrinks by the reserved total.
+	poolPeak := m.cfg.PeakBytesPerCycle * (1 - m.shareTotal)
+	var util float64
+	switch {
+	case poolPeak > 0:
+		util = m.windowBytes / (poolPeak * float64(windowCycles))
+	case m.windowBytes > 0:
+		util = m.cfg.MaxUtilization
+	}
 	if util > m.cfg.MaxUtilization {
 		util = m.cfg.MaxUtilization
 	}
@@ -166,6 +240,21 @@ func (m *Controller) Tick(windowCycles int) {
 	delay := m.cfg.QueueScale * util * util / (1 - util)
 	m.loadedLatency = m.cfg.BaseLatency + int(delay)
 	m.windowBytes = 0
+	if m.shareTotal == 0 {
+		return
+	}
+	for i, s := range m.share {
+		if s <= 0 {
+			continue
+		}
+		u := m.shareWindowBytes[i] / (s * m.cfg.PeakBytesPerCycle * float64(windowCycles))
+		if u > m.cfg.MaxUtilization {
+			u = m.cfg.MaxUtilization
+		}
+		d := m.cfg.QueueScale * u * u / (1 - u)
+		m.shareLatency[i] = m.cfg.BaseLatency + int(d)
+		m.shareWindowBytes[i] = 0
+	}
 }
 
 // Utilization returns the utilization measured over the last closed window,

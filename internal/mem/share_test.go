@@ -1,0 +1,234 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refPool is a frozen copy of the pre-partitioning controller math (global
+// window, M/M/1 delay, per-core MBA throttle adder). The differential tests
+// below pin that a controller with no shares programmed is bit-identical to
+// this reference.
+type refPool struct {
+	cfg         Config
+	windowBytes float64
+	loaded      int
+	utilization float64
+	throttle    []float64
+}
+
+func newRefPool(n int, cfg Config) *refPool {
+	return &refPool{cfg: cfg, loaded: cfg.BaseLatency, throttle: make([]float64, n)}
+}
+
+func (r *refPool) access(core int) int {
+	r.windowBytes += float64(r.cfg.LineBytes)
+	return r.loaded + int(r.throttle[core]*float64(r.cfg.BaseLatency))
+}
+
+func (r *refPool) tick(windowCycles int) {
+	if windowCycles <= 0 {
+		return
+	}
+	util := r.windowBytes / (r.cfg.PeakBytesPerCycle * float64(windowCycles))
+	if util > r.cfg.MaxUtilization {
+		util = r.cfg.MaxUtilization
+	}
+	r.utilization = util
+	delay := r.cfg.QueueScale * util * util / (1 - util)
+	r.loaded = r.cfg.BaseLatency + int(delay)
+	r.windowBytes = 0
+}
+
+// TestBandwidthShareSumCapped pins the conformance rule: reserved fractions
+// must stay within the channel (sum <= 1), out-of-range fractions are
+// rejected, and a rejected call leaves every share untouched.
+func TestBandwidthShareSumCapped(t *testing.T) {
+	m := NewController(4, DefaultConfig())
+	if err := m.SetShare(0, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetShare(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetShare(2, 0.2); err == nil {
+		t.Fatal("SetShare accepted shares summing to 1.1")
+	}
+	if m.Share(2) != 0 || m.Share(0) != 0.4 || m.Share(1) != 0.5 {
+		t.Fatalf("rejected SetShare mutated state: %g %g %g", m.Share(0), m.Share(1), m.Share(2))
+	}
+	// Re-programming an already-partitioned core replaces its share rather
+	// than double-counting it.
+	if err := m.SetShare(0, 0.5); err != nil {
+		t.Fatalf("replacing a share must count the old value once: %v", err)
+	}
+	if got := m.ShareTotal(); got != 1.0 {
+		t.Fatalf("ShareTotal = %g, want 1", got)
+	}
+	for _, frac := range []float64{-0.1, 1, 1.5} {
+		if err := m.SetShare(3, frac); err == nil {
+			t.Errorf("SetShare accepted fraction %g", frac)
+		}
+	}
+	if err := m.SetShare(7, 0.1); err == nil {
+		t.Error("SetShare accepted out-of-range core")
+	}
+}
+
+// TestBandwidthShareDifferentialUnpartitioned drives randomized access/tick
+// sequences through a share-capable controller (no shares programmed) and
+// the frozen reference model: every returned latency and every window's
+// utilization must match bit-for-bit. This is the guarantee that lets the
+// default policies — which never program MBA — keep byte-identical results.
+func TestBandwidthShareDifferentialUnpartitioned(t *testing.T) {
+	const cores = 4
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(7))
+	m := NewController(cores, cfg)
+	ref := newRefPool(cores, cfg)
+	for round := 0; round < 200; round++ {
+		if rng.Intn(10) == 0 {
+			core, frac := rng.Intn(cores), rng.Float64()*0.9
+			m.SetThrottle(core, frac)
+			ref.throttle[core] = frac
+		}
+		n := rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			core := rng.Intn(cores)
+			got, want := m.Access(core, Demand), ref.access(core)
+			if got != want {
+				t.Fatalf("round %d: Access(core %d) = %d, reference %d", round, core, got, want)
+			}
+		}
+		wc := 1 + rng.Intn(20000)
+		m.Tick(wc)
+		ref.tick(wc)
+		if m.Utilization() != ref.utilization {
+			t.Fatalf("round %d: utilization %g, reference %g", round, m.Utilization(), ref.utilization)
+		}
+		if m.LoadedLatency() != ref.loaded {
+			t.Fatalf("round %d: loaded latency %d, reference %d", round, m.LoadedLatency(), ref.loaded)
+		}
+	}
+}
+
+// TestBandwidthShareUnthrottledCoreUnaffected pins the second conformance
+// rule at the single-core level: a core left in the shared pool observes
+// exactly the reference latency as long as no shares are reserved.
+func TestBandwidthShareUnthrottledCoreUnaffected(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewController(2, cfg)
+	ref := newRefPool(2, cfg)
+	for i := 0; i < 4000; i++ {
+		m.Access(1, Prefetch)
+		ref.access(1)
+	}
+	m.Tick(5000)
+	ref.tick(5000)
+	if got, want := m.Access(0, Demand), ref.access(0); got != want {
+		t.Fatalf("pool core latency %d, reference %d", got, want)
+	}
+}
+
+// TestBandwidthShareIsolation is the starvation test: a core that saturates
+// the shared pool must not raise a partitioned peer's latency, while an
+// unpartitioned victim under the same assault sees the full queueing delay.
+func TestBandwidthShareIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	saturate := func(m *Controller, aggressor int) {
+		for i := 0; i < 2_000_000; i++ {
+			m.Access(aggressor, Prefetch)
+		}
+		m.Tick(10000)
+	}
+
+	// Victim in the shared pool: latency blows up.
+	pool := NewController(2, cfg)
+	saturate(pool, 1)
+	unprotected := pool.Access(0, Demand)
+	if unprotected <= cfg.BaseLatency {
+		t.Fatalf("saturating aggressor did not load the pool: %d", unprotected)
+	}
+
+	// Victim behind its own share: latency stays at its private queue's
+	// level — near base for its light traffic.
+	part := NewController(2, cfg)
+	if err := part.SetShare(0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		part.Access(0, Demand)
+	}
+	saturate(part, 1)
+	protected := part.Access(0, Demand)
+	if protected != cfg.BaseLatency {
+		t.Fatalf("partitioned victim latency %d, want base %d", protected, cfg.BaseLatency)
+	}
+	if protected >= unprotected {
+		t.Fatalf("partition gave no isolation: protected %d, unprotected %d", protected, unprotected)
+	}
+}
+
+// TestBandwidthSharePartitionCannotFloodPool is isolation in the other
+// direction: a partitioned core saturating its own slice contributes nothing
+// to the shared pool's utilization.
+func TestBandwidthSharePartitionCannotFloodPool(t *testing.T) {
+	cfg := DefaultConfig()
+	quiet := NewController(2, cfg)
+	loud := NewController(2, cfg)
+	for _, m := range []*Controller{quiet, loud} {
+		if err := m.SetShare(1, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2_000_000; i++ {
+		loud.Access(1, Prefetch)
+	}
+	quiet.Tick(10000)
+	loud.Tick(10000)
+	if quiet.Utilization() != loud.Utilization() {
+		t.Fatalf("partitioned traffic leaked into pool utilization: %g vs %g", quiet.Utilization(), loud.Utilization())
+	}
+	if got, want := loud.Access(0, Demand), quiet.Access(0, Demand); got != want {
+		t.Fatalf("pool core latency differs: %d vs %d", got, want)
+	}
+	// The partitioned core itself pays for saturating its slice.
+	if loud.Access(1, Demand) <= cfg.BaseLatency {
+		t.Fatal("saturated partition should charge queueing delay to its owner")
+	}
+}
+
+// TestBandwidthShareClearRestoresPool returns a partitioned core to the
+// shared pool and checks it resumes exact pool accounting.
+func TestBandwidthShareClearRestoresPool(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewController(2, cfg)
+	ref := newRefPool(2, cfg)
+	if err := m.SetShare(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		m.Access(0, Demand)
+	}
+	m.Tick(1000)
+	if err := m.SetShare(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.ShareTotal() != 0 {
+		t.Fatalf("ShareTotal = %g after clearing", m.ShareTotal())
+	}
+	m.Tick(1000) // flush the loaded window so both models start idle
+	ref.tick(1000)
+	for i := 0; i < 3000; i++ {
+		got, want := m.Access(0, Demand), ref.access(0)
+		if got != want {
+			t.Fatalf("access %d: latency %d, reference %d", i, got, want)
+		}
+	}
+	m.Tick(4000)
+	ref.tick(4000)
+	if m.LoadedLatency() != ref.loaded || m.Utilization() != ref.utilization {
+		t.Fatalf("post-clear window: (%d,%g) vs reference (%d,%g)",
+			m.LoadedLatency(), m.Utilization(), ref.loaded, ref.utilization)
+	}
+}

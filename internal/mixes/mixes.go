@@ -74,8 +74,16 @@ const (
 	PrefUnfri
 	// PrefNoAgg: 8 non-aggressive benchmarks.
 	PrefNoAgg
-	// NumCategories is the category count.
+	// NumCategories is the count of the paper's categories. BWSat sits
+	// beyond it on purpose: All() and the Fig. 13 selection iterate
+	// [0, NumCategories) and must never pick up the extension family.
 	NumCategories
+	// BWSat: a bandwidth-saturated mix — enough high-traffic benchmarks
+	// (streaming prefetch-friendly plus demand-heavy unfriendly) that the
+	// memory interface runs at its utilization ceiling and cache or
+	// prefetch control alone cannot relieve the queueing delay. The
+	// evaluation family for the CBP bandwidth-partitioning policies.
+	BWSat
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +97,8 @@ func (c Category) String() string {
 		return "Pref Unfri"
 	case PrefNoAgg:
 		return "Pref No Agg"
+	case BWSat:
+		return "BW Sat"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -186,6 +196,14 @@ func Build(cat Category, nCores int, seed int64) (Mix, error) {
 		specs = append(draw(rng, p.unfriendly, half), nonAgg(rng, p, nCores-half)...)
 	case PrefNoAgg:
 		specs = nonAgg(rng, p, nCores)
+	case BWSat:
+		// Saturate the memory interface: unfriendly demand-heavy traffic
+		// and friendly streamers fill all but two cores; the remaining two
+		// are LLC-sensitive victims whose speedup the controllers fight for.
+		loud := nCores - 2
+		unfri := (loud + 1) / 2
+		specs = append(draw(rng, p.unfriendly, unfri), draw(rng, p.friendly, loud-unfri)...)
+		specs = append(specs, draw(rng, p.nonAggSensitive, 2)...)
 	default:
 		return Mix{}, fmt.Errorf("mixes: unknown category %d", cat)
 	}
@@ -208,6 +226,22 @@ func All(nCores int, baseSeed int64) ([]Mix, error) {
 			m.Name = fmt.Sprintf("%s #%d", c, i+1)
 			out = append(out, m)
 		}
+	}
+	return out, nil
+}
+
+// BWSaturated constructs n bandwidth-saturated mixes, deterministically
+// from the base seed. The seed offset keeps the family disjoint from the
+// draws of All for the same base seed.
+func BWSaturated(nCores int, baseSeed int64, n int) ([]Mix, error) {
+	var out []Mix
+	for i := 0; i < n; i++ {
+		m, err := Build(BWSat, nCores, baseSeed+int64(BWSat)*1000+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		m.Name = fmt.Sprintf("%s #%d", BWSat, i+1)
+		out = append(out, m)
 	}
 	return out, nil
 }

@@ -146,6 +146,53 @@ func TestAllProducesFortyOrderedMixes(t *testing.T) {
 	}
 }
 
+// TestBandwidthSaturatedFamily pins the CBP evaluation family: loud cores
+// everywhere except two LLC-sensitive victims, All() untouched by it.
+func TestBandwidthSaturatedFamily(t *testing.T) {
+	classes := Classes()
+	fam, err := BWSaturated(8, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 4 {
+		t.Fatalf("%d mixes, want 4", len(fam))
+	}
+	for _, m := range fam {
+		if m.Category != BWSat {
+			t.Fatalf("%s: category %v", m.Name, m.Category)
+		}
+		var unfri, fri, sens int
+		for _, s := range m.Specs {
+			cl := classes[s.Name]
+			switch {
+			case cl.PrefAggressive && cl.PrefFriendly:
+				fri++
+			case cl.PrefAggressive:
+				unfri++
+			case cl.LLCSensitive:
+				sens++
+			}
+		}
+		if unfri != 3 || fri != 3 || sens != 2 {
+			t.Errorf("%s: composition unfriendly=%d friendly=%d sensitive=%d, want 3/3/2",
+				m.Name, unfri, fri, sens)
+		}
+	}
+	if fam[0].Name != "BW Sat #1" {
+		t.Errorf("name %q", fam[0].Name)
+	}
+	// The extension category must never leak into the paper's selection.
+	all, err := All(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range all {
+		if m.Category >= NumCategories {
+			t.Fatalf("All() produced extension mix %s", m.Name)
+		}
+	}
+}
+
 func TestCategoryString(t *testing.T) {
 	for c := Category(0); c < NumCategories; c++ {
 		if c.String() == "" {

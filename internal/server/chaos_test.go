@@ -437,3 +437,85 @@ func TestCancelQueuedFreesSlotImmediately(t *testing.T) {
 	// The freed slot admits a new job without a 503.
 	postJob(t, ts, `{"preset":"tiny"}`)
 }
+
+// TestChaosCrossNodeCancel is the cancel half of the fault drills: the
+// job runs on worker A, the client's DELETE lands on worker B, and the
+// durable cancel flag must travel through the store — B cannot touch A's
+// lease — so A's next heartbeat aborts the run and writes the terminal
+// canceled state. Before the flag existed, a cross-node DELETE was
+// silently ignored and the job ran to completion.
+func TestChaosCrossNodeCancel(t *testing.T) {
+	storeDir, jobsDir := t.TempDir(), t.TempDir()
+	const ttl = 250 * time.Millisecond
+
+	aStarted := make(chan struct{}, 1)
+	_, tsA, _ := chaosWorker(t, storeDir, jobsDir, "w-a", ttl,
+		func(ctx context.Context, j *job) (any, error) {
+			aStarted <- struct{}{}
+			<-ctx.Done() // run "forever"; only a cancel can end this job
+			return nil, ctx.Err()
+		})
+	var bExecuted atomic.Int64
+	sB, tsB, _ := chaosWorker(t, storeDir, jobsDir, "w-b", ttl,
+		func(ctx context.Context, j *job) (any, error) {
+			bExecuted.Add(1)
+			return map[string]bool{"ok": true}, nil
+		})
+
+	st := postJob(t, tsA, `{"preset":"tiny"}`)
+	select {
+	case <-aStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker A never started the job")
+	}
+
+	// The client cancels through worker B, which does not hold the lease.
+	req, _ := http.NewRequest(http.MethodDelete, tsB.URL+"/v1/jobs/"+st.ID, nil)
+	canceledAt := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// A's next heartbeat (every TTL/3) observes the flag, aborts the
+	// attempt, and writes canceled under its own lease.
+	got := awaitState(t, tsA, st.ID, StateCanceled)
+	if elapsed := time.Since(canceledAt); elapsed > ttl {
+		t.Errorf("cross-node cancel took %v, want within one TTL (%v)", elapsed, ttl)
+	}
+	if !strings.Contains(got.Error, "cancelled by client") {
+		t.Errorf("canceled status error = %q, want the client's reason", got.Error)
+	}
+	if got.Worker != "w-a" {
+		t.Errorf("terminal state written by %q, want the leaseholder w-a", got.Worker)
+	}
+
+	// B's mirror converges to the same terminal state via its scanner.
+	bGot := awaitState(t, tsB, st.ID, StateCanceled)
+	if !strings.Contains(bGot.Error, "cancelled by client") {
+		t.Errorf("peer mirror error = %q", bGot.Error)
+	}
+
+	// Durably canceled, lease released, flag consumed, never claimable.
+	rec, err := sB.cfg.Jobs.Get(st.ID)
+	if err != nil || rec.State != jobstore.StateCanceled {
+		t.Fatalf("durable record = (%+v, %v), want canceled", rec, err)
+	}
+	if leases, _ := sB.cfg.Jobs.Leases(); len(leases) != 0 {
+		t.Errorf("leases after cancel: %v", leases)
+	}
+	if _, ok := sB.cfg.Jobs.CancelRequested(st.ID); ok {
+		t.Error("cancel flag survives the terminal state")
+	}
+	if _, err := sB.cfg.Jobs.Claim(st.ID); !errors.Is(err, jobstore.ErrNotClaimable) {
+		t.Errorf("claim of canceled job = %v, want ErrNotClaimable", err)
+	}
+
+	// The job never migrates: several scan intervals later B still has
+	// not executed it.
+	time.Sleep(150 * time.Millisecond)
+	if n := bExecuted.Load(); n != 0 {
+		t.Errorf("canceled job executed on worker B %d times", n)
+	}
+}

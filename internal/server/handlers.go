@@ -275,10 +275,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		j.mu.Unlock()
 	case StateRunning:
-		// The executing worker observes the context error and finishes the
-		// state transition itself; report the current (still running)
-		// status. Jobs running on another worker cannot be interrupted
-		// from here.
+		// A local run observes its context error and finishes the state
+		// transition itself. For a job running on another worker, the
+		// durable cancel request below is the only lever: the owner's next
+		// heartbeat observes the flag, aborts, and writes the terminal
+		// canceled state under its lease.
+		if s.cfg.Jobs != nil {
+			s.cfg.Jobs.RequestCancel(j.id, "cancelled by client")
+		}
 		if cancel != nil {
 			cancel()
 		}

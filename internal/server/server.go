@@ -140,13 +140,17 @@ type job struct {
 	inQueue   bool     // sitting in the local priority heap
 	localRun  bool     // this process is executing it right now
 	leaseLost bool     // our lease was reaped mid-run; another worker owns it
-	worker    string   // last worker seen running it (cluster mirror)
-	cancel    context.CancelFunc
-	result    any
-	resultRaw []byte // terminal result fetched from the durable store
-	created   time.Time
-	started   time.Time
-	finished  time.Time
+	// cancelReason is set when the heartbeat observes a durable cancel
+	// request (cross-node DELETE); finishCanceled records it instead of
+	// the bare context error.
+	cancelReason string
+	worker       string // last worker seen running it (cluster mirror)
+	cancel       context.CancelFunc
+	result       any
+	resultRaw    []byte // terminal result fetched from the durable store
+	created      time.Time
+	started      time.Time
+	finished     time.Time
 }
 
 // Server runs the job queue, the worker pool, and the HTTP API.
@@ -677,6 +681,7 @@ func (s *Server) run(j *job) {
 	j.state = StateRunning
 	j.localRun = true
 	j.leaseLost = false
+	j.cancelReason = ""
 	if rec != nil {
 		j.attempt = rec.Attempt
 		j.worker = s.cfg.Jobs.Worker()
@@ -714,6 +719,15 @@ func (s *Server) run(j *job) {
 					if err := lease.Renew(); err != nil {
 						j.mu.Lock()
 						j.leaseLost = true
+						j.mu.Unlock()
+						jobCancel()
+						return
+					}
+					// Cross-node cancel: a client's DELETE on any worker
+					// leaves a durable flag only the leaseholder can honor.
+					if reason, ok := s.cfg.Jobs.CancelRequested(j.id); ok {
+						j.mu.Lock()
+						j.cancelReason = reason
 						j.mu.Unlock()
 						jobCancel()
 						return
@@ -843,15 +857,21 @@ func (s *Server) finishCanceled(j *job, lease *jobstore.Lease, rec *jobstore.Rec
 		s.clearLookup(j)
 		return
 	}
+	reason := err.Error()
+	j.mu.Lock()
+	if j.cancelReason != "" {
+		reason = j.cancelReason
+	}
+	j.mu.Unlock()
 	if lease != nil {
-		s.cfg.Jobs.CancelUnderLease(lease, rec, err.Error())
+		s.cfg.Jobs.CancelUnderLease(lease, rec, reason)
 	}
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.cancel = nil
 	j.localRun = false
 	j.state = StateCanceled
-	j.err = err.Error()
+	j.err = reason
 	j.mu.Unlock()
 	s.clearLookup(j)
 }

@@ -214,19 +214,30 @@ func (s *System) flushMasks() {
 }
 
 func (s *System) refreshMasks() {
+	n := len(s.cores)
 	for i := range s.cores {
 		m, err := s.alloc.EffectiveMask(i)
 		if err != nil || m == 0 {
 			m = s.cfg.CAT.FullMask()
 		}
 		s.masks[i] = m
-		clos, err := s.alloc.ClosOf(i)
+		pct, err := s.alloc.MBAOfCore(i)
 		if err != nil {
 			continue
 		}
-		if pct, err := s.alloc.MBAOf(clos); err == nil {
-			s.memc.SetThrottle(i, float64(pct)/100)
+		s.memc.SetThrottle(i, float64(pct)/100)
+		// MBA delay pct also partitions the channel: a throttled core is
+		// moved onto its own slice — (100-pct)% of an equal 1/n share —
+		// so its traffic stops drawing from (and inflating) the shared
+		// pool. pct 0 returns the core to the pool, which keeps the
+		// no-MBA machine bit-identical to the unpartitioned model.
+		share := 0.0
+		if pct > 0 {
+			share = (1 - float64(pct)/100) / float64(n)
 		}
+		// Each share is <= 1/n so the sum can never exceed the channel;
+		// SetShare cannot fail here.
+		_ = s.memc.SetShare(i, share)
 	}
 }
 

@@ -91,6 +91,11 @@ type Event struct {
 	// MBAThrottled/MBAPercent mirror the CMM-mba extension's decision.
 	MBAThrottled []int  `json:"mba_throttled,omitempty"`
 	MBAPercent   uint64 `json:"mba_percent,omitempty"`
+	// MBALevels maps core index to the programmed MBA delay level (absent
+	// when the epoch left bandwidth partitioning untouched); MBAChange
+	// reports that the vector differs from the previous epoch's.
+	MBALevels []uint64 `json:"mba_levels,omitempty"`
+	MBAChange bool     `json:"mba_change,omitempty"`
 
 	// Benchmark and IPC describe a solo run (Type == TypeSolo); the
 	// run's measurement window length rides in ExecCycles.
@@ -276,6 +281,7 @@ type Counters struct {
 	detections       atomic.Int64
 	throttleFlips    atomic.Int64
 	partitionChanges atomic.Int64
+	mbaChanges       atomic.Int64
 	samplingCycles   atomic.Uint64
 	soloRuns         atomic.Int64
 	storeHits        atomic.Int64
@@ -332,6 +338,9 @@ func (c *Counters) Emit(e Event) {
 		if e.PartitionChange {
 			c.partitionChanges.Add(1)
 		}
+		if e.MBAChange {
+			c.mbaChanges.Add(1)
+		}
 		c.samplingCycles.Add(e.ProfCycles)
 	case TypeSolo:
 		c.soloRuns.Add(1)
@@ -352,6 +361,7 @@ func (c *Counters) Snapshot() map[string]uint64 {
 		"detections_total":        uint64(c.detections.Load()),
 		"throttle_flips_total":    uint64(c.throttleFlips.Load()),
 		"partition_changes_total": uint64(c.partitionChanges.Load()),
+		"mba_changes_total":       uint64(c.mbaChanges.Load()),
 		"sampling_cycles_total":   c.samplingCycles.Load(),
 		"solo_runs_total":         uint64(c.soloRuns.Load()),
 		"store_hits_total":        uint64(c.storeHits.Load()),
@@ -390,6 +400,7 @@ func (c *Counters) PublishExpvar(prefix string) {
 		"detections_total":        func() uint64 { return uint64(c.detections.Load()) },
 		"throttle_flips_total":    func() uint64 { return uint64(c.throttleFlips.Load()) },
 		"partition_changes_total": func() uint64 { return uint64(c.partitionChanges.Load()) },
+		"mba_changes_total":       func() uint64 { return uint64(c.mbaChanges.Load()) },
 		"sampling_cycles_total":   func() uint64 { return c.samplingCycles.Load() },
 		"solo_runs_total":         func() uint64 { return uint64(c.soloRuns.Load()) },
 		"store_hits_total":        func() uint64 { return uint64(c.storeHits.Load()) },

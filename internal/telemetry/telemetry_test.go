@@ -99,6 +99,7 @@ func TestTelemetryCounters(t *testing.T) {
 	c.Emit(sampleEpochEvent(0)) // detection + flip
 	e := sampleEpochEvent(1)    // detection, no flip
 	e.PartitionChange = true
+	e.MBAChange = true
 	c.Emit(e)
 	quiet := Event{Type: TypeEpoch, Epoch: 2, ProfCycles: 100}
 	c.Emit(quiet)
@@ -122,6 +123,7 @@ func TestTelemetryCounters(t *testing.T) {
 		"detections_total":        2,
 		"throttle_flips_total":    1,
 		"partition_changes_total": 1,
+		"mba_changes_total":       1,
 		"sampling_cycles_total":   600_000*2 + 100,
 		"solo_runs_total":         1,
 		"store_hits_total":        2,

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Two-process fault-tolerance smoke test.
 #
-# Starts two cmmserve workers on one shared -store directory, submits a
-# comparison job, SIGKILLs whichever worker is executing it mid-run, and
-# requires the survivor to reap the dead worker's lease and finish the
-# job. The shared content-addressed run store makes the takeover cheap:
-# every simulation the dead worker completed is served from cache during
-# the re-run.
+# Phase 1 (kill takeover): starts two cmmserve workers on one shared
+# -store directory, submits a comparison job, SIGKILLs whichever worker
+# is executing it mid-run, and requires the survivor to reap the dead
+# worker's lease and finish the job. The shared content-addressed run
+# store makes the takeover cheap: every simulation the dead worker
+# completed is served from cache during the re-run.
+#
+# Phase 2 (cross-node cancel): restarts the killed worker, submits a
+# second job, and DELETEs it through the worker that does NOT hold the
+# lease. The durable cancel flag must reach the leaseholder via its
+# heartbeat and drive the job to the terminal canceled state.
 #
 # Usage: scripts/two_worker_smoke.sh
 # Exits 0 on success; prints a FAIL line and exits 1 otherwise.
@@ -96,6 +101,7 @@ echo "job running on worker $VICTIM ($done_runs runs done); SIGKILL pid $VICTIM_
 kill -9 "$VICTIM_PID"
 
 echo "waiting for the survivor to reap the lease and finish the job"
+TAKEOVER=""
 for i in $(seq 1 400); do
     curl -s "$SURVIVOR_URL/v1/jobs/$JOB" >"$WORK/status.json" || true
     state=$(jsonfield "$WORK/status.json" state)
@@ -106,10 +112,73 @@ for i in $(seq 1 400); do
         curl -sf "$SURVIVOR_URL/v1/jobs/$JOB/result" >"$WORK/result.json" \
             || fail "survivor served no result"
         grep -q '"results"' "$WORK/result.json" || fail "result payload looks wrong"
-        echo "PASS: killed worker $VICTIM mid-job; survivor finished it and serves the result"
-        exit 0
+        echo "PASS (phase 1): killed worker $VICTIM mid-job; survivor finished it and serves the result"
+        TAKEOVER=yes
+        break
     fi
     [ "$state" = failed ] && fail "job quarantined instead of finishing: $(cat "$WORK/status.json")"
     sleep 0.5
 done
-fail "survivor never finished the job: $(cat "$WORK/status.json")"
+[ -n "$TAKEOVER" ] || fail "survivor never finished the job: $(cat "$WORK/status.json")"
+
+# ---- Phase 2: cross-node cancel -------------------------------------
+
+echo "restarting worker $VICTIM for the cross-node cancel phase"
+if [ "$VICTIM" = a ]; then
+    "$BIN" -listen "127.0.0.1:$PORT_A" -store "$STORE" -worker-id smoke-a \
+        -lease-ttl 2s -scan 300ms >>"$WORK/a.log" 2>&1 &
+    A_PID=$!
+else
+    "$BIN" -listen "127.0.0.1:$PORT_B" -store "$STORE" -worker-id smoke-b \
+        -lease-ttl 2s -scan 300ms >>"$WORK/b.log" 2>&1 &
+    B_PID=$!
+fi
+for i in $(seq 1 50); do
+    ok_a=$(curl -sf "$A_URL/healthz" 2>/dev/null || true)
+    ok_b=$(curl -sf "$B_URL/healthz" 2>/dev/null || true)
+    [ "$ok_a" = ok ] && [ "$ok_b" = ok ] && break
+    [ "$i" = 50 ] && fail "restarted worker did not become healthy"
+    sleep 0.2
+done
+
+echo "submitting cancel-target job to worker a"
+curl -s "$A_URL/v1/jobs" \
+    -d '{"kind":"comparison","preset":"quick","seeds":[2,3],"mixes_per_category":4}' \
+    >"$WORK/submit2.json"
+JOB2=$(jsonfield "$WORK/submit2.json" id)
+[ -n "$JOB2" ] || fail "no job id in $(cat "$WORK/submit2.json")"
+
+RUNNER2=""
+for i in $(seq 1 100); do
+    curl -s "$A_URL/v1/jobs/$JOB2" >"$WORK/status2.json" || true
+    state=$(jsonfield "$WORK/status2.json" state)
+    if [ "$state" = running ]; then
+        RUNNER2=$(jsonfield "$WORK/status2.json" worker)
+        [ -n "$RUNNER2" ] && break
+    fi
+    [ "$state" = done ] && fail "cancel-target job finished before the DELETE (too fast for this host)"
+    sleep 0.2
+done
+[ -n "$RUNNER2" ] || fail "cancel-target job never reached running: $(cat "$WORK/status2.json")"
+
+# DELETE through the worker that does NOT hold the lease: only the
+# durable cancel flag can reach the leaseholder.
+if [ "$RUNNER2" = smoke-a ]; then PEER_URL=$B_URL; else PEER_URL=$A_URL; fi
+echo "job $JOB2 running on $RUNNER2; DELETE via the peer"
+curl -s -X DELETE "$PEER_URL/v1/jobs/$JOB2" >/dev/null || fail "peer DELETE failed"
+
+echo "waiting for the leaseholder to observe the cancel flag"
+for i in $(seq 1 60); do
+    curl -s "$PEER_URL/v1/jobs/$JOB2" >"$WORK/status2.json" || true
+    state=$(jsonfield "$WORK/status2.json" state)
+    if [ "$state" = canceled ]; then
+        grep -q 'cancelled by client' "$WORK/status2.json" \
+            || fail "canceled without the client's reason: $(cat "$WORK/status2.json")"
+        echo "PASS (phase 2): peer DELETE drove the remote job to terminal canceled"
+        echo "PASS: both phases"
+        exit 0
+    fi
+    [ "$state" = done ] && fail "job completed despite the cross-node cancel"
+    sleep 0.3
+done
+fail "cross-node cancel never became terminal: $(cat "$WORK/status2.json")"
