@@ -1,0 +1,28 @@
+# Multi-stage build for cmmserve, the experiment job server.
+#
+#   docker build -t cmmserve .
+#   docker run -p 8090:8090 -v cmm-store:/data cmmserve -store /data/store
+#
+# See docker-compose.yml for the two-worker shared-store recipe.
+
+FROM golang:1.24 AS build
+WORKDIR /src
+# The module is dependency-free (stdlib only), so the source tree is the
+# whole build context; no separate go.mod download layer is needed.
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/cmmserve ./cmd/cmmserve && \
+    CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/cmmjob ./cmd/cmmjob
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 cmm && mkdir -p /data && chown cmm /data
+COPY --from=build /out/cmmserve /usr/local/bin/cmmserve
+COPY --from=build /out/cmmjob /usr/local/bin/cmmjob
+USER cmm
+VOLUME /data
+EXPOSE 8090
+# BusyBox wget probes the liveness endpoint; it returns 503 while the
+# server drains, failing the check so orchestrators stop routing.
+HEALTHCHECK --interval=10s --timeout=3s --start-period=5s --retries=3 \
+    CMD wget -q -O /dev/null http://127.0.0.1:8090/healthz || exit 1
+ENTRYPOINT ["cmmserve"]
+CMD ["-listen", ":8090", "-store", "/data/store"]

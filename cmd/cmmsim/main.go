@@ -15,6 +15,8 @@
 //	cmmsim -fig 13 -store runs/                 # memoize runs; a warm rerun
 //	                                            # simulates nothing and is
 //	                                            # bit-identical
+//	cmmsim -fig 13 -model model.json            # add the learned CMM-L
+//	                                            # policy to the comparison
 //
 // Figures 7–15 share one comparison dataset; requesting any of them runs
 // the whole set of policies the figure needs. -quick (default) uses 2
@@ -39,6 +41,7 @@ import (
 
 	"cmm/internal/cmm"
 	"cmm/internal/experiments"
+	"cmm/internal/learn"
 	"cmm/internal/mixes"
 	"cmm/internal/runstore"
 	"cmm/internal/telemetry"
@@ -60,6 +63,8 @@ func main() {
 		progress   = flag.Bool("progress", false, "report per-run progress on stderr")
 		teleOut    = flag.String("telemetry", "", "write per-epoch controller telemetry as JSONL to this file")
 		sweepJSON  = flag.String("sweepjson", "", "with -fig bwsweep: also write the machine-readable sweep artifact (JSON) to this file")
+		modelPath  = flag.String("model", "", "trained model file (cmmtrain output); adds the CMM-L policy to comparison figures")
+		confidence = flag.Float64("confidence", 0, "CMM-L prediction-confidence threshold (0 = default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
@@ -213,7 +218,21 @@ func main() {
 			fatal(err)
 		}
 	case "7", "8", "9", "10", "11", "12", "13", "14", "15", "comparison":
-		comp, err := experiments.RunComparison(opts, cmm.Policies()[1:])
+		policies := cmm.Policies()[1:]
+		withLearned := false
+		if *modelPath != "" {
+			m, err := learn.LoadModel(*modelPath)
+			if err != nil {
+				fatal(err)
+			}
+			lp, err := cmm.NewLearned(m, *confidence)
+			if err != nil {
+				fatal(err)
+			}
+			policies = append(policies, lp)
+			withLearned = true
+		}
+		comp, err := experiments.RunComparison(opts, policies)
 		if err != nil {
 			fatal(err)
 		}
@@ -222,9 +241,13 @@ func main() {
 			return
 		}
 		writeFigure(w, comp, *fig)
+		if withLearned {
+			fmt.Fprintln(w, "\nCMM-L (learned back end) vs the sampled CMM-a:")
+			experiments.WriteHSWS(w, comp, "CMM-a", "CMM-L")
+		}
 		// Telemetry-enabled runs report controller overhead alongside the
 		// figure ("comparison" always carries the summary).
-		if *teleOut != "" || *fig == "comparison" {
+		if *teleOut != "" || *fig == "comparison" || withLearned {
 			fmt.Fprintln(w)
 			experiments.WriteTelemetry(w, comp)
 		}

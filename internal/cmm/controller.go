@@ -131,6 +131,17 @@ func epochEvent(index int, dec Decision, prev *Decision, execCycles, profCycles 
 		MBAThrottled:   sortedCopy(dec.MBAThrottled),
 		MBAPercent:     dec.MBAPercent,
 		MBALevels:      append([]uint64(nil), dec.MBALevels...),
+		PGA:            append([]float64(nil), dec.Detection.PGA...),
+		L2PMR:          append([]float64(nil), dec.Detection.PMR...),
+		L2PTR:          append([]float64(nil), dec.Detection.PTR...),
+		LLCPT:          append([]float64(nil), dec.Detection.LLCPT...),
+		CoreIPC:        append([]float64(nil), dec.Detection.IPC...),
+		MPKI:           append([]float64(nil), dec.Detection.MPKI...),
+		StallRatio:     append([]float64(nil), dec.Detection.StallRatio...),
+		MemTraffic:     append([]float64(nil), dec.Detection.MemTraffic...),
+		Predicted:      dec.Predicted,
+		PredConfidence: dec.PredConfidence,
+		LearnFallback:  dec.LearnFallback,
 	}
 	var prevDisabled []int
 	var prevPlan *cat.Plan
@@ -179,6 +190,10 @@ type DecisionStats struct {
 	// MBAChanges counts epochs whose per-core MBA level vector differs
 	// from the previous epoch's (bandwidth repartitioning events).
 	MBAChanges int `json:",omitempty"`
+	// Predictions and LearnFallbacks count the learned policy's (CMM-L)
+	// epochs decided by the model versus sent down the sampling path.
+	Predictions    int `json:",omitempty"`
+	LearnFallbacks int `json:",omitempty"`
 }
 
 // SummarizeDecisions reduces a decision history (Controller.Decisions) to
@@ -209,6 +224,12 @@ func SummarizeDecisions(decs []Decision) DecisionStats {
 			s.MBAChanges++
 		}
 		s.SampledCombos += d.SampledCombos
+		if d.Predicted {
+			s.Predictions++
+		}
+		if d.LearnFallback {
+			s.LearnFallbacks++
+		}
 		prev = d
 	}
 	return s

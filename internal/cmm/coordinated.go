@@ -64,7 +64,15 @@ func (p Coordinated) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, e
 	probe := sampleInterval(t, cfg.SamplingInterval)
 	det := DetectAgg(probe, t.CoreGHz(), cfg)
 	dec := Decision{Policy: p.Name(), Detection: det, SampledCombos: 1}
+	return p.epochWithDetection(t, cfg, probe, det, dec, exec)
+}
 
+// epochWithDetection finishes an epoch whose detection probe already ran:
+// friendliness split, variant partitioning, and the combo search. The
+// learned policy (CMM-L) calls it directly on a fallback so the probe it
+// predicted from is reused rather than re-sampled; dec carries the
+// caller's policy name and any prediction metadata through untouched.
+func (p Coordinated) epochWithDetection(t Target, cfg Config, probe []pmu.Sample, det Detection, dec Decision, exec []pmu.Sample) (Decision, error) {
 	if len(det.Agg) == 0 {
 		// Fig. 6(d): nothing aggressive — Dunn partitioning instead.
 		plan, err := dunnPlan(t, exec)

@@ -9,6 +9,13 @@ type Detection struct {
 	// PGA, PMR, PTR, LLCPT hold the per-core Table-I metrics the
 	// decision used (M-4, M-5, M-3, M-7 as a rate), indexed by core.
 	PGA, PMR, PTR, LLCPT []float64
+	// IPC, MPKI, StallRatio and MemTraffic complete the per-core feature
+	// record of the same probe interval: instructions per cycle, LLC
+	// demand misses per kilo-instruction, the STALLS_L2_PENDING share of
+	// cycles, and the total LLC→memory request rate. Together with the
+	// four Table-I vectors above they form the learned policy's feature
+	// schema (internal/learn).
+	IPC, MPKI, StallRatio, MemTraffic []float64
 	// MeanPGA is the cross-core average PGA candidates must exceed.
 	MeanPGA float64
 }
@@ -40,10 +47,14 @@ func (d Detection) InAgg(core int) bool {
 func DetectAgg(samples []pmu.Sample, ghz float64, cfg Config) Detection {
 	n := len(samples)
 	d := Detection{
-		PGA:   make([]float64, n),
-		PMR:   make([]float64, n),
-		PTR:   make([]float64, n),
-		LLCPT: make([]float64, n),
+		PGA:        make([]float64, n),
+		PMR:        make([]float64, n),
+		PTR:        make([]float64, n),
+		LLCPT:      make([]float64, n),
+		IPC:        make([]float64, n),
+		MPKI:       make([]float64, n),
+		StallRatio: make([]float64, n),
+		MemTraffic: make([]float64, n),
 	}
 	sum := 0.0
 	for i, s := range samples {
@@ -54,6 +65,10 @@ func DetectAgg(samples []pmu.Sample, ghz float64, cfg Config) Detection {
 		if seconds > 0 {
 			d.LLCPT[i] = float64(s.Value(pmu.L3PrefMiss)) / seconds
 		}
+		d.IPC[i] = s.IPC()
+		d.MPKI[i] = s.MPKI()
+		d.StallRatio[i] = s.StallRatio()
+		d.MemTraffic[i] = s.MemTrafficRate(ghz)
 		sum += d.PGA[i]
 	}
 	if n > 0 {

@@ -1,0 +1,130 @@
+package cmm
+
+import (
+	"fmt"
+
+	"cmm/internal/learn"
+	"cmm/internal/pmu"
+)
+
+// DefaultConfidence is the prediction-confidence threshold CMM-L requires
+// before it skips the sampling path for an epoch.
+const DefaultConfidence = 0.8
+
+// Learned is the CMM-L back end: CMM-a's structure with the profiling
+// phase replaced by a trained classifier (internal/learn) wherever the
+// model is confident. Each epoch it runs the one all-on detection probe
+// every policy needs, then predicts a per-core throttle decision for the
+// Agg set from the probe's feature vectors:
+//
+//   - confident (min per-core confidence >= threshold): apply the
+//     VariantA partition over the Agg set and the predicted throttle set
+//     directly — 1 sampling interval total, versus CMM-a's 2 + 2^n;
+//   - not confident: fall back to CMM-a's full sampling path, reusing
+//     the probe already taken. The resulting decision is flagged
+//     LearnFallback, so its telemetry event doubles as a fresh labeled
+//     training example — the online label-collection loop.
+//
+// The model is read-only after construction, so Learned is safe to share
+// across concurrent runs and Clone can return a shallow copy.
+type Learned struct {
+	model     *learn.Model
+	threshold float64
+	base      Coordinated
+}
+
+// NewLearned builds the CMM-L policy around a validated model. A
+// non-positive threshold selects DefaultConfidence.
+func NewLearned(m *learn.Model, threshold float64) (*Learned, error) {
+	if m == nil {
+		return nil, fmt.Errorf("cmm: learned policy needs a model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("cmm: learned policy: %w", err)
+	}
+	if threshold <= 0 {
+		threshold = DefaultConfidence
+	}
+	return &Learned{model: m, threshold: threshold, base: Coordinated{Variant: VariantA}}, nil
+}
+
+// Name implements Policy.
+func (p *Learned) Name() string { return "CMM-L" }
+
+// StoreIdentity distinguishes run-store entries by model: two CMM-L
+// instances with different models (or thresholds) make different
+// decisions and must never share a cache key (see internal/experiments).
+func (p *Learned) StoreIdentity() string {
+	return fmt.Sprintf("CMM-L@%s/t%.3f", p.model.Fingerprint(), p.threshold)
+}
+
+// Clone implements Policy. The model is immutable and the rest is value
+// state, so a shallow copy is an independent instance.
+func (p *Learned) Clone() Policy {
+	cp := *p
+	return &cp
+}
+
+// Epoch implements Policy.
+func (p *Learned) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
+	// Sampling interval 1: all prefetchers on — detection statistics and
+	// the model's features come from the same probe.
+	if err := setPrefetchers(t, nil); err != nil {
+		return Decision{}, err
+	}
+	probe := sampleInterval(t, cfg.SamplingInterval)
+	det := DetectAgg(probe, t.CoreGHz(), cfg)
+	dec := Decision{Policy: p.Name(), Detection: det, SampledCombos: 1}
+
+	if len(det.Agg) == 0 {
+		// Fig. 6(d): nothing to predict about — same Dunn fallback as
+		// CMM-a. Not counted as a learn fallback: no prediction was due.
+		return p.base.epochWithDetection(t, cfg, probe, det, dec, exec)
+	}
+
+	throttle, minConf := p.predict(det)
+	dec.PredConfidence = minConf
+	if minConf < p.threshold {
+		// Low confidence: run CMM-a's sampling path on the same probe and
+		// let the resulting event re-enter the training corpus.
+		dec.LearnFallback = true
+		return p.base.epochWithDetection(t, cfg, probe, det, dec, exec)
+	}
+
+	// Confident: act on the prediction. VariantA's layout depends only on
+	// the Agg set, so no friendliness-split interval is needed either.
+	dec.Predicted = true
+	plan, err := p.base.plan(t, cfg, nil, nil, det.Agg)
+	if err != nil {
+		return Decision{}, err
+	}
+	if err := applyPlan(t, plan); err != nil {
+		return Decision{}, err
+	}
+	dec.Plan = &plan
+	dec.Disabled = throttle
+	if err := setPrefetchers(t, dec.Disabled); err != nil {
+		return Decision{}, err
+	}
+	return dec, nil
+}
+
+// predict runs the model on every Agg core's feature vector and returns
+// the predicted throttle set (ascending, Agg order) and the minimum
+// per-core confidence — the epoch is only as certain as its least
+// certain core.
+func (p *Learned) predict(det Detection) (throttle []int, minConf float64) {
+	minConf = 1
+	for _, c := range det.Agg {
+		x := learn.Vector(det.PGA[c], det.PMR[c], det.PTR[c], det.LLCPT[c],
+			det.IPC[c], det.MPKI[c], det.StallRatio[c], det.MemTraffic[c])
+		label, conf := p.model.Predict(x)
+		if conf < minConf {
+			minConf = conf
+		}
+		if label == 1 {
+			throttle = append(throttle, c)
+		}
+	}
+	return throttle, minConf
+}

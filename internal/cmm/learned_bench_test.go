@@ -1,0 +1,88 @@
+package cmm_test
+
+import (
+	"testing"
+
+	"cmm/internal/cmm"
+	"cmm/internal/learn"
+	"cmm/internal/pmu"
+)
+
+// benchModel is a minimal confident tree (throttle iff PGA > 1).
+func benchModel(tb testing.TB) *learn.Model {
+	m := &learn.Model{
+		Schema:        learn.ModelSchema,
+		SchemaVersion: learn.SchemaVersion,
+		Kind:          learn.KindTree,
+		Features:      append([]string(nil), learn.FeatureNames...),
+		TrainExamples: 100,
+		Tree: &learn.Tree{Nodes: []learn.TreeNode{
+			{Leaf: false, Feature: 0, Threshold: 1, Left: 1, Right: 2, Prob: 0.5, N: 100},
+			{Leaf: true, Prob: 0.02, N: 50},
+			{Leaf: true, Prob: 0.98, N: 50},
+		}},
+	}
+	if err := m.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkDecision compares the cost of CMM-L's predicted decision (the
+// model pass that replaces profiling) with the sampling interval it
+// saves: "predict" runs a full epoch's model predictions, and
+// "sampling-interval" runs ONE profiling interval on the simulated
+// machine — the unit CMM-a pays 2+2^n of per epoch. The asymmetry is the
+// point of the learned back end.
+func BenchmarkDecision(b *testing.B) {
+	b.Run("predict", func(b *testing.B) {
+		m := benchModel(b)
+		sys := quadSystem(b)
+		target := cmm.NewSimTarget(sys)
+		cfg := quickCfg()
+		// One detection probe's feature vectors, fixed before timing.
+		snaps := make([]pmu.Snapshot, target.NumCores())
+		for c := range snaps {
+			snaps[c] = target.ReadPMU(c)
+		}
+		target.RunCycles(cfg.SamplingInterval)
+		det := detectionOf(target, cfg, snaps)
+		vecs := make([][]float64, target.NumCores())
+		for c := range vecs {
+			vecs[c] = learn.Vector(det.PGA[c], det.PMR[c], det.PTR[c], det.LLCPT[c],
+				det.IPC[c], det.MPKI[c], det.StallRatio[c], det.MemTraffic[c])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, x := range vecs {
+				m.Predict(x)
+			}
+		}
+	})
+	b.Run("sampling-interval", func(b *testing.B) {
+		sys := quadSystem(b)
+		target := cmm.NewSimTarget(sys)
+		cfg := quickCfg()
+		snaps := make([]pmu.Snapshot, target.NumCores())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for c := range snaps {
+				snaps[c] = target.ReadPMU(c)
+			}
+			target.RunCycles(cfg.SamplingInterval)
+			for c := range snaps {
+				_ = target.ReadPMU(c).Delta(snaps[c])
+			}
+		}
+	})
+}
+
+// detectionOf reruns detection over the samples since snaps (public-API
+// mirror of the policies' probe handling, for benchmark setup).
+func detectionOf(t cmm.Target, cfg cmm.Config, snaps []pmu.Snapshot) cmm.Detection {
+	samples := make([]pmu.Sample, len(snaps))
+	for c := range snaps {
+		samples[c] = t.ReadPMU(c).Delta(snaps[c])
+	}
+	return cmm.DetectAgg(samples, t.CoreGHz(), cfg)
+}

@@ -1,0 +1,235 @@
+package cmm
+
+import (
+	"strings"
+	"testing"
+
+	"cmm/internal/learn"
+)
+
+// stubModel hand-builds a validated single-split tree: throttle when
+// PGA > 1 with P(throttle)=pHigh, keep with P(throttle)=pLow below. The
+// aggressive fake cores produce PGA 4.0 and the meek ones 0.25, so the
+// split separates them exactly and the leaf probabilities set the
+// confidence the policy sees.
+func stubModel(t *testing.T, pLow, pHigh float64) *learn.Model {
+	t.Helper()
+	m := &learn.Model{
+		Schema:        learn.ModelSchema,
+		SchemaVersion: learn.SchemaVersion,
+		Kind:          learn.KindTree,
+		Features:      append([]string(nil), learn.FeatureNames...),
+		TrainExamples: 100,
+		Tree: &learn.Tree{Nodes: []learn.TreeNode{
+			{Leaf: false, Feature: 0, Threshold: 1, Left: 1, Right: 2, Prob: 0.5, N: 100},
+			{Leaf: true, Prob: pLow, N: 50},
+			{Leaf: true, Prob: pHigh, N: 50},
+		}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// learnedTestTarget: two aggressive prefetch-unfriendly cores (their IPC
+// improves when throttled) beside two meek ones.
+func learnedTestTarget() *fakeTarget {
+	return newFakeTarget([]fakeCore{
+		{ipcOn: 1.0, ipcOff: 1.4, aggressive: true, victimPenalty: 0.15},
+		{ipcOn: 1.0, ipcOff: 1.3, aggressive: true, victimPenalty: 0.10},
+		{ipcOn: 1.5, ipcOff: 1.5},
+		{ipcOn: 1.2, ipcOff: 1.2},
+	})
+}
+
+func TestLearnedPredictedPath(t *testing.T) {
+	target := learnedTestTarget()
+	p, err := NewLearned(stubModel(t, 0.02, 0.98), 0) // confidence 0.98 >= default 0.8
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	dec, err := p.Epoch(target, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Predicted || dec.LearnFallback {
+		t.Fatalf("Predicted=%v LearnFallback=%v, want true/false", dec.Predicted, dec.LearnFallback)
+	}
+	if dec.SampledCombos != 1 {
+		t.Errorf("SampledCombos = %d, want 1 (only the detection probe)", dec.SampledCombos)
+	}
+	if dec.PredConfidence < 0.98 {
+		t.Errorf("PredConfidence = %.3f, want >= 0.98", dec.PredConfidence)
+	}
+	if want := []int{0, 1}; !equalInts(dec.Disabled, want) {
+		t.Errorf("Disabled = %v, want %v (the aggressive pair)", dec.Disabled, want)
+	}
+	if dec.Plan == nil {
+		t.Error("predicted path left no CAT plan")
+	}
+	// The prediction must actually be programmed, not just recorded.
+	for c := 0; c < target.NumCores(); c++ {
+		wantOff := c == 0 || c == 1
+		if target.prefetchOn(c) == wantOff {
+			t.Errorf("core %d prefetchers on=%v, want %v", c, target.prefetchOn(c), !wantOff)
+		}
+	}
+}
+
+func TestLearnedFallbackMatchesCMMA(t *testing.T) {
+	// Confidence 0.55 below the 0.8 threshold on every core: the policy
+	// must take the sampling path and decide exactly as CMM-a does.
+	lp, err := NewLearned(stubModel(t, 0.45, 0.55), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	ld, err := lp.Epoch(learnedTestTarget(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := (Coordinated{Variant: VariantA}).Epoch(learnedTestTarget(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !ld.LearnFallback || ld.Predicted {
+		t.Fatalf("LearnFallback=%v Predicted=%v, want true/false", ld.LearnFallback, ld.Predicted)
+	}
+	if ld.PredConfidence >= 0.8 || ld.PredConfidence <= 0 {
+		t.Errorf("PredConfidence = %.3f, want in (0, 0.8)", ld.PredConfidence)
+	}
+	if !equalInts(ld.Disabled, ad.Disabled) {
+		t.Errorf("fallback Disabled = %v, CMM-a chose %v", ld.Disabled, ad.Disabled)
+	}
+	if ld.SampledCombos != ad.SampledCombos {
+		t.Errorf("fallback SampledCombos = %d, CMM-a used %d", ld.SampledCombos, ad.SampledCombos)
+	}
+	if !plansEqual(ld.Plan, ad.Plan) {
+		t.Error("fallback CAT plan differs from CMM-a's")
+	}
+
+	// The fallback decision must round-trip into training examples — the
+	// online label-collection loop.
+	ev := epochEvent(0, ld, nil, cfg.ExecutionEpoch, 0)
+	exs := learn.FromEvent(ev)
+	if len(exs) != len(ld.Detection.Agg) {
+		t.Errorf("fallback event yielded %d examples, want %d (one per Agg core)",
+			len(exs), len(ld.Detection.Agg))
+	}
+	for _, ex := range exs {
+		want := 0
+		if containsInt(ld.Disabled, ex.Core) {
+			want = 1
+		}
+		if ex.Label != want {
+			t.Errorf("core %d example label = %d, want %d", ex.Core, ex.Label, want)
+		}
+	}
+
+	// A predicted epoch's event must NOT re-enter the corpus.
+	pd, err := NewLearned(stubModel(t, 0.02, 0.98), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := pd.Epoch(learnedTestTarget(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := learn.FromEvent(epochEvent(0, dec, nil, cfg.ExecutionEpoch, 0)); got != nil {
+		t.Errorf("predicted epoch yielded %d training examples, want none", len(got))
+	}
+}
+
+func TestLearnedAggEmptyFallsBackToDunn(t *testing.T) {
+	target := newFakeTarget([]fakeCore{
+		{ipcOn: 1.5, ipcOff: 1.5},
+		{ipcOn: 1.2, ipcOff: 1.2},
+		{ipcOn: 1.0, ipcOff: 1.0},
+		{ipcOn: 0.8, ipcOff: 0.8},
+	})
+	p, err := NewLearned(stubModel(t, 0.02, 0.98), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p.Epoch(target, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.FellBackToDunn {
+		t.Error("empty Agg set did not fall back to Dunn partitioning")
+	}
+	if dec.Predicted || dec.LearnFallback {
+		t.Errorf("Predicted=%v LearnFallback=%v on empty Agg, want false/false (no prediction was due)",
+			dec.Predicted, dec.LearnFallback)
+	}
+	if dec.Policy != "CMM-L" {
+		t.Errorf("Policy = %q, want CMM-L", dec.Policy)
+	}
+}
+
+func TestLearnedCloneAndStoreIdentity(t *testing.T) {
+	a, err := NewLearned(stubModel(t, 0.02, 0.98), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "CMM-L" {
+		t.Errorf("Name = %q, want CMM-L", a.Name())
+	}
+	c := a.Clone()
+	if c == Policy(a) {
+		t.Error("Clone returned the same instance")
+	}
+	if c.Name() != a.Name() {
+		t.Errorf("clone Name = %q, want %q", c.Name(), a.Name())
+	}
+
+	id := a.StoreIdentity()
+	if !strings.Contains(id, a.Name()) || !strings.Contains(id, stubModel(t, 0.02, 0.98).Fingerprint()) {
+		t.Errorf("StoreIdentity %q missing the name or model fingerprint", id)
+	}
+	// Different model or threshold → different identity (distinct cache keys).
+	b, err := NewLearned(stubModel(t, 0.10, 0.90), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.StoreIdentity() == id {
+		t.Error("different models share a StoreIdentity")
+	}
+	th, err := NewLearned(stubModel(t, 0.02, 0.98), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.StoreIdentity() == id {
+		t.Error("different thresholds share a StoreIdentity")
+	}
+}
+
+func TestNewLearnedRejectsBadModels(t *testing.T) {
+	if _, err := NewLearned(nil, 0); err == nil {
+		t.Error("nil model accepted")
+	}
+	bad := stubModel(t, 0.02, 0.98)
+	bad.Kind = "forest"
+	if _, err := NewLearned(bad, 0); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSummarizeDecisionsCountsLearned(t *testing.T) {
+	decs := []Decision{
+		{Predicted: true, SampledCombos: 1},
+		{LearnFallback: true, SampledCombos: 5},
+		{Predicted: true, SampledCombos: 1},
+		{SampledCombos: 4},
+	}
+	s := SummarizeDecisions(decs)
+	if s.Predictions != 2 || s.LearnFallbacks != 1 {
+		t.Errorf("Predictions=%d LearnFallbacks=%d, want 2/1", s.Predictions, s.LearnFallbacks)
+	}
+	if s.SampledCombos != 11 {
+		t.Errorf("SampledCombos = %d, want 11", s.SampledCombos)
+	}
+}

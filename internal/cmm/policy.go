@@ -43,6 +43,16 @@ type Decision struct {
 	// bandwidth partition over the unthrottled baseline (1 when no
 	// throttling was applied; 0 when the policy does not profile MBA).
 	MBAGain float64
+	// Predicted reports that the throttle set came from a learned model
+	// (CMM-L) instead of combo sampling; PredConfidence is the model's
+	// lowest per-core confidence over the Agg set for the epoch (also set
+	// on fallbacks, where it is the confidence that failed the threshold).
+	Predicted      bool
+	PredConfidence float64
+	// LearnFallback reports that a learned policy ran but fell back to
+	// the sampling path for this epoch; the decision then doubles as a
+	// fresh training example (internal/learn harvests it).
+	LearnFallback bool
 }
 
 // Policy is one CMM back end. Epoch runs the profiling phase (sampling

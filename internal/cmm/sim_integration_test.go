@@ -13,7 +13,7 @@ import (
 	"cmm/internal/workload"
 )
 
-func quadSystem(t *testing.T) *sim.System {
+func quadSystem(t testing.TB) *sim.System {
 	t.Helper()
 	var specs []workload.Spec
 	for _, n := range []string{"410.bwaves", "rand_access", "429.mcf", "453.povray"} {

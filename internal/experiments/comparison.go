@@ -122,6 +122,10 @@ type TelemetrySummary struct {
 	ThrottleFlips    int
 	PartitionChanges int
 	SampledCombos    int
+	// Predictions and LearnFallbacks count the learned policy's (CMM-L)
+	// model-decided versus sampling-fallback epochs (zero elsewhere).
+	Predictions    int
+	LearnFallbacks int
 	// ExecutionCycles and ProfilingCycles split the controllers' machine
 	// time; OverheadFraction is the profiling share of the total.
 	ExecutionCycles  uint64
@@ -332,6 +336,8 @@ func RunComparisonMixes(opts Options, selected []mixes.Mix, policies []cmm.Polic
 				ts.ThrottleFlips += r.Stats.ThrottleFlips
 				ts.PartitionChanges += r.Stats.PartitionChanges
 				ts.SampledCombos += r.Stats.SampledCombos
+				ts.Predictions += r.Stats.Predictions
+				ts.LearnFallbacks += r.Stats.LearnFallbacks
 				ts.ExecutionCycles += r.ExecCycles
 				ts.ProfilingCycles += r.ProfCycles
 			}

@@ -65,16 +65,33 @@ func WriteTelemetry(w io.Writer, c *Comparison) {
 		return
 	}
 	fmt.Fprintln(w, "Controller telemetry (per policy, all runs, warm+measured epochs):")
-	fmt.Fprintf(w, "%-10s %6s %7s %7s %6s %6s %8s %9s\n",
+	// The predict/fallback columns only appear when a learned policy ran,
+	// so the classic figure tables keep their familiar shape.
+	learned := false
+	for _, ts := range c.Telemetry {
+		if ts.Predictions > 0 || ts.LearnFallbacks > 0 {
+			learned = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-10s %6s %7s %7s %6s %6s %8s %9s",
 		"policy", "runs", "epochs", "detect", "flips", "parts", "combos", "overhead")
+	if learned {
+		fmt.Fprintf(w, " %8s %9s", "predict", "fallback")
+	}
+	fmt.Fprintln(w)
 	for _, p := range append([]string{"baseline"}, c.Policies...) {
 		ts, ok := c.Telemetry[p]
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(w, "%-10s %6d %7d %7d %6d %6d %8d %8.2f%%\n",
+		fmt.Fprintf(w, "%-10s %6d %7d %7d %6d %6d %8d %8.2f%%",
 			p, ts.Runs, ts.Epochs, ts.Detections, ts.ThrottleFlips,
 			ts.PartitionChanges, ts.SampledCombos, ts.OverheadFraction*100)
+		if learned {
+			fmt.Fprintf(w, " %8d %9d", ts.Predictions, ts.LearnFallbacks)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -125,6 +125,24 @@ func (o Options) soloKeyHash(spec workload.Spec, seed int64, msrVal uint64, ways
 	})
 }
 
+// storeIdentity is an optional policy capability: a policy whose behavior
+// is not fully determined by its report name (CMM-L, whose decisions
+// depend on the loaded model) returns a richer identity string here, and
+// the run store keys on that instead. Without it, two differently-trained
+// CMM-L instances would collide on one cache entry.
+type storeIdentity interface {
+	StoreIdentity() string
+}
+
+// policyStoreName returns the policy's run-store identity: its
+// StoreIdentity when implemented, its report name otherwise.
+func policyStoreName(p cmm.Policy) string {
+	if si, ok := p.(storeIdentity); ok {
+		return si.StoreIdentity()
+	}
+	return p.Name()
+}
+
 // emitStoreEvent reports one run-store lookup on the telemetry stream.
 func emitStoreEvent(o Options, mix, policy, benchmark string, seed int64, hit bool) {
 	if o.Telemetry == nil {
@@ -149,7 +167,7 @@ func runPolicyCached(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64)
 	if opts.Store == nil {
 		return runPolicy(opts, mix, policy.Clone(), seed)
 	}
-	key, err := opts.policyKeyHash(mix, policy.Name(), seed)
+	key, err := opts.policyKeyHash(mix, policyStoreName(policy), seed)
 	if err != nil {
 		return policyRun{}, fmt.Errorf("experiments: store key: %w", err)
 	}

@@ -1,0 +1,99 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+)
+
+// finiteResult fails the test if the clustering carries any non-finite
+// centroid or an out-of-range assignment.
+func finiteResult(t *testing.T, r Result, n int) {
+	t.Helper()
+	for i, c := range r.Centroids {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Errorf("centroid %d is %v", i, c)
+		}
+	}
+	if len(r.Assign) != n {
+		t.Fatalf("got %d assignments, want %d", len(r.Assign), n)
+	}
+	for i, a := range r.Assign {
+		if a < 0 || a >= r.K() {
+			t.Errorf("point %d assigned to cluster %d of %d", i, a, r.K())
+		}
+	}
+}
+
+func TestBestByDunnAllIdentical(t *testing.T) {
+	// Identical points have no cluster structure: the index must not
+	// fabricate one, and nothing may divide by a zero diameter.
+	pts := []float64{7, 7, 7, 7, 7, 7}
+	r := BestByDunn(pts, 2, 4)
+	finiteResult(t, r, len(pts))
+	if r.K() != 1 {
+		t.Errorf("all-identical points clustered into K=%d, want 1", r.K())
+	}
+	for i, a := range r.Assign {
+		if a != 0 {
+			t.Errorf("point %d assigned to %d, want 0", i, a)
+		}
+	}
+}
+
+func TestBestByDunnKExceedsN(t *testing.T) {
+	pts := []float64{1, 2}
+	r := BestByDunn(pts, 2, 10) // kmax must clamp to n
+	finiteResult(t, r, len(pts))
+	if r.K() != 2 {
+		t.Errorf("K = %d, want 2", r.K())
+	}
+}
+
+func TestBestByDunnTinyInputs(t *testing.T) {
+	if r := BestByDunn(nil, 2, 4); r.K() != 0 || len(r.Assign) != 0 {
+		t.Errorf("empty input: got K=%d assign=%v", r.K(), r.Assign)
+	}
+	r := BestByDunn([]float64{3.5}, 2, 4)
+	finiteResult(t, r, 1)
+	if r.K() != 1 {
+		t.Errorf("single point: K = %d, want 1", r.K())
+	}
+}
+
+func TestBestByDunnNaNPoints(t *testing.T) {
+	// A NaN point (poisoned PMU rate) must not NaN the centroids — and,
+	// critically, must not win the Dunn comparison: NaN distances used to
+	// zero maxIntra and return the singleton sentinel (1e18), making the
+	// garbage clustering beat every real one.
+	pts := []float64{1, 2, math.NaN(), 40, 41, 42}
+	r := BestByDunn(pts, 2, 3)
+	finiteResult(t, r, len(pts))
+	if r.K() < 2 {
+		t.Errorf("K = %d, want >= 2", r.K())
+	}
+	// The finite points must still separate into the low and high groups.
+	if r.Assign[0] == r.Assign[5] {
+		t.Errorf("points 1 and 42 share cluster %d", r.Assign[0])
+	}
+}
+
+func TestClusterNaNAndInf(t *testing.T) {
+	pts := []float64{math.Inf(1), 5, math.NaN(), 6, math.Inf(-1)}
+	r, err := Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finiteResult(t, r, len(pts))
+}
+
+func TestDunnIndexNaNPoints(t *testing.T) {
+	pts := []float64{1, math.NaN(), 10, 11}
+	r, err := Cluster(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DunnIndex(pts, r)
+	if math.IsNaN(s) || s < 0 {
+		t.Errorf("DunnIndex = %v, want finite non-negative", s)
+	}
+}

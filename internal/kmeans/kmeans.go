@@ -9,6 +9,7 @@ package kmeans
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -41,7 +42,9 @@ func (r Result) Members(k int) []int {
 // Cluster runs 1-D K-Means on points with k clusters. Initial centroids
 // are the k-quantiles of the sorted input (deterministic; no RNG), which
 // for 1-D data converges to the optimum in practice. It returns an error
-// if k < 1 or k > len(points).
+// if k < 1 or k > len(points). Non-finite points (NaN, ±Inf — a poisoned
+// PMU rate upstream) are treated as 0: one bad counter must not NaN-poison
+// every centroid and, through the Dunn index, the clustering choice.
 func Cluster(points []float64, k int) (Result, error) {
 	n := len(points)
 	if k < 1 {
@@ -50,6 +53,7 @@ func Cluster(points []float64, k int) (Result, error) {
 	if k > n {
 		return Result{}, fmt.Errorf("kmeans: k=%d exceeds %d points", k, n)
 	}
+	points = sanitized(points)
 
 	// Deterministic quantile seeding over the sorted values.
 	sorted := append([]float64(nil), points...)
@@ -130,6 +134,30 @@ func abs(x float64) float64 {
 	return x
 }
 
+// sanitized returns points with non-finite values replaced by 0; the
+// input is returned unchanged (no copy) when already finite.
+func sanitized(points []float64) []float64 {
+	clean := true
+	for _, p := range points {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return points
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			out[i] = 0
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
 // DunnIndex computes the Dunn validity index of a clustering: minimum
 // inter-cluster distance divided by maximum intra-cluster diameter. Larger
 // is better. Singleton-only clusterings have diameter 0; the index is then
@@ -140,6 +168,7 @@ func DunnIndex(points []float64, r Result) float64 {
 	if k < 2 {
 		return 0
 	}
+	points = sanitized(points)
 	minInter := -1.0
 	for a := 0; a < k; a++ {
 		for b := a + 1; b < k; b++ {
@@ -175,17 +204,20 @@ func DunnIndex(points []float64, r Result) float64 {
 
 // BestByDunn clusters points for every k in [kmin, kmax] and returns the
 // clustering with the highest Dunn index, as the Selfa et al. policy does.
-// kmax is clamped to len(points); if fewer than 2 points are supplied a
-// single-cluster result is returned.
+// kmax is clamped to len(points); if fewer than 2 points are supplied, or
+// every point is identical (no structure for the index to compare — any
+// k>1 clustering would just carry empty clusters), a single-cluster
+// result is returned.
 func BestByDunn(points []float64, kmin, kmax int) Result {
 	n := len(points)
+	points = sanitized(points)
 	if kmin < 2 {
 		kmin = 2
 	}
 	if kmax > n {
 		kmax = n
 	}
-	if n < 2 || kmax < kmin {
+	if n < 2 || kmax < kmin || allEqual(points) {
 		r, _ := Cluster(points, minInt(1, n))
 		return r
 	}
@@ -196,11 +228,21 @@ func BestByDunn(points []float64, kmin, kmax int) Result {
 		if err != nil {
 			continue
 		}
-		if s := DunnIndex(points, r); s > bestScore {
+		if s := DunnIndex(points, r); !math.IsNaN(s) && s > bestScore {
 			best, bestScore = r, s
 		}
 	}
 	return best
+}
+
+// allEqual reports whether every point has the same value.
+func allEqual(points []float64) bool {
+	for _, p := range points[1:] {
+		if p != points[0] {
+			return false
+		}
+	}
+	return true
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,174 @@
+package learn
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cmm/internal/telemetry"
+)
+
+// Example is one labeled training instance: the feature vector of one core
+// during one epoch's detection probe, labeled with the throttle decision
+// the sampling policy settled on for that core. The metadata fields
+// identify where the example came from for filtering and debugging; they
+// never enter the model.
+type Example struct {
+	// Features is the SchemaVersion feature vector (see FeatureNames).
+	Features []float64 `json:"features"`
+	// Label is 1 when the core's prefetchers were throttled by the
+	// sampled best combination, 0 when they were left on.
+	Label int `json:"label"`
+
+	// Provenance.
+	Policy string `json:"policy,omitempty"`
+	Mix    string `json:"mix,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Epoch  int    `json:"epoch"`
+	Core   int    `json:"core"`
+}
+
+// FromEvent extracts the training examples one telemetry event carries:
+// one example per Agg core (non-Agg cores are never throttle candidates,
+// so including them would just flood the corpus with trivial negatives).
+// Events that carry no usable label return nil:
+//
+//   - non-epoch events (solo, store) have no decision;
+//   - predicted epochs (CMM-L acted on the model's own output) would
+//     train the model on itself — only sampled decisions are ground truth;
+//   - epochs without feature vectors (an older corpus, or a policy that
+//     ran no detection) have nothing to learn from.
+//
+// Fallback epochs (LearnFallback) are included by design: they are the
+// online label-collection loop — every time CMM-L's confidence fails and
+// the sampling path runs, the outcome lands here as a fresh example.
+func FromEvent(e telemetry.Event) []Example {
+	if e.Type != telemetry.TypeEpoch || e.Predicted || len(e.Agg) == 0 {
+		return nil
+	}
+	n := len(e.PGA)
+	if n == 0 || len(e.L2PMR) != n || len(e.L2PTR) != n || len(e.LLCPT) != n ||
+		len(e.CoreIPC) != n || len(e.MPKI) != n || len(e.StallRatio) != n || len(e.MemTraffic) != n {
+		return nil
+	}
+	throttled := map[int]bool{}
+	for _, c := range e.Throttled {
+		throttled[c] = true
+	}
+	out := make([]Example, 0, len(e.Agg))
+	for _, c := range e.Agg {
+		if c < 0 || c >= n {
+			continue
+		}
+		label := 0
+		if throttled[c] {
+			label = 1
+		}
+		out = append(out, Example{
+			Features: Vector(e.PGA[c], e.L2PMR[c], e.L2PTR[c], e.LLCPT[c],
+				e.CoreIPC[c], e.MPKI[c], e.StallRatio[c], e.MemTraffic[c]),
+			Label:  label,
+			Policy: e.Policy,
+			Mix:    e.Mix,
+			Seed:   e.Seed,
+			Epoch:  e.Epoch,
+			Core:   c,
+		})
+	}
+	return out
+}
+
+// ReadJSONL parses a telemetry JSONL stream into training examples,
+// skipping events that carry no label (see FromEvent). Unparseable lines
+// are an error — a corpus with corrupt records should fail loudly at
+// training time, not silently shrink.
+func ReadJSONL(r io.Reader) ([]Example, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	var out []Example
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var e telemetry.Event
+		if err := json.Unmarshal([]byte(raw), &e); err != nil {
+			return nil, fmt.Errorf("learn: line %d: %w", line, err)
+		}
+		out = append(out, FromEvent(e)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("learn: scan: %w", err)
+	}
+	return out, nil
+}
+
+// LoadCorpus gathers examples from every given path: a file is parsed as
+// telemetry JSONL; a directory is walked recursively and every *.jsonl
+// file under it is parsed — so a telemetry drop directory, or a run-store
+// directory whose operators stream epoch telemetry next to the results,
+// works as a corpus root unchanged.
+func LoadCorpus(paths ...string) ([]Example, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("learn: corpus %s: %w", p, err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".jsonl") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("learn: walk %s: %w", p, err)
+		}
+	}
+	sort.Strings(files)
+	var out []Example
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return nil, fmt.Errorf("learn: open %s: %w", f, err)
+		}
+		exs, err := ReadJSONL(fh)
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("learn: %s: %w", f, err)
+		}
+		out = append(out, exs...)
+	}
+	return out, nil
+}
+
+// FilterPolicy keeps the examples whose source policy matches name
+// (empty name keeps everything). Training usually wants one labeler —
+// mixing PT's and CMM-a's throttle decisions teaches the model neither.
+func FilterPolicy(exs []Example, name string) []Example {
+	if name == "" {
+		return exs
+	}
+	var out []Example
+	for _, e := range exs {
+		if e.Policy == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}

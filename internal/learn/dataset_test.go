@@ -1,0 +1,211 @@
+package learn
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmm/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleEvents is a small, fully-specified telemetry stream exercising
+// every extraction rule: a labeled epoch, a fallback epoch (kept), a
+// predicted epoch (skipped), an epoch without features (skipped), a
+// detection-free epoch (skipped), and a store event (skipped).
+func sampleEvents() []telemetry.Event {
+	feat := func(base float64) []float64 {
+		v := make([]float64, 4)
+		for i := range v {
+			v[i] = base + float64(i)
+		}
+		return v
+	}
+	return []telemetry.Event{
+		{
+			Type: telemetry.TypeEpoch, Policy: "CMM-a", Mix: "mix1", Seed: 1, Epoch: 0,
+			Agg: []int{0, 2}, Throttled: []int{2}, SampledCombos: 4,
+			PGA: feat(2), L2PMR: feat(0.5), L2PTR: feat(1e8), LLCPT: feat(5e7),
+			CoreIPC: feat(0.8), MPKI: feat(10), StallRatio: feat(0.2), MemTraffic: feat(4e8),
+		},
+		{
+			Type: telemetry.TypeEpoch, Policy: "CMM-L", Mix: "mix1", Seed: 1, Epoch: 1,
+			Agg: []int{1}, Throttled: []int{1}, SampledCombos: 5,
+			LearnFallback: true, PredConfidence: 0.6,
+			PGA: feat(3), L2PMR: feat(0.6), L2PTR: feat(2e8), LLCPT: feat(6e7),
+			CoreIPC: feat(0.7), MPKI: feat(12), StallRatio: feat(0.3), MemTraffic: feat(5e8),
+		},
+		{
+			Type: telemetry.TypeEpoch, Policy: "CMM-L", Mix: "mix1", Seed: 1, Epoch: 2,
+			Agg: []int{1}, Throttled: []int{1}, SampledCombos: 1,
+			Predicted: true, PredConfidence: 0.97,
+			PGA: feat(3), L2PMR: feat(0.6), L2PTR: feat(2e8), LLCPT: feat(6e7),
+			CoreIPC: feat(0.7), MPKI: feat(12), StallRatio: feat(0.3), MemTraffic: feat(5e8),
+		},
+		{
+			Type: telemetry.TypeEpoch, Policy: "PT", Mix: "mix2", Seed: 2, Epoch: 0,
+			Agg: []int{0}, Throttled: nil, SampledCombos: 2,
+		},
+		{
+			Type: telemetry.TypeEpoch, Policy: "CMM-a", Mix: "mix2", Seed: 2, Epoch: 1,
+			Agg: nil, SampledCombos: 1, FellBackToDunn: true,
+			PGA: feat(1), L2PMR: feat(0.1), L2PTR: feat(1e6), LLCPT: feat(1e5),
+			CoreIPC: feat(1.2), MPKI: feat(2), StallRatio: feat(0.05), MemTraffic: feat(1e6),
+		},
+		{Type: telemetry.TypeStore, Policy: "CMM-a", Mix: "mix1", Seed: 1, Hit: true},
+	}
+}
+
+func TestFromEventRules(t *testing.T) {
+	evs := sampleEvents()
+	if got := len(FromEvent(evs[0])); got != 2 {
+		t.Errorf("labeled epoch: %d examples, want 2 (one per Agg core)", got)
+	}
+	if got := len(FromEvent(evs[1])); got != 1 {
+		t.Errorf("fallback epoch: %d examples, want 1 (fallbacks are training data)", got)
+	}
+	if got := FromEvent(evs[2]); got != nil {
+		t.Errorf("predicted epoch yielded %d examples, want none (no self-training)", len(got))
+	}
+	if got := FromEvent(evs[3]); got != nil {
+		t.Errorf("featureless epoch yielded %d examples, want none", len(got))
+	}
+	if got := FromEvent(evs[4]); got != nil {
+		t.Errorf("empty-Agg epoch yielded %d examples, want none", len(got))
+	}
+	if got := FromEvent(evs[5]); got != nil {
+		t.Errorf("store event yielded %d examples, want none", len(got))
+	}
+
+	exs := FromEvent(evs[0])
+	if exs[0].Label != 0 || exs[1].Label != 1 {
+		t.Errorf("labels = %d,%d, want 0,1 (core 2 throttled, core 0 not)", exs[0].Label, exs[1].Label)
+	}
+	if exs[0].Core != 0 || exs[1].Core != 2 {
+		t.Errorf("cores = %d,%d, want 0,2", exs[0].Core, exs[1].Core)
+	}
+	for i, e := range exs {
+		if len(e.Features) != NumFeatures {
+			t.Errorf("example %d has %d features, want %d", i, len(e.Features), NumFeatures)
+		}
+	}
+}
+
+// TestJSONLRoundTripGolden pins the dataset boundary: the committed
+// telemetry JSONL must parse to exactly the committed examples, and a
+// stream freshly marshaled from the same events must parse identically —
+// so a telemetry schema change that would silently shift the extracted
+// features or labels fails here instead of degrading models.
+func TestJSONLRoundTripGolden(t *testing.T) {
+	evs := sampleEvents()
+	var stream bytes.Buffer
+	enc := json.NewEncoder(&stream)
+	for _, e := range evs {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	jsonlPath := filepath.Join("testdata", "epochs.jsonl")
+	goldenPath := filepath.Join("testdata", "examples.golden.json")
+	fromStream, err := ReadJSONL(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamJSON, err := json.MarshalIndent(fromStream, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamJSON = append(streamJSON, '\n')
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonlPath, stream.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, streamJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Committed JSONL → examples must equal the committed golden.
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	defer f.Close()
+	fromFile, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileJSON, err := json.MarshalIndent(fromFile, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileJSON = append(fileJSON, '\n')
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(fileJSON, golden) {
+		t.Errorf("committed epochs.jsonl no longer extracts to examples.golden.json:\ngot:\n%s\nwant:\n%s", fileJSON, golden)
+	}
+
+	// Freshly-marshaled events must extract identically to the committed
+	// stream: the writer and reader sides of the telemetry schema agree.
+	if !bytes.Equal(streamJSON, golden) {
+		t.Errorf("current telemetry marshaling extracts differently than the committed stream:\ngot:\n%s\nwant:\n%s", streamJSON, golden)
+	}
+}
+
+func TestReadJSONLRejectsCorrupt(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"type\":\"epoch\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("corrupt line error = %v, want line-2 parse failure", err)
+	}
+}
+
+func TestLoadCorpusWalksDirectories(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "nested")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	evs := sampleEvents()
+	write := func(path string, events []telemetry.Event) {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join(dir, "a.jsonl"), evs[:1])
+	write(filepath.Join(sub, "b.jsonl"), evs[1:2])
+	if err := os.WriteFile(filepath.Join(dir, "ignore.txt"), []byte("not telemetry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	exs, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 3 { // 2 from a.jsonl's epoch + 1 from b.jsonl's fallback
+		t.Errorf("LoadCorpus found %d examples, want 3", len(exs))
+	}
+	if got := len(FilterPolicy(exs, "CMM-a")); got != 2 {
+		t.Errorf("FilterPolicy(CMM-a) kept %d, want 2", got)
+	}
+}

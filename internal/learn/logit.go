@@ -1,0 +1,152 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Logit is an L2-regularized logistic-regression classifier over
+// standardized features. Mean/Std are the training-set statistics baked
+// into the model so inference standardizes identically.
+type Logit struct {
+	Weights []float64 `json:"weights"` // one per feature, in FeatureNames order
+	Bias    float64   `json:"bias"`
+	Mean    []float64 `json:"mean"`
+	Std     []float64 `json:"std"`
+}
+
+// LogitParams bound the gradient-descent fit. Zero values select defaults.
+type LogitParams struct {
+	LearningRate float64 // default 0.1
+	Iterations   int     // default 500
+	L2           float64 // default 1e-3
+}
+
+func (p LogitParams) withDefaults() LogitParams {
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.1
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 500
+	}
+	if p.L2 < 0 {
+		p.L2 = 0
+	} else if p.L2 == 0 {
+		p.L2 = 1e-3
+	}
+	return p
+}
+
+// TrainLogit fits the model with full-batch gradient descent. The fit is
+// deterministic: no sampling, fixed iteration count, fixed initial
+// weights (zero), so the same corpus always yields the same model.
+func TrainLogit(exs []Example, params LogitParams) (*Logit, error) {
+	if len(exs) == 0 {
+		return nil, fmt.Errorf("learn: cannot train logit on empty dataset")
+	}
+	for i, e := range exs {
+		if len(e.Features) != NumFeatures {
+			return nil, fmt.Errorf("learn: example %d has %d features, want %d", i, len(e.Features), NumFeatures)
+		}
+	}
+	params = params.withDefaults()
+	n := len(exs)
+	d := NumFeatures
+
+	m := &Logit{
+		Weights: make([]float64, d),
+		Mean:    make([]float64, d),
+		Std:     make([]float64, d),
+	}
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		for _, e := range exs {
+			sum += e.Features[j]
+		}
+		m.Mean[j] = sum / float64(n)
+		varSum := 0.0
+		for _, e := range exs {
+			dv := e.Features[j] - m.Mean[j]
+			varSum += dv * dv
+		}
+		m.Std[j] = math.Sqrt(varSum / float64(n))
+		if m.Std[j] < 1e-12 {
+			m.Std[j] = 1 // constant feature: standardizes to 0, weight stays ~0
+		}
+	}
+
+	// Standardize once up front.
+	X := make([][]float64, n)
+	for i, e := range exs {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = (e.Features[j] - m.Mean[j]) / m.Std[j]
+		}
+		X[i] = row
+	}
+
+	grad := make([]float64, d)
+	for it := 0; it < params.Iterations; it++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gradB := 0.0
+		for i, row := range X {
+			p := sigmoid(dot(m.Weights, row) + m.Bias)
+			err := p - float64(exs[i].Label)
+			for j := 0; j < d; j++ {
+				grad[j] += err * row[j]
+			}
+			gradB += err
+		}
+		inv := 1.0 / float64(n)
+		for j := 0; j < d; j++ {
+			m.Weights[j] -= params.LearningRate * (grad[j]*inv + params.L2*m.Weights[j])
+		}
+		m.Bias -= params.LearningRate * gradB * inv
+	}
+	return m, nil
+}
+
+// Predict returns P(label=1) for one raw (unstandardized) feature vector.
+func (m *Logit) Predict(x []float64) float64 {
+	z := m.Bias
+	for j := 0; j < len(m.Weights) && j < len(x); j++ {
+		std := m.Std[j]
+		if std == 0 {
+			std = 1
+		}
+		z += m.Weights[j] * (x[j] - m.Mean[j]) / std
+	}
+	return sigmoid(z)
+}
+
+// validate checks structural integrity of a deserialized model.
+func (m *Logit) validate() error {
+	if len(m.Weights) != NumFeatures || len(m.Mean) != NumFeatures || len(m.Std) != NumFeatures {
+		return fmt.Errorf("learn: logit has %d/%d/%d weights/mean/std, schema has %d features",
+			len(m.Weights), len(m.Mean), len(m.Std), NumFeatures)
+	}
+	for j, w := range m.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("learn: logit weight %d is not finite", j)
+		}
+	}
+	return nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package learn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TreeNode is one node of a serialized CART decision tree. Leaves have
+// Leaf=true and carry the class probability; internal nodes route on
+// Features[Feature] <= Threshold (left) vs > (right). Children are stored
+// by index into Tree.Nodes so the JSON form is flat and version-stable.
+type TreeNode struct {
+	Leaf      bool    `json:"leaf"`
+	Feature   int     `json:"feature,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Left      int     `json:"left,omitempty"`
+	Right     int     `json:"right,omitempty"`
+	// Prob is the training-set P(label=1) at this node. Stored on
+	// internal nodes too, so a truncated traversal still has an answer.
+	Prob float64 `json:"prob"`
+	// N is the number of training examples that reached this node.
+	N int `json:"n"`
+}
+
+// Tree is a binary CART classifier (Gini impurity, midpoint thresholds).
+type Tree struct {
+	Nodes []TreeNode `json:"nodes"`
+}
+
+// TreeParams bound the tree growth. Zero values select the defaults.
+type TreeParams struct {
+	MaxDepth int // default 6
+	MinLeaf  int // minimum examples per leaf, default 4
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 6
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 4
+	}
+	return p
+}
+
+// TrainTree grows a CART tree on exs. The algorithm is fully
+// deterministic: candidate thresholds are midpoints between consecutive
+// sorted feature values, ties in Gini gain resolve to the lowest feature
+// index then lowest threshold, so the same corpus always yields the same
+// tree byte-for-byte.
+func TrainTree(exs []Example, params TreeParams) (*Tree, error) {
+	if len(exs) == 0 {
+		return nil, fmt.Errorf("learn: cannot train tree on empty dataset")
+	}
+	for i, e := range exs {
+		if len(e.Features) != NumFeatures {
+			return nil, fmt.Errorf("learn: example %d has %d features, want %d", i, len(e.Features), NumFeatures)
+		}
+	}
+	params = params.withDefaults()
+	t := &Tree{}
+	idx := make([]int, len(exs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(exs, idx, 0, params)
+	return t, nil
+}
+
+// grow appends the subtree for idx and returns its root node index.
+func (t *Tree) grow(exs []Example, idx []int, depth int, params TreeParams) int {
+	pos := 0
+	for _, i := range idx {
+		pos += exs[i].Label
+	}
+	prob := float64(pos) / float64(len(idx))
+	self := len(t.Nodes)
+	t.Nodes = append(t.Nodes, TreeNode{Leaf: true, Prob: prob, N: len(idx)})
+
+	if depth >= params.MaxDepth || len(idx) < 2*params.MinLeaf || pos == 0 || pos == len(idx) {
+		return self
+	}
+	feat, thr, gain := bestSplit(exs, idx, params.MinLeaf)
+	if gain <= 0 {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if exs[i].Features[feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	// bestSplit only returns splits that respect MinLeaf, but guard anyway.
+	if len(left) < params.MinLeaf || len(right) < params.MinLeaf {
+		return self
+	}
+	t.Nodes[self].Leaf = false
+	t.Nodes[self].Feature = feat
+	t.Nodes[self].Threshold = thr
+	l := t.grow(exs, left, depth+1, params)
+	r := t.grow(exs, right, depth+1, params)
+	t.Nodes[self].Left = l
+	t.Nodes[self].Right = r
+	return self
+}
+
+// bestSplit finds the (feature, threshold) with the highest Gini impurity
+// decrease, honoring the minimum leaf size. Returns gain<=0 when no valid
+// split improves on the parent.
+func bestSplit(exs []Example, idx []int, minLeaf int) (feature int, threshold, gain float64) {
+	n := len(idx)
+	pos := 0
+	for _, i := range idx {
+		pos += exs[i].Label
+	}
+	parent := gini(pos, n)
+	feature, gain = -1, 0
+
+	type fv struct {
+		v     float64
+		label int
+	}
+	vals := make([]fv, n)
+	for f := 0; f < NumFeatures; f++ {
+		for k, i := range idx {
+			vals[k] = fv{exs[i].Features[f], exs[i].Label}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftN, leftPos := 0, 0
+		for k := 0; k < n-1; k++ {
+			leftN++
+			leftPos += vals[k].label
+			if vals[k].v == vals[k+1].v {
+				continue // no threshold separates equal values
+			}
+			rightN := n - leftN
+			if leftN < minLeaf || rightN < minLeaf {
+				continue
+			}
+			rightPos := pos - leftPos
+			g := parent -
+				(float64(leftN)/float64(n))*gini(leftPos, leftN) -
+				(float64(rightN)/float64(n))*gini(rightPos, rightN)
+			if g > gain {
+				gain = g
+				feature = f
+				threshold = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	return feature, threshold, gain
+}
+
+// gini returns the Gini impurity of a binary split with pos positives of n.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// Predict returns P(label=1) for one feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(t.Nodes) == 0 {
+		return 0.5
+	}
+	i := 0
+	for !t.Nodes[i].Leaf {
+		n := t.Nodes[i]
+		if n.Feature < 0 || n.Feature >= len(x) {
+			break
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+		if i < 0 || i >= len(t.Nodes) {
+			return 0.5
+		}
+	}
+	return t.Nodes[i].Prob
+}
+
+// validate checks structural integrity of a deserialized tree.
+func (t *Tree) validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("learn: tree has no nodes")
+	}
+	for i, n := range t.Nodes {
+		if n.Leaf {
+			continue
+		}
+		if n.Feature < 0 || n.Feature >= NumFeatures {
+			return fmt.Errorf("learn: tree node %d splits on feature %d, schema has %d", i, n.Feature, NumFeatures)
+		}
+		// Children must point forward — the builder appends children
+		// after parents, and this is what makes traversal terminate.
+		if n.Left <= i || n.Left >= len(t.Nodes) || n.Right <= i || n.Right >= len(t.Nodes) {
+			return fmt.Errorf("learn: tree node %d has out-of-range children (%d, %d)", i, n.Left, n.Right)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMPKI(t *testing.T) {
+	// 50 LLC demand-load misses over 10_000 instructions → 5 MPKI.
+	s := mkSample(map[Event]uint64{L3LoadMiss: 50, Instructions: 10_000})
+	if got := s.MPKI(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("MPKI = %g, want 5", got)
+	}
+	var empty Sample
+	if empty.MPKI() != 0 {
+		t.Fatal("MPKI of empty sample must be 0, not NaN")
+	}
+}
+
+func TestStallRatio(t *testing.T) {
+	s := mkSample(map[Event]uint64{StallsL2Pending: 300, Cycles: 1_000})
+	if got := s.StallRatio(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("StallRatio = %g, want 0.3", got)
+	}
+	var empty Sample
+	if empty.StallRatio() != 0 {
+		t.Fatal("StallRatio of empty sample must be 0, not NaN")
+	}
+}
+
+func TestMemTrafficRate(t *testing.T) {
+	// (100 load + 60 prefetch) LLC misses over 2.1e9 cycles @2.1GHz = 1s.
+	s := mkSample(map[Event]uint64{
+		L3LoadMiss: 100, L3PrefMiss: 60, Cycles: 2_100_000_000,
+	})
+	if got := s.MemTrafficRate(2.1); math.Abs(got-160) > 1e-6 {
+		t.Fatalf("MemTrafficRate = %g, want 160", got)
+	}
+	var empty Sample
+	if empty.MemTrafficRate(2.1) != 0 {
+		t.Fatal("MemTrafficRate of empty sample must be 0, not NaN")
+	}
+}

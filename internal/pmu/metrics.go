@@ -49,6 +49,28 @@ func (s Sample) M7LLCPT(lineBytes int) uint64 {
 	return s.c[L3PrefMiss] * uint64(lineBytes)
 }
 
+// MPKI returns LLC demand load misses per kilo-instruction — the classic
+// cache-pressure metric the learned policy's feature schema carries
+// alongside the Table-I rates.
+func (s Sample) MPKI() float64 {
+	return ratio(float64(s.c[L3LoadMiss])*1000, float64(s.c[Instructions]))
+}
+
+// StallRatio returns the fraction of window cycles spent stalled with an
+// L2 miss outstanding (STALLS_L2_PENDING / cycles), in [0,1] on hardware
+// that counts stalls per cycle.
+func (s Sample) StallRatio() float64 {
+	return ratio(float64(s.c[StallsL2Pending]), float64(s.c[Cycles]))
+}
+
+// MemTrafficRate returns the total LLC→memory request rate (demand load
+// misses plus prefetch misses) per second — the line-size-free bandwidth
+// proxy the learned feature schema uses.
+func (s Sample) MemTrafficRate(ghz float64) float64 {
+	seconds := float64(s.c[Cycles]) / (ghz * 1e9)
+	return ratio(float64(s.c[L3LoadMiss]+s.c[L3PrefMiss]), seconds)
+}
+
 // DemandBandwidthGBs returns the demand-side memory bandwidth over the
 // window in GB/s: L3 load misses × line size / time.
 func (s Sample) DemandBandwidthGBs(lineBytes int, ghz float64) float64 {

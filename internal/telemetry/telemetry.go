@@ -97,6 +97,33 @@ type Event struct {
 	MBALevels []uint64 `json:"mba_levels,omitempty"`
 	MBAChange bool     `json:"mba_change,omitempty"`
 
+	// Per-core feature vectors of the epoch's detection probe (one value
+	// per core, indexed by core id): the Table-I metrics PGA (M-4), L2 PMR
+	// (M-5), L2 PTR (M-3, req/s), LLC PT (M-7 as misses/s), plus IPC, LLC
+	// demand MPKI, the STALLS_L2_PENDING cycle share, and the total
+	// LLC→memory request rate. Together with Throttled they make every
+	// epoch event a labeled training example for internal/learn — the
+	// dataset boundary is pinned by that package's golden-file test.
+	PGA        []float64 `json:"pga,omitempty"`
+	L2PMR      []float64 `json:"l2_pmr,omitempty"`
+	L2PTR      []float64 `json:"l2_ptr,omitempty"`
+	LLCPT      []float64 `json:"llc_pt,omitempty"`
+	CoreIPC    []float64 `json:"core_ipc,omitempty"`
+	MPKI       []float64 `json:"mpki,omitempty"`
+	StallRatio []float64 `json:"stall_ratio,omitempty"`
+	MemTraffic []float64 `json:"mem_traffic,omitempty"`
+
+	// Predicted marks an epoch whose throttle decision came from a loaded
+	// model (CMM-L) instead of combo sampling; PredConfidence is the
+	// model's confidence in that decision (min over the cores it judged).
+	// LearnFallback marks an epoch where a model was consulted but fell
+	// below its confidence threshold, so the policy ran the sampling path
+	// — those events carry sampled ground-truth labels and are the online
+	// training-data collection loop.
+	Predicted      bool    `json:"predicted,omitempty"`
+	PredConfidence float64 `json:"pred_confidence,omitempty"`
+	LearnFallback  bool    `json:"learn_fallback,omitempty"`
+
 	// Benchmark and IPC describe a solo run (Type == TypeSolo); the
 	// run's measurement window length rides in ExecCycles.
 	Benchmark string  `json:"benchmark,omitempty"`
@@ -277,15 +304,18 @@ func WithRun(dst Sink, mix string, seed int64) Sink {
 // intervals, and solo characterisation runs. The zero value is ready to
 // use; all methods are safe for concurrent use.
 type Counters struct {
-	epochs           atomic.Int64
-	detections       atomic.Int64
-	throttleFlips    atomic.Int64
-	partitionChanges atomic.Int64
-	mbaChanges       atomic.Int64
-	samplingCycles   atomic.Uint64
-	soloRuns         atomic.Int64
-	storeHits        atomic.Int64
-	storeMisses      atomic.Int64
+	epochs            atomic.Int64
+	detections        atomic.Int64
+	throttleFlips     atomic.Int64
+	partitionChanges  atomic.Int64
+	mbaChanges        atomic.Int64
+	samplingCycles    atomic.Uint64
+	samplingIntervals atomic.Int64
+	learnPredictions  atomic.Int64
+	learnFallbacks    atomic.Int64
+	soloRuns          atomic.Int64
+	storeHits         atomic.Int64
+	storeMisses       atomic.Int64
 
 	// Job-lifecycle robustness counters, bumped directly by the job
 	// server (they have no epoch-event form): attempts retried after a
@@ -341,7 +371,14 @@ func (c *Counters) Emit(e Event) {
 		if e.MBAChange {
 			c.mbaChanges.Add(1)
 		}
+		if e.Predicted {
+			c.learnPredictions.Add(1)
+		}
+		if e.LearnFallback {
+			c.learnFallbacks.Add(1)
+		}
 		c.samplingCycles.Add(e.ProfCycles)
+		c.samplingIntervals.Add(int64(e.SampledCombos))
 	case TypeSolo:
 		c.soloRuns.Add(1)
 	case TypeStore:
@@ -357,21 +394,24 @@ func (c *Counters) Emit(e Event) {
 // names WriteMetrics prints, without the prefix).
 func (c *Counters) Snapshot() map[string]uint64 {
 	return map[string]uint64{
-		"epochs_total":            uint64(c.epochs.Load()),
-		"detections_total":        uint64(c.detections.Load()),
-		"throttle_flips_total":    uint64(c.throttleFlips.Load()),
-		"partition_changes_total": uint64(c.partitionChanges.Load()),
-		"mba_changes_total":       uint64(c.mbaChanges.Load()),
-		"sampling_cycles_total":   c.samplingCycles.Load(),
-		"solo_runs_total":         uint64(c.soloRuns.Load()),
-		"store_hits_total":        uint64(c.storeHits.Load()),
-		"store_misses_total":      uint64(c.storeMisses.Load()),
-		"jobs_retried_total":      uint64(c.jobsRetried.Load()),
-		"jobs_requeued_total":     uint64(c.jobsRequeued.Load()),
-		"jobs_quarantined_total":  uint64(c.jobsQuarantined.Load()),
-		"read_hits_total":         uint64(c.readHits.Load()),
-		"read_misses_total":       uint64(c.readMisses.Load()),
-		"read_not_modified_total": uint64(c.readNotModified.Load()),
+		"epochs_total":             uint64(c.epochs.Load()),
+		"detections_total":         uint64(c.detections.Load()),
+		"throttle_flips_total":     uint64(c.throttleFlips.Load()),
+		"partition_changes_total":  uint64(c.partitionChanges.Load()),
+		"mba_changes_total":        uint64(c.mbaChanges.Load()),
+		"sampling_cycles_total":    c.samplingCycles.Load(),
+		"sampling_intervals_total": uint64(c.samplingIntervals.Load()),
+		"learn_predictions_total":  uint64(c.learnPredictions.Load()),
+		"learn_fallbacks_total":    uint64(c.learnFallbacks.Load()),
+		"solo_runs_total":          uint64(c.soloRuns.Load()),
+		"store_hits_total":         uint64(c.storeHits.Load()),
+		"store_misses_total":       uint64(c.storeMisses.Load()),
+		"jobs_retried_total":       uint64(c.jobsRetried.Load()),
+		"jobs_requeued_total":      uint64(c.jobsRequeued.Load()),
+		"jobs_quarantined_total":   uint64(c.jobsQuarantined.Load()),
+		"read_hits_total":          uint64(c.readHits.Load()),
+		"read_misses_total":        uint64(c.readMisses.Load()),
+		"read_not_modified_total":  uint64(c.readNotModified.Load()),
 	}
 }
 
@@ -396,21 +436,24 @@ func (c *Counters) WriteMetrics(w io.Writer, prefix string) {
 // process — daemon startup, not library code.
 func (c *Counters) PublishExpvar(prefix string) {
 	for name, load := range map[string]func() uint64{
-		"epochs_total":            func() uint64 { return uint64(c.epochs.Load()) },
-		"detections_total":        func() uint64 { return uint64(c.detections.Load()) },
-		"throttle_flips_total":    func() uint64 { return uint64(c.throttleFlips.Load()) },
-		"partition_changes_total": func() uint64 { return uint64(c.partitionChanges.Load()) },
-		"mba_changes_total":       func() uint64 { return uint64(c.mbaChanges.Load()) },
-		"sampling_cycles_total":   func() uint64 { return c.samplingCycles.Load() },
-		"solo_runs_total":         func() uint64 { return uint64(c.soloRuns.Load()) },
-		"store_hits_total":        func() uint64 { return uint64(c.storeHits.Load()) },
-		"store_misses_total":      func() uint64 { return uint64(c.storeMisses.Load()) },
-		"jobs_retried_total":      func() uint64 { return uint64(c.jobsRetried.Load()) },
-		"jobs_requeued_total":     func() uint64 { return uint64(c.jobsRequeued.Load()) },
-		"jobs_quarantined_total":  func() uint64 { return uint64(c.jobsQuarantined.Load()) },
-		"read_hits_total":         func() uint64 { return uint64(c.readHits.Load()) },
-		"read_misses_total":       func() uint64 { return uint64(c.readMisses.Load()) },
-		"read_not_modified_total": func() uint64 { return uint64(c.readNotModified.Load()) },
+		"epochs_total":             func() uint64 { return uint64(c.epochs.Load()) },
+		"detections_total":         func() uint64 { return uint64(c.detections.Load()) },
+		"throttle_flips_total":     func() uint64 { return uint64(c.throttleFlips.Load()) },
+		"partition_changes_total":  func() uint64 { return uint64(c.partitionChanges.Load()) },
+		"mba_changes_total":        func() uint64 { return uint64(c.mbaChanges.Load()) },
+		"sampling_cycles_total":    func() uint64 { return c.samplingCycles.Load() },
+		"sampling_intervals_total": func() uint64 { return uint64(c.samplingIntervals.Load()) },
+		"learn_predictions_total":  func() uint64 { return uint64(c.learnPredictions.Load()) },
+		"learn_fallbacks_total":    func() uint64 { return uint64(c.learnFallbacks.Load()) },
+		"solo_runs_total":          func() uint64 { return uint64(c.soloRuns.Load()) },
+		"store_hits_total":         func() uint64 { return uint64(c.storeHits.Load()) },
+		"store_misses_total":       func() uint64 { return uint64(c.storeMisses.Load()) },
+		"jobs_retried_total":       func() uint64 { return uint64(c.jobsRetried.Load()) },
+		"jobs_requeued_total":      func() uint64 { return uint64(c.jobsRequeued.Load()) },
+		"jobs_quarantined_total":   func() uint64 { return uint64(c.jobsQuarantined.Load()) },
+		"read_hits_total":          func() uint64 { return uint64(c.readHits.Load()) },
+		"read_misses_total":        func() uint64 { return uint64(c.readMisses.Load()) },
+		"read_not_modified_total":  func() uint64 { return uint64(c.readNotModified.Load()) },
 	} {
 		load := load
 		expvar.Publish(prefix+name, expvar.Func(func() any { return load() }))

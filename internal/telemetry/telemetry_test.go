@@ -103,6 +103,8 @@ func TestTelemetryCounters(t *testing.T) {
 	c.Emit(e)
 	quiet := Event{Type: TypeEpoch, Epoch: 2, ProfCycles: 100}
 	c.Emit(quiet)
+	c.Emit(Event{Type: TypeEpoch, Epoch: 3, Predicted: true, PredConfidence: 0.95, SampledCombos: 1})
+	c.Emit(Event{Type: TypeEpoch, Epoch: 4, LearnFallback: true, PredConfidence: 0.6, SampledCombos: 5})
 	c.Emit(Event{Type: TypeSolo, Benchmark: "x"})
 	c.Emit(Event{Type: TypeStore, Hit: true})
 	c.Emit(Event{Type: TypeStore, Hit: true})
@@ -119,21 +121,24 @@ func TestTelemetryCounters(t *testing.T) {
 
 	got := c.Snapshot()
 	want := map[string]uint64{
-		"epochs_total":            3,
-		"detections_total":        2,
-		"throttle_flips_total":    1,
-		"partition_changes_total": 1,
-		"mba_changes_total":       1,
-		"sampling_cycles_total":   600_000*2 + 100,
-		"solo_runs_total":         1,
-		"store_hits_total":        2,
-		"store_misses_total":      1,
-		"jobs_retried_total":      2,
-		"jobs_requeued_total":     1,
-		"jobs_quarantined_total":  1,
-		"read_hits_total":         3,
-		"read_misses_total":       1,
-		"read_not_modified_total": 1,
+		"epochs_total":             5,
+		"detections_total":         2,
+		"throttle_flips_total":     1,
+		"partition_changes_total":  1,
+		"mba_changes_total":        1,
+		"sampling_cycles_total":    600_000*2 + 100,
+		"sampling_intervals_total": 4 + 4 + 1 + 5, // two sample events + predicted + fallback
+		"learn_predictions_total":  1,
+		"learn_fallbacks_total":    1,
+		"solo_runs_total":          1,
+		"store_hits_total":         2,
+		"store_misses_total":       1,
+		"jobs_retried_total":       2,
+		"jobs_requeued_total":      1,
+		"jobs_quarantined_total":   1,
+		"read_hits_total":          3,
+		"read_misses_total":        1,
+		"read_not_modified_total":  1,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Snapshot:\n got %v\nwant %v", got, want)
