@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -40,6 +41,9 @@ import (
 )
 
 // file is the snapshot schema written as BENCH_<stamp>.json.
+//
+// Schema history: v1 carried Benchmarks + Sweep; v2 added the Geometry
+// section (many-core NUMA ns/epoch, naive vs optimized round loop).
 type file struct {
 	Schema     int    // schema version for downstream tooling
 	Stamp      string // UTC, 20060102T150405Z
@@ -50,8 +54,9 @@ type file struct {
 	CPUModel   string // best-effort, from /proc/cpuinfo
 	Benchtime  string // testing -benchtime in force
 	Benchmarks []benchResult
-	Sweep      *sweepResult // nil when -sweep=false
-	GoBench    []string     // standard benchmark text lines (benchstat input)
+	Sweep      *sweepResult     // nil when -sweep=false
+	Geometry   []geometryResult // nil when -geometry=false
+	GoBench    []string         // standard benchmark text lines (benchstat input)
 }
 
 type benchResult struct {
@@ -60,6 +65,22 @@ type benchResult struct {
 	NsPerOp     float64
 	BytesPerOp  int64
 	AllocsPerOp int64
+}
+
+// geometryResult is one many-core NUMA geometry's A/B comparison: the
+// naive configuration (modulo round loop, combination re-profiling every
+// epoch) against the optimized hot path (node-sharded round loop,
+// amortized combination refresh). Runs are interleaved A/B per rep and the
+// per-epoch medians reported, so machine noise hits both sides equally.
+type geometryResult struct {
+	Cores           int
+	Nodes           int
+	Reps            int     // interleaved A/B repetitions
+	EpochsPerRep    int     // timed controller epochs per repetition
+	ComboRefresh    int     // optimized side's ComboRefreshEpochs
+	NaiveNsPerEpoch float64 // median ns/epoch, naive configuration
+	OptNsPerEpoch   float64 // median ns/epoch, optimized configuration
+	CutPct          float64 // 100 * (1 - Opt/Naive)
 }
 
 type sweepResult struct {
@@ -75,6 +96,7 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_<stamp>.json in the current directory)")
 		quick     = flag.Bool("quick", false, "short benchtime and 1 mix/category: the CI smoke configuration")
 		sweep     = flag.Bool("sweep", true, "run and time the quick Fig. 13 comparison sweep")
+		geometry  = flag.Bool("geometry", true, "run the many-core NUMA geometry scaling benches (16/32/64 cores; -quick: 32 only)")
 		benchtime = flag.String("benchtime", "", "testing -benchtime (default 1s, or 2x with -quick)")
 		workers   = flag.Int("workers", 0, "concurrent sweep runs (0 = NumCPU); output is worker-count independent")
 	)
@@ -95,7 +117,7 @@ func main() {
 
 	now := time.Now().UTC()
 	f := &file{
-		Schema:    1,
+		Schema:    2,
 		Stamp:     now.Format("20060102T150405Z"),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -153,6 +175,31 @@ func main() {
 		f.GoBench = append(f.GoBench, fmt.Sprintf(
 			"BenchmarkQuickFig13Sweep %8d %12.0f ns/op", 1, float64(wall.Nanoseconds())))
 		fmt.Fprintf(os.Stderr, "%.1fs\n", wall.Seconds())
+	}
+
+	if *geometry {
+		geoms := []struct{ cores, nodes int }{{16, 2}, {32, 4}, {64, 8}}
+		reps := 5
+		if *quick {
+			geoms = geoms[1:2] // 32-core smoke only
+			reps = 3
+		}
+		for _, g := range geoms {
+			fmt.Fprintf(os.Stderr, "geometry %2dc/%dn (%d reps, interleaved A/B) ... ",
+				g.cores, g.nodes, reps)
+			gr, err := geometryBench(g.cores, g.nodes, reps)
+			if err != nil {
+				fatal(err)
+			}
+			f.Geometry = append(f.Geometry, gr)
+			f.GoBench = append(f.GoBench,
+				fmt.Sprintf("BenchmarkGeometryEpoch/naive_%dc_%dn %8d %12.0f ns/op",
+					g.cores, g.nodes, gr.Reps*gr.EpochsPerRep, gr.NaiveNsPerEpoch),
+				fmt.Sprintf("BenchmarkGeometryEpoch/opt_%dc_%dn %8d %12.0f ns/op",
+					g.cores, g.nodes, gr.Reps*gr.EpochsPerRep, gr.OptNsPerEpoch))
+			fmt.Fprintf(os.Stderr, "naive %.0f opt %.0f ns/epoch (cut %.1f%%)\n",
+				gr.NaiveNsPerEpoch, gr.OptNsPerEpoch, gr.CutPct)
+		}
 	}
 
 	path := *out
@@ -272,6 +319,86 @@ func benchCacheFillEvictLLC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Fill(sets*20+uint64(i), 0, false, mask, 0)
 	}
+}
+
+// geoEpochs is how many controller epochs each timed repetition runs. It
+// matches the optimized side's combination-refresh interval so one rep
+// covers a full gate cycle (one re-profiled epoch plus gated epochs).
+const geoEpochs = 6
+
+// geometryBench times CMM-a controller epochs on a many-core NUMA mix in
+// two configurations, interleaved naive/optimized per rep, and returns the
+// medians. Naive: modulo round loop, combination re-profiling every epoch.
+// Optimized: node-sharded round loop, refresh every geoEpochs epochs.
+func geometryBench(cores, nodes, reps int) (geometryResult, error) {
+	gr := geometryResult{
+		Cores: cores, Nodes: nodes, Reps: reps,
+		EpochsPerRep: geoEpochs, ComboRefresh: geoEpochs,
+	}
+	mix, err := mixes.Build(mixes.ManyCore, cores, 1)
+	if err != nil {
+		return gr, err
+	}
+	naive := make([]float64, 0, reps)
+	opt := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		a, err := timeEpochs(mix, nodes, false, 1)
+		if err != nil {
+			return gr, err
+		}
+		b, err := timeEpochs(mix, nodes, true, geoEpochs)
+		if err != nil {
+			return gr, err
+		}
+		naive = append(naive, a)
+		opt = append(opt, b)
+	}
+	gr.NaiveNsPerEpoch = median(naive)
+	gr.OptNsPerEpoch = median(opt)
+	gr.CutPct = 100 * (1 - gr.OptNsPerEpoch/gr.NaiveNsPerEpoch)
+	return gr, nil
+}
+
+// timeEpochs builds a fresh machine for the mix at the given geometry and
+// returns wall ns per controller epoch over geoEpochs epochs, after one
+// warm epoch (initial buffer growth and the first combination profile are
+// setup cost, not steady state).
+func timeEpochs(mix mixes.Mix, nodes int, sharded bool, comboRefresh int) (float64, error) {
+	scfg := sim.NUMAConfig(nodes)
+	scfg.Topology.ShardedRun = sharded
+	sys, err := sim.New(scfg, mix.Specs, 1)
+	if err != nil {
+		return 0, err
+	}
+	ccfg := cmmctl.DefaultConfig()
+	// Reduced windows, as in benchRunEpochs: the loop structure is the
+	// same, the wait for simulated cycles is shorter.
+	ccfg.ExecutionEpoch = 400_000
+	ccfg.SamplingInterval = 40_000
+	ccfg.ComboRefreshEpochs = comboRefresh
+	ctl, err := cmmctl.NewController(ccfg, cmmctl.NewSimTarget(sys), &cmmctl.Coordinated{Variant: cmmctl.VariantA})
+	if err != nil {
+		return 0, err
+	}
+	if err := ctl.RunEpochs(1); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := ctl.RunEpochs(geoEpochs); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()) / geoEpochs, nil
+}
+
+// median returns the middle value (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 func cpuModel() string {

@@ -17,6 +17,9 @@
 //	                                            # bit-identical
 //	cmmsim -fig 13 -model model.json            # add the learned CMM-L
 //	                                            # policy to the comparison
+//	cmmsim -fig 13 -topology 2x16               # 2 NUMA nodes, 16 cores
+//	cmmsim -fig numasweep -sweepjson out.json   # many-core NUMA evaluation
+//	                                            # (default geometry 8x64)
 //
 // Figures 7–15 share one comparison dataset; requesting any of them runs
 // the whole set of policies the figure needs. -quick (default) uses 2
@@ -44,13 +47,15 @@ import (
 	"cmm/internal/learn"
 	"cmm/internal/mixes"
 	"cmm/internal/runstore"
+	"cmm/internal/sim"
 	"cmm/internal/telemetry"
 	"cmm/internal/workload"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15, 'comparison', or 'bwsweep'")
+		fig        = flag.String("fig", "", "figure to regenerate: 1,2,3,7,8,9,10,11,12,13,14,15, 'comparison', 'bwsweep', or 'numasweep'")
+		topo       = flag.String("topology", "", "NUMA geometry as NODESxCORES, e.g. 2x16 or 8x64 (default: 1x8; numasweep defaults to 8x64)")
 		table1     = flag.Bool("table1", false, "print Table I")
 		full       = flag.Bool("full", false, "paper-size run (10 mixes/category, longer windows, median of 3 seeds)")
 		quick      = flag.Bool("quick", true, "cut-down run (2 mixes/category, short windows); the default, -quick=false is -full")
@@ -129,6 +134,21 @@ func main() {
 	}
 	if *mixesN > 0 {
 		opts.MixesPerCategory = *mixesN
+	}
+	if *topo == "" && *fig == "numasweep" {
+		*topo = "8x64"
+	}
+	if *topo != "" {
+		nodes, cores, err := parseTopology(*topo)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cores = cores
+		opts.Sim.Topology = sim.Topology{
+			Nodes:         nodes,
+			RemotePenalty: sim.DefaultRemotePenalty,
+			ShardedRun:    true,
+		}
 	}
 	opts.Workers = *workers
 	if *storeDir != "" {
@@ -217,6 +237,10 @@ func main() {
 		if err := runBWSweep(w, opts, *sweepJSON, *csv); err != nil {
 			fatal(err)
 		}
+	case "numasweep":
+		if err := runNUMASweep(w, opts, *sweepJSON, *csv); err != nil {
+			fatal(err)
+		}
 	case "7", "8", "9", "10", "11", "12", "13", "14", "15", "comparison":
 		policies := cmm.Policies()[1:]
 		withLearned := false
@@ -266,9 +290,9 @@ func runBWSweep(w io.Writer, opts experiments.Options, jsonPath string, asCSV bo
 		return err
 	}
 	policies := []cmm.Policy{
-		cmm.Coordinated{Variant: cmm.VariantA},
-		cmm.Coordinated{Variant: cmm.VariantB},
-		cmm.Coordinated{Variant: cmm.VariantC},
+		&cmm.Coordinated{Variant: cmm.VariantA},
+		&cmm.Coordinated{Variant: cmm.VariantB},
+		&cmm.Coordinated{Variant: cmm.VariantC},
 		cmm.CoordinatedMBA{},
 		&cmm.CPBW{},
 		&cmm.CPBWPT{},
@@ -340,6 +364,127 @@ func newBWSweepArtifact(comp *experiments.Comparison) bwSweepArtifact {
 		}
 	}
 	art.ThreeWayWins = art.MeanNormHS["CP+BW+PT"] > art.BestCMMMeanHS
+	return art
+}
+
+// parseTopology parses a NODESxCORES geometry string such as "2x16".
+func parseTopology(s string) (nodes, cores int, err error) {
+	if _, err := fmt.Sscanf(s, "%dx%d", &nodes, &cores); err != nil {
+		return 0, 0, fmt.Errorf("topology %q: want NODESxCORES, e.g. 2x16", s)
+	}
+	if nodes < 1 || cores < nodes || cores%nodes != 0 {
+		return 0, 0, fmt.Errorf("topology %q: cores must be a positive multiple of nodes", s)
+	}
+	return nodes, cores, nil
+}
+
+// runNUMASweep evaluates the coordinated mechanisms against the CP-only
+// partitioners on the many-core NUMA mix family — machines whose Agg set
+// grows past Config.MaxIndividual, so prefetch control must fall back to
+// group-level (K-Means) throttling and amortized combination profiling.
+// jsonPath, when set, receives the machine-readable artifact.
+func runNUMASweep(w io.Writer, opts experiments.Options, jsonPath string, asCSV bool) error {
+	topo := opts.Sim.Topology
+	// Amortize the exhaustive combination search across epochs: at 64
+	// cores, re-profiling 2^entities combinations every epoch is exactly
+	// the overhead the hot-path pass removes.
+	opts.CMM.ComboRefreshEpochs = numaSweepComboRefresh
+	fam, err := mixes.ManyCoreFamily(opts.Cores, opts.BaseSeed, 2*opts.MixesPerCategory)
+	if err != nil {
+		return err
+	}
+	policies := []cmm.Policy{
+		cmm.Dunn{},
+		cmm.PrefCP{},
+		&cmm.Coordinated{Variant: cmm.VariantA},
+		&cmm.CPBWPT{},
+	}
+	comp, err := experiments.RunComparisonMixes(opts, fam, policies)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		fmt.Fprint(w, experiments.CSV(comp))
+		return nil
+	}
+	art := newNUMASweepArtifact(comp, topo)
+	fmt.Fprintf(w, "NUMA sweep: many-core mixes on %d nodes x %d cores, normalized HS and WS\n",
+		art.Nodes, art.Cores)
+	experiments.WriteHSWS(w, comp, comp.Policies...)
+	fmt.Fprintln(w)
+	experiments.WriteTelemetry(w, comp)
+	fmt.Fprintf(w, "\nmean NormHS: best CP-only (%s) %.4f, CMM-a %.4f, CP+BW+PT %.4f — CMM beats CP-only: %v, CBP beats CP-only: %v\n",
+		art.BestCPOnly, art.BestCPOnlyMeanHS, art.MeanNormHS["CMM-a"],
+		art.MeanNormHS["CP+BW+PT"], art.CMMBeatsCPOnly, art.CBPBeatsCPOnly)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	}
+	return nil
+}
+
+// numaSweepComboRefresh is the combination-profiling refresh interval the
+// sweep runs with (re-probe the winning on/off combination every N epochs).
+const numaSweepComboRefresh = 6
+
+// numaSweepArtifact is the committed evidence format for the many-core
+// NUMA evaluation: per-mix scores plus the family-mean comparison of the
+// coordinated mechanisms against the best CP-only partitioner.
+type numaSweepArtifact struct {
+	Nodes              int
+	Cores              int
+	RemotePenalty      int
+	ComboRefreshEpochs int
+	Seeds              []int64
+	Mixes              []string
+	Policies           []string
+	Results            map[string][]experiments.MixResult
+	MeanNormHS         map[string]float64
+	MeanNormWS         map[string]float64
+	BestCPOnly         string
+	BestCPOnlyMeanHS   float64
+	// CMMBeatsCPOnly / CBPBeatsCPOnly record the acceptance check: the
+	// coordinated mechanisms' family-mean NormHS strictly above the best
+	// cache-partitioning-only mechanism at many-core scale.
+	CMMBeatsCPOnly bool
+	CBPBeatsCPOnly bool
+}
+
+func newNUMASweepArtifact(comp *experiments.Comparison, topo sim.Topology) numaSweepArtifact {
+	nodes := topo.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	art := numaSweepArtifact{
+		Nodes:              nodes,
+		Cores:              comp.Options.Cores,
+		RemotePenalty:      topo.RemotePenalty,
+		ComboRefreshEpochs: numaSweepComboRefresh,
+		Seeds:              comp.Options.Seeds,
+		Policies:           comp.Policies,
+		Results:            comp.Results,
+		MeanNormHS:         map[string]float64{},
+		MeanNormWS:         map[string]float64{},
+	}
+	for _, m := range comp.Mixes {
+		art.Mixes = append(art.Mixes, m.Name)
+	}
+	for _, p := range comp.Policies {
+		hs := comp.CategoryMeans(p, experiments.MetricHS)
+		ws := comp.CategoryMeans(p, experiments.MetricWS)
+		art.MeanNormHS[p] = hs[mixes.ManyCore]
+		art.MeanNormWS[p] = ws[mixes.ManyCore]
+	}
+	for _, p := range []string{"Dunn", "Pref-CP"} {
+		if hs, ok := art.MeanNormHS[p]; ok && (art.BestCPOnly == "" || hs > art.BestCPOnlyMeanHS) {
+			art.BestCPOnly, art.BestCPOnlyMeanHS = p, hs
+		}
+	}
+	art.CMMBeatsCPOnly = art.MeanNormHS["CMM-a"] > art.BestCPOnlyMeanHS
+	art.CBPBeatsCPOnly = art.MeanNormHS["CP+BW+PT"] > art.BestCPOnlyMeanHS
 	return art
 }
 

@@ -51,12 +51,28 @@ func main() {
 		artifact    = flag.String("artifact", "", "write the machine-readable training/eval artifact (JSON) to this file")
 		selftest    = flag.Bool("selftest", false, "full pipeline with acceptance assertions: synthesize, train, eval, exit non-zero on failure")
 		minAcc      = flag.Float64("min-accuracy", 0.7, "holdout accuracy floor asserted by -selftest")
+		topo        = flag.String("topology", "", "NUMA geometry as NODESxCORES for synthesis and eval, e.g. 2x16 (default: 1x8)")
 	)
 	flag.Parse()
 
 	opts := experiments.QuickOptions()
 	if !*quick {
 		opts = experiments.DefaultOptions()
+	}
+	if *topo != "" {
+		var nodes, cores int
+		if _, err := fmt.Sscanf(*topo, "%dx%d", &nodes, &cores); err != nil {
+			fatal(fmt.Errorf("topology %q: want NODESxCORES, e.g. 2x16", *topo))
+		}
+		if nodes < 1 || cores < nodes || cores%nodes != 0 {
+			fatal(fmt.Errorf("topology %q: cores must be a positive multiple of nodes", *topo))
+		}
+		opts.Cores = cores
+		opts.Sim.Topology = sim.Topology{
+			Nodes:         nodes,
+			RemotePenalty: sim.DefaultRemotePenalty,
+			ShardedRun:    true,
+		}
 	}
 	if *selftest {
 		*eval = true

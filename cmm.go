@@ -248,7 +248,7 @@ func (m *Machine) BandwidthGBs() []float64 {
 	out := make([]float64, m.sys.NumCores())
 	for i := range out {
 		cyc := m.sys.Core(i).PMU().Value(pmu.Cycles)
-		out[i] = mem.BandwidthGBs(m.sys.Memory().TotalBytes(i), cyc, m.sys.Config().CoreGHz)
+		out[i] = mem.BandwidthGBs(m.sys.TotalBytes(i), cyc, m.sys.Config().CoreGHz)
 	}
 	return out
 }

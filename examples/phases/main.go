@@ -36,7 +36,7 @@ func main() {
 	cfg := icmm.DefaultConfig()
 	cfg.ExecutionEpoch = 1_200_000
 	cfg.SamplingInterval = 100_000
-	ctrl, err := icmm.NewController(cfg, icmm.NewSimTarget(sys), icmm.Coordinated{Variant: icmm.VariantA})
+	ctrl, err := icmm.NewController(cfg, icmm.NewSimTarget(sys), &icmm.Coordinated{Variant: icmm.VariantA})
 	if err != nil {
 		log.Fatal(err)
 	}

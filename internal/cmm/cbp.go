@@ -1,6 +1,7 @@
 package cmm
 
 import (
+	"fmt"
 	"sort"
 
 	"cmm/internal/cat"
@@ -99,7 +100,7 @@ type mbaCandidate struct {
 // sampling priority order: classes interleaved friendly-first (streamers
 // are the usual bandwidth hogs), entities within a class loudest-first by
 // summed prefetch traffic. The budget cuts this list from the back.
-func mbaCandidates(cfg Config, det Detection, friendly, unfriendly []int) []mbaCandidate {
+func mbaCandidates(s *mbaSampler, cfg Config, det Detection, friendly, unfriendly []int) []mbaCandidate {
 	byTraffic := func(ents []entity) {
 		sort.SliceStable(ents, func(i, j int) bool {
 			ti, tj := 0.0, 0.0
@@ -112,8 +113,10 @@ func mbaCandidates(cfg Config, det Detection, friendly, unfriendly []int) []mbaC
 			return ti > tj
 		})
 	}
-	f := entitiesOf(friendly, det.PTR, cfg)
-	u := entitiesOf(unfriendly, det.PTR, cfg)
+	// Two scratches: both classes' entities must be alive at once for the
+	// interleave.
+	f := s.fEnts.entities(friendly, det.PTR, cfg)
+	u := s.uEnts.entities(unfriendly, det.PTR, cfg)
 	byTraffic(f)
 	byTraffic(u)
 	out := make([]mbaCandidate, 0, len(f)+len(u))
@@ -134,18 +137,23 @@ func mbaCandidates(cfg Config, det Detection, friendly, unfriendly []int) []mbaC
 // throttle a whole streamer class into the ground to buy it a few percent;
 // relative speedups accept a candidate only when the victims' gains
 // outweigh the throttled cores' slowdowns.
-func speedupHM(ipcs, base []float64) float64 {
+func speedupHM(ipcs, base []float64) (float64, error) {
+	if len(ipcs) != len(base) {
+		// A per-node aggregation bug upstream (mismatched geometries)
+		// would otherwise silently score garbage.
+		return 0, fmt.Errorf("cmm: speedupHM: %d sampled IPCs vs %d baseline cores", len(ipcs), len(base))
+	}
 	sum := 0.0
 	for i := range ipcs {
 		if ipcs[i] <= 0 {
-			return 0
+			return 0, nil
 		}
 		sum += base[i] / ipcs[i]
 	}
 	if sum <= 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(len(ipcs)) / sum
+	return float64(len(ipcs)) / sum, nil
 }
 
 // mbaLevelVector expands a chosen level into the per-core MBALevels vector
@@ -185,6 +193,11 @@ type mbaChoice struct {
 type mbaSampler struct {
 	choice mbaChoice
 	valid  bool
+
+	// fEnts/uEnts back the candidate entities of the two Agg classes;
+	// anything cached in choice must be copied out of them.
+	fEnts entityScratch
+	uEnts entityScratch
 }
 
 // epoch applies or refreshes the bandwidth partition for one controller
@@ -209,7 +222,7 @@ func (s *mbaSampler) epoch(t Target, cfg Config, alloc *cat.Allocator, plan cat.
 		unfriendly: append([]int(nil), dec.Unfriendly...),
 	}
 	grid := mbaLevelGrid(cfg)
-	cands := mbaCandidates(cfg, det, dec.Friendly, dec.Unfriendly)
+	cands := mbaCandidates(s, cfg, det, dec.Friendly, dec.Unfriendly)
 	sampled := 0
 	if cfg.MBASampleBudget > 0 && len(grid) > 0 && len(cands) > 0 {
 		// Unthrottled baseline interval: the speedup reference.
@@ -226,8 +239,15 @@ func (s *mbaSampler) epoch(t Target, cfg Config, alloc *cat.Allocator, plan cat.
 				}
 				samp := ipcsOf(sampleInterval(t, cfg.SamplingInterval))
 				sampled++
-				if score := speedupHM(samp, base); score > s.choice.score {
-					s.choice.cores = cand.cores
+				score, err := speedupHM(samp, base)
+				if err != nil {
+					return sampled, err
+				}
+				if score > s.choice.score {
+					// Copy: cand.cores aliases the entity scratch, which
+					// the next refresh overwrites, while the choice lives
+					// across epochs.
+					s.choice.cores = append(s.choice.cores[:0], cand.cores...)
 					s.choice.home = cand.home
 					s.choice.level = lvl
 					s.choice.score = score
@@ -372,7 +392,9 @@ func (p *CPBW) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) 
 // top of the chosen prefetch combination — CBP's joint management of all
 // three back-end resources under one bounded sampling budget.
 type CPBWPT struct {
-	mba mbaSampler
+	mba  mbaSampler
+	gate comboGate
+	ents entityScratch
 }
 
 // Name implements Policy.
@@ -395,6 +417,7 @@ func (p *CPBWPT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error
 	if len(det.Agg) == 0 {
 		// Fig. 6(d): nothing aggressive — Dunn partitioning, MBA released.
 		p.mba.reset()
+		p.gate.reset()
 		plan, err := dunnPlan(t, exec)
 		if err != nil {
 			return Decision{}, err
@@ -407,6 +430,38 @@ func (p *CPBWPT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error
 		}
 		dec.Plan = &plan
 		dec.FellBackToDunn = true
+		return dec, nil
+	}
+
+	if p.gate.fresh(cfg, det.Agg) {
+		// Gated epoch: reassert the cached split + combo for the probe's
+		// cost; the bandwidth sampler keeps its own (split-keyed) cache.
+		p.gate.age++
+		dec.Friendly = append([]int(nil), p.gate.friendly...)
+		dec.Unfriendly = append([]int(nil), p.gate.unfriendly...)
+		plan, err := twoClassPlan(t, cfg, dec.Friendly, dec.Unfriendly)
+		if err != nil {
+			return Decision{}, err
+		}
+		if err := applyPlan(t, plan); err != nil {
+			return Decision{}, err
+		}
+		dec.Plan = &plan
+		if err := releaseMBA(alloc); err != nil {
+			return Decision{}, err
+		}
+		dec.BestScore = p.gate.score
+		if len(p.gate.disabled) > 0 {
+			dec.Disabled = append([]int(nil), p.gate.disabled...)
+		}
+		if err := setPrefetchers(t, dec.Disabled); err != nil {
+			return Decision{}, err
+		}
+		sampled, err := p.mba.epoch(t, cfg, alloc, plan, det, &dec)
+		dec.SampledCombos += sampled
+		if err != nil {
+			return Decision{}, err
+		}
 		return dec, nil
 	}
 
@@ -440,7 +495,7 @@ func (p *CPBWPT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error
 	// Group-level prefetch throttling of the unfriendly cores, then the
 	// bandwidth partition on top of the winning combination.
 	if len(dec.Unfriendly) > 0 {
-		ents := entitiesOf(dec.Unfriendly, det.PTR, cfg)
+		ents := p.ents.entities(dec.Unfriendly, det.PTR, cfg)
 		best, score, _, _, sampled, err := comboSearch(t, cfg, ents)
 		if err != nil {
 			return Decision{}, err
@@ -452,6 +507,7 @@ func (p *CPBWPT) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error
 			return Decision{}, err
 		}
 	}
+	p.gate.store(det.Agg, dec.Friendly, dec.Unfriendly, dec.Disabled, dec.BestScore)
 
 	// Every profiling run counts, prefetch combos and MBA levels alike:
 	// the epoch-overhead comparison (sampled intervals vs. decision

@@ -397,7 +397,7 @@ func TestCoordinatedVariantA(t *testing.T) {
 		{ipcOn: 1, ipcOff: 1},
 		{ipcOn: 1, ipcOff: 1},
 	})
-	c, _ := NewController(DefaultConfig(), ft, Coordinated{Variant: VariantA})
+	c, _ := NewController(DefaultConfig(), ft, &Coordinated{Variant: VariantA})
 	if err := c.RunEpochs(1); err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestCoordinatedVariantBLeavesUnfriendlyUnpartitioned(t *testing.T) {
 		{ipcOn: 0.5, ipcOff: 0.7, aggressive: true, victimPenalty: 0.3},
 		{ipcOn: 1, ipcOff: 1},
 	})
-	c, _ := NewController(DefaultConfig(), ft, Coordinated{Variant: VariantB})
+	c, _ := NewController(DefaultConfig(), ft, &Coordinated{Variant: VariantB})
 	if err := c.RunEpochs(1); err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +452,7 @@ func TestCoordinatedVariantCDisjointPartitions(t *testing.T) {
 		{ipcOn: 0.5, ipcOff: 0.7, aggressive: true, victimPenalty: 0.3},
 		{ipcOn: 1, ipcOff: 1},
 	})
-	c, _ := NewController(DefaultConfig(), ft, Coordinated{Variant: VariantC})
+	c, _ := NewController(DefaultConfig(), ft, &Coordinated{Variant: VariantC})
 	if err := c.RunEpochs(1); err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestCoordinatedEmptyAggFallsBackToDunn(t *testing.T) {
 		{ipcOn: 0.3, ipcOff: 0.3},
 		{ipcOn: 2.0, ipcOff: 2.0},
 	})
-	c, _ := NewController(DefaultConfig(), ft, Coordinated{Variant: VariantA})
+	c, _ := NewController(DefaultConfig(), ft, &Coordinated{Variant: VariantA})
 	if err := c.RunEpochs(1); err != nil {
 		t.Fatal(err)
 	}

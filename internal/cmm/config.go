@@ -69,25 +69,36 @@ type Config struct {
 	// is reused before re-profiling (the Agg split changing forces an
 	// early refresh). 1 re-profiles every epoch.
 	MBARefreshEpochs int `json:",omitempty"`
+
+	// ComboRefreshEpochs is how many epochs the coordinated policies reuse
+	// a profiled friendliness split + prefetch-combo decision before
+	// re-profiling, provided the detected Agg set is unchanged (a changed
+	// set forces an early refresh). Profiling cost per epoch then amortizes
+	// from 2+2^entities sampling intervals down to the single detection
+	// probe, which is what keeps the control loop sublinear in cores on
+	// many-core geometries. 0 or 1 re-profiles every epoch (the paper's
+	// schedule).
+	ComboRefreshEpochs int `json:",omitempty"`
 }
 
 // DefaultConfig returns the scaled-down paper configuration.
 func DefaultConfig() Config {
 	return Config{
-		ExecutionEpoch:    3_000_000,
-		SamplingInterval:  150_000,
-		PGAMeanFraction:   0.6,
-		PMRThreshold:      0.70,
-		PTRThreshold:      1e7,
-		LLCPTThreshold:    2.5e7,
-		FriendlyThreshold: 0.50,
-		MaxIndividual:     3,
-		Groups:            3,
-		PartitionFactor:   1.5,
-		MBAPercent:        50,
-		MBALevels:         []uint64{10, 40},
-		MBASampleBudget:   8,
-		MBARefreshEpochs:  4,
+		ExecutionEpoch:     3_000_000,
+		SamplingInterval:   150_000,
+		PGAMeanFraction:    0.6,
+		PMRThreshold:       0.70,
+		PTRThreshold:       1e7,
+		LLCPTThreshold:     2.5e7,
+		FriendlyThreshold:  0.50,
+		MaxIndividual:      3,
+		Groups:             3,
+		PartitionFactor:    1.5,
+		MBAPercent:         50,
+		MBALevels:          []uint64{10, 40},
+		MBASampleBudget:    8,
+		MBARefreshEpochs:   4,
+		ComboRefreshEpochs: 1,
 	}
 }
 
@@ -123,6 +134,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cmm: MBASampleBudget %d must be >= 0", c.MBASampleBudget)
 	case c.MBARefreshEpochs < 1:
 		return fmt.Errorf("cmm: MBARefreshEpochs %d must be >= 1", c.MBARefreshEpochs)
+	case c.ComboRefreshEpochs < 0:
+		return fmt.Errorf("cmm: ComboRefreshEpochs %d must be >= 0", c.ComboRefreshEpochs)
 	}
 	for _, lvl := range c.MBALevels {
 		if lvl > 90 || lvl%10 != 0 {

@@ -98,6 +98,7 @@ func (c *Controller) RunEpochs(n int) error {
 			return fmt.Errorf("cmm: epoch %d (%s): %w", i, c.policy.Name(), err)
 		}
 		c.profilingCycles += ct.cycles
+		c.annotateNodes(&dec)
 		if c.sink != nil {
 			var prev *Decision
 			if len(c.decisions) > 0 {
@@ -108,6 +109,28 @@ func (c *Controller) RunEpochs(n int) error {
 		c.decisions = append(c.decisions, dec)
 	}
 	return nil
+}
+
+// annotateNodes attributes a decision to NUMA nodes when the target knows
+// its topology (TopologyTarget) and has more than one node: the core→node
+// map and the per-node Agg counts. Single-node targets leave both nil, so
+// single-socket decisions (and their telemetry) are unchanged.
+func (c *Controller) annotateNodes(dec *Decision) {
+	tt, ok := c.target.(TopologyTarget)
+	if !ok || tt.NumNodes() <= 1 {
+		return
+	}
+	n := c.target.NumCores()
+	dec.CoreNode = make([]int, n)
+	for i := 0; i < n; i++ {
+		dec.CoreNode[i] = tt.NodeOf(i)
+	}
+	dec.NodeAgg = make([]int, tt.NumNodes())
+	for _, a := range dec.Detection.Agg {
+		if a >= 0 && a < n {
+			dec.NodeAgg[dec.CoreNode[a]]++
+		}
+	}
 }
 
 // epochEvent renders one decision as a telemetry event. prev is the
@@ -142,6 +165,8 @@ func epochEvent(index int, dec Decision, prev *Decision, execCycles, profCycles 
 		Predicted:      dec.Predicted,
 		PredConfidence: dec.PredConfidence,
 		LearnFallback:  dec.LearnFallback,
+		CoreNode:       append([]int(nil), dec.CoreNode...),
+		NodeAgg:        append([]int(nil), dec.NodeAgg...),
 	}
 	var prevDisabled []int
 	var prevPlan *cat.Plan
@@ -327,9 +352,9 @@ func Policies() []Policy {
 		Dunn{},
 		PrefCP{},
 		PrefCP2{},
-		Coordinated{Variant: VariantA},
-		Coordinated{Variant: VariantB},
-		Coordinated{Variant: VariantC},
+		&Coordinated{Variant: VariantA},
+		&Coordinated{Variant: VariantB},
+		&Coordinated{Variant: VariantC},
 	}
 }
 

@@ -44,19 +44,26 @@ func (v Variant) String() string {
 // cores always keep their prefetchers (their performance comes from
 // prefetching, not cache space); when the Agg set is empty the policy
 // falls back to the Dunn partitioning (Fig. 6d).
+// Coordinated is stateful: it caches its profiled decision in a comboGate
+// (reused while the Agg set is stable, per Config.ComboRefreshEpochs) and
+// reuses entity-grouping scratch buffers, so it is a pointer policy.
 type Coordinated struct {
 	// Variant selects the Fig. 6 layout (default VariantA).
 	Variant Variant
+
+	gate comboGate
+	ents entityScratch
 }
 
 // Name implements Policy.
-func (p Coordinated) Name() string { return p.Variant.String() }
+func (p *Coordinated) Name() string { return p.Variant.String() }
 
-// Clone implements Policy; the variant selector is the only state.
-func (p Coordinated) Clone() Policy { return p }
+// Clone implements Policy: a fresh instance with an empty profiling cache,
+// so concurrent runs never share gate or scratch state.
+func (p *Coordinated) Clone() Policy { return &Coordinated{Variant: p.Variant} }
 
 // Epoch implements Policy.
-func (p Coordinated) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
+func (p *Coordinated) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, error) {
 	// Sampling interval 1: all prefetchers on — detection statistics.
 	if err := setPrefetchers(t, nil); err != nil {
 		return Decision{}, err
@@ -72,9 +79,10 @@ func (p Coordinated) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, e
 // learned policy (CMM-L) calls it directly on a fallback so the probe it
 // predicted from is reused rather than re-sampled; dec carries the
 // caller's policy name and any prediction metadata through untouched.
-func (p Coordinated) epochWithDetection(t Target, cfg Config, probe []pmu.Sample, det Detection, dec Decision, exec []pmu.Sample) (Decision, error) {
+func (p *Coordinated) epochWithDetection(t Target, cfg Config, probe []pmu.Sample, det Detection, dec Decision, exec []pmu.Sample) (Decision, error) {
 	if len(det.Agg) == 0 {
 		// Fig. 6(d): nothing aggressive — Dunn partitioning instead.
+		p.gate.reset()
 		plan, err := dunnPlan(t, exec)
 		if err != nil {
 			return Decision{}, err
@@ -84,6 +92,30 @@ func (p Coordinated) epochWithDetection(t Target, cfg Config, probe []pmu.Sample
 		}
 		dec.Plan = &plan
 		dec.FellBackToDunn = true
+		return dec, nil
+	}
+
+	if p.gate.fresh(cfg, det.Agg) {
+		// Gated epoch: the Agg set is unchanged and the cached profile is
+		// young — reassert it for the detection probe's cost alone.
+		p.gate.age++
+		dec.Friendly = append([]int(nil), p.gate.friendly...)
+		dec.Unfriendly = append([]int(nil), p.gate.unfriendly...)
+		plan, err := p.plan(t, cfg, dec.Friendly, dec.Unfriendly, det.Agg)
+		if err != nil {
+			return Decision{}, err
+		}
+		if err := applyPlan(t, plan); err != nil {
+			return Decision{}, err
+		}
+		dec.Plan = &plan
+		dec.BestScore = p.gate.score
+		if len(p.gate.disabled) > 0 {
+			dec.Disabled = append([]int(nil), p.gate.disabled...)
+		}
+		if err := setPrefetchers(t, dec.Disabled); err != nil {
+			return Decision{}, err
+		}
 		return dec, nil
 	}
 
@@ -112,7 +144,7 @@ func (p Coordinated) epochWithDetection(t Target, cfg Config, probe []pmu.Sample
 
 	// Group-level throttling of the unfriendly cores only.
 	if len(dec.Unfriendly) > 0 {
-		ents := entitiesOf(dec.Unfriendly, det.PTR, cfg)
+		ents := p.ents.entities(dec.Unfriendly, det.PTR, cfg)
 		best, score, _, _, sampled, err := comboSearch(t, cfg, ents)
 		if err != nil {
 			return Decision{}, err
@@ -124,11 +156,12 @@ func (p Coordinated) epochWithDetection(t Target, cfg Config, probe []pmu.Sample
 			return Decision{}, err
 		}
 	}
+	p.gate.store(det.Agg, dec.Friendly, dec.Unfriendly, dec.Disabled, dec.BestScore)
 	return dec, nil
 }
 
 // plan builds the Fig. 6 layout for the variant.
-func (p Coordinated) plan(t Target, cfg Config, friendly, unfriendly, agg []int) (cat.Plan, error) {
+func (p *Coordinated) plan(t Target, cfg Config, friendly, unfriendly, agg []int) (cat.Plan, error) {
 	catCfg := t.CATConfig()
 	switch p.Variant {
 	case VariantA:

@@ -1,0 +1,79 @@
+package cmm
+
+import "testing"
+
+func TestAggDrift(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2, 3}, []int{1, 2}, 1},
+		{[]int{1, 2}, []int{1, 2, 3}, 1},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 2},
+		{[]int{1, 2, 3}, []int{4, 5, 6}, 6},
+		{nil, []int{7}, 1},
+	}
+	for _, c := range cases {
+		if got := aggDrift(c.a, c.b); got != c.want {
+			t.Errorf("aggDrift(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestComboGateFreshness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComboRefreshEpochs = 3
+	var g comboGate
+	agg := []int{0, 1, 2, 3}
+	if g.fresh(cfg, agg) {
+		t.Fatal("zero-value gate reported fresh")
+	}
+	g.store(agg, []int{0, 1}, []int{2, 3}, []int{3}, 1.5)
+	if !g.fresh(cfg, agg) {
+		t.Fatal("just-stored gate not fresh")
+	}
+	// Small sets (< 8 cores) tolerate zero drift.
+	if g.fresh(cfg, []int{0, 1, 2}) {
+		t.Error("drifted small Agg set reused")
+	}
+	// Ages out after ComboRefreshEpochs.
+	g.age = 2
+	if !g.fresh(cfg, agg) {
+		t.Error("age 2 < refresh 3 should be fresh")
+	}
+	g.age = 3
+	if g.fresh(cfg, agg) {
+		t.Error("age at the refresh period should expire")
+	}
+	// The default configuration re-profiles every epoch: never fresh.
+	g.age = 1
+	if g.fresh(DefaultConfig(), agg) {
+		t.Error("default ComboRefreshEpochs must gate nothing")
+	}
+	g.reset()
+	if g.fresh(cfg, agg) {
+		t.Error("reset gate reported fresh")
+	}
+}
+
+func TestComboGateHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComboRefreshEpochs = 6
+	var g comboGate
+	// 16 cached Agg cores tolerate a drift of up to 2 (16/8).
+	agg := make([]int, 16)
+	for i := range agg {
+		agg[i] = i
+	}
+	g.store(agg, agg[:8], agg[8:], nil, 1)
+	drifted := append([]int(nil), agg[:15]...) // one core left the set
+	if !g.fresh(cfg, drifted) {
+		t.Error("drift 1 of 16 should reuse the cached decision")
+	}
+	drifted = append(drifted, 20, 21, 22) // net drift 4
+	if g.fresh(cfg, drifted) {
+		t.Error("drift 4 of 16 should force a re-profile")
+	}
+}

@@ -58,10 +58,13 @@ func (p *Learned) StoreIdentity() string {
 	return fmt.Sprintf("CMM-L@%s/t%.3f", p.model.Fingerprint(), p.threshold)
 }
 
-// Clone implements Policy. The model is immutable and the rest is value
-// state, so a shallow copy is an independent instance.
+// Clone implements Policy. The model is immutable, but the embedded CMM-a
+// fallback accumulates gate/scratch state across epochs, so it is reset to
+// a fresh instance rather than shallow-copied (two clones must never share
+// its cached slices).
 func (p *Learned) Clone() Policy {
 	cp := *p
+	cp.base = Coordinated{Variant: p.base.Variant}
 	return &cp
 }
 

@@ -90,7 +90,7 @@ func TestLearnedFallbackMatchesCMMA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ad, err := (Coordinated{Variant: VariantA}).Epoch(learnedTestTarget(), cfg, nil)
+	ad, err := (&Coordinated{Variant: VariantA}).Epoch(learnedTestTarget(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,6 +53,11 @@ type Decision struct {
 	// the sampling path for this epoch; the decision then doubles as a
 	// fresh training example (internal/learn harvests it).
 	LearnFallback bool
+	// CoreNode maps each core to its NUMA node and NodeAgg counts the
+	// detected Agg cores per node, so decisions stay attributable on
+	// multi-node geometries. Both are nil on single-node targets.
+	CoreNode []int
+	NodeAgg  []int
 }
 
 // Policy is one CMM back end. Epoch runs the profiling phase (sampling
@@ -176,6 +181,187 @@ func entitiesOf(cores []int, ptr []float64, cfg Config) []entity {
 	}
 	return out
 }
+
+// entityScratch holds the reusable buffers behind a stateful policy's
+// entity construction, so per-epoch grouping stays allocation-free as Agg
+// sets grow to 30+ cores. The returned entities (and their Cores slices)
+// alias the scratch: they are valid until the next entities call and must
+// be copied if retained across epochs. The zero value is ready to use.
+type entityScratch struct {
+	km      kmeans.Scratch
+	pts     []float64
+	coreBuf []int
+	cnt     []int
+	off     []int
+	ents    []entity
+}
+
+func growEntities(buf []entity, n int) []entity {
+	if cap(buf) < n {
+		return make([]entity, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// individual fills the scratch with one entity per core.
+func (s *entityScratch) individual(cores []int) []entity {
+	n := len(cores)
+	s.coreBuf = growInts(s.coreBuf, n)
+	s.ents = growEntities(s.ents, n)
+	for i, c := range cores {
+		s.coreBuf[i] = c
+		s.ents[i] = entity{Cores: s.coreBuf[i : i+1 : i+1]}
+	}
+	return s.ents
+}
+
+// entities is entitiesOf over the scratch's buffers: identical grouping
+// (same K-Means seeding, same within-group core order), no allocation in
+// steady state.
+func (s *entityScratch) entities(cores []int, ptr []float64, cfg Config) []entity {
+	n := len(cores)
+	if n <= cfg.MaxIndividual {
+		return s.individual(cores)
+	}
+	k := cfg.Groups
+	if k > n {
+		k = n
+	}
+	s.pts = growFloats(s.pts, n)
+	for i, c := range cores {
+		s.pts[i] = ptr[c]
+	}
+	res, err := s.km.Cluster(s.pts, k)
+	if err != nil {
+		// Unreachable for k<=n, but degrade to one entity per core.
+		return s.individual(cores)
+	}
+	kk := res.K()
+	s.cnt = growInts(s.cnt, kk)
+	s.off = growInts(s.off, kk)
+	for g := 0; g < kk; g++ {
+		s.cnt[g] = 0
+	}
+	for i := 0; i < n; i++ {
+		s.cnt[res.Assign[i]]++
+	}
+	off := 0
+	for g := 0; g < kk; g++ {
+		s.off[g] = off
+		off += s.cnt[g]
+	}
+	s.coreBuf = growInts(s.coreBuf, n)
+	s.ents = growEntities(s.ents, kk)
+	for g := 0; g < kk; g++ {
+		start := s.off[g]
+		s.ents[g] = entity{Cores: s.coreBuf[start : start : start+s.cnt[g]]}
+	}
+	for i, c := range cores {
+		g := res.Assign[i]
+		s.ents[g].Cores = append(s.ents[g].Cores, c)
+	}
+	// Drop empty groups (possible when identical PTRs collapse).
+	j := 0
+	for g := 0; g < kk; g++ {
+		if len(s.ents[g].Cores) > 0 {
+			s.ents[j] = s.ents[g]
+			j++
+		}
+	}
+	return s.ents[:j]
+}
+
+// comboGate caches a coordinated policy's profiled decision — the
+// friendliness split and the winning prefetch combination — across epochs.
+// The cache is keyed on the detected Agg set and expires after
+// Config.ComboRefreshEpochs epochs; while fresh, an epoch costs only the
+// detection probe instead of the split interval plus the 2^entities combo
+// search, which is what keeps profiling sublinear in cores on many-core
+// geometries.
+//
+// The key comparison has hysteresis: on many-core machines one or two
+// cores hover at the detection threshold and cross it every epoch, and
+// without tolerance each crossing would force a full re-profile,
+// defeating the amortization. A drift of less than 1/8 of the cached Agg
+// set reasserts the cached decision (the partition plan still follows the
+// live Agg set; only the split and combo are reused). Integer division
+// makes sets smaller than 8 cores require exact equality, so the paper's
+// 8-core machine never reuses across a changed set. The zero value has
+// nothing cached.
+type comboGate struct {
+	agg        []int
+	friendly   []int
+	unfriendly []int
+	disabled   []int
+	score      float64
+	age        int
+	valid      bool
+}
+
+// comboRefresh returns the effective refresh period (>= 1).
+func comboRefresh(cfg Config) int {
+	if cfg.ComboRefreshEpochs < 1 {
+		return 1
+	}
+	return cfg.ComboRefreshEpochs
+}
+
+// fresh reports whether the cached decision may be reused for the given
+// Agg set: young enough, and drifted by less than an eighth of the cached
+// set (DetectAgg emits cores ascending, so a merge walk computes the
+// symmetric difference).
+func (g *comboGate) fresh(cfg Config, agg []int) bool {
+	return g.valid && g.age < comboRefresh(cfg) && aggDrift(g.agg, agg) <= len(g.agg)/8
+}
+
+// aggDrift returns the size of the symmetric difference of two ascending
+// core lists.
+func aggDrift(a, b []int) int {
+	d, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			d++
+			i++
+		default:
+			d++
+			j++
+		}
+	}
+	return d + (len(a) - i) + (len(b) - j)
+}
+
+// store caches a freshly profiled decision. The inputs are copied: callers
+// hand over slices that may be scratch-backed or retained in decisions.
+func (g *comboGate) store(agg, friendly, unfriendly, disabled []int, score float64) {
+	g.agg = append(g.agg[:0], agg...)
+	g.friendly = append(g.friendly[:0], friendly...)
+	g.unfriendly = append(g.unfriendly[:0], unfriendly...)
+	g.disabled = append(g.disabled[:0], disabled...)
+	g.score = score
+	g.age = 1
+	g.valid = true
+}
+
+// reset drops the cache (quiet epochs, or a Clone's fresh start).
+func (g *comboGate) reset() { *g = comboGate{} }
 
 // disabledFor expands a combo bitmask over entities into the sorted list
 // of cores whose prefetchers are off (bit i set = entity i throttled).

@@ -42,7 +42,7 @@ func TestSimCMMADetectsAndActs(t *testing.T) {
 		t.Skip("simulator integration is slow")
 	}
 	sys := quadSystem(t)
-	ctrl, err := cmm.NewController(quickCfg(), cmm.NewSimTarget(sys), cmm.Coordinated{Variant: cmm.VariantA})
+	ctrl, err := cmm.NewController(quickCfg(), cmm.NewSimTarget(sys), &cmm.Coordinated{Variant: cmm.VariantA})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,17 @@ type Target interface {
 	CATConfig() cat.Config
 }
 
+// TopologyTarget is an optional capability of Targets that know their NUMA
+// geometry; the controller uses it to attribute per-epoch decisions to
+// nodes. Single-socket targets simply do not implement it (or report one
+// node).
+type TopologyTarget interface {
+	// NumNodes returns the NUMA node count (>= 1).
+	NumNodes() int
+	// NodeOf returns the node a core belongs to.
+	NodeOf(core int) int
+}
+
 // SimTarget adapts a sim.System to the Target interface.
 type SimTarget struct {
 	Sys *sim.System
@@ -70,8 +81,15 @@ func (t *SimTarget) RunCycles(n uint64) { t.Sys.Run(n) }
 // CoreGHz implements Target.
 func (t *SimTarget) CoreGHz() float64 { return t.Sys.Config().CoreGHz }
 
-// CATConfig implements Target.
+// CATConfig implements Target. The returned config reflects any per-node
+// package defaulting the topology applied.
 func (t *SimTarget) CATConfig() cat.Config { return t.Sys.Config().CAT }
+
+// NumNodes implements TopologyTarget.
+func (t *SimTarget) NumNodes() int { return t.Sys.NumNodes() }
+
+// NodeOf implements TopologyTarget.
+func (t *SimTarget) NodeOf(core int) int { return t.Sys.NodeOf(core) }
 
 // snapshots captures all cores' PMU state.
 func snapshots(t Target) []pmu.Snapshot {

@@ -23,7 +23,13 @@ type soloRun struct {
 }
 
 func runSolo(opts Options, spec workload.Spec, seed int64, msrVal uint64, ways int) (soloRun, error) {
-	sys, err := sim.New(opts.Sim, []workload.Spec{spec}, seed)
+	// Alone-IPC baselines run one core with local memory: a 1-core machine
+	// is single-node by construction, so a multi-node Options.Sim topology
+	// (whose node count cannot divide 1 core) is dropped here. This keeps
+	// solo baselines comparable across geometries of the same machine.
+	cfg := opts.Sim
+	cfg.Topology = sim.Topology{}
+	sys, err := sim.New(cfg, []workload.Spec{spec}, seed)
 	if err != nil {
 		return soloRun{}, err
 	}
@@ -46,11 +52,11 @@ func runSolo(opts Options, spec workload.Spec, seed int64, msrVal uint64, ways i
 	bufs := measPool.Get().(*measBufs)
 	defer measPool.Put(bufs)
 	bufs.snaps = sys.SnapshotsInto(bufs.snaps)
-	bytesBefore := sys.Memory().TotalBytes(0)
+	bytesBefore := sys.TotalBytes(0)
 	sys.Run(opts.SoloMeasureCycles)
 	bufs.samples = sys.DeltasInto(bufs.samples, bufs.snaps)
 	s := bufs.samples[0]
-	bytes := sys.Memory().TotalBytes(0) - bytesBefore
+	bytes := sys.TotalBytes(0) - bytesBefore
 	if opts.Telemetry != nil {
 		opts.Telemetry.Emit(telemetry.Event{
 			Type:       telemetry.TypeSolo,

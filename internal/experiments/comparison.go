@@ -17,9 +17,13 @@ import (
 // policyRun is the raw measurement of one (mix, policy, seed) run.
 type policyRun struct {
 	IPC    []float64 // per core, over the measurement window
-	Bytes  uint64    // memory bytes moved during the window
+	Bytes  uint64    // memory bytes moved during the window, summed over nodes
 	Stalls uint64    // summed STALLS_L2_PENDING deltas
 	Cycles uint64    // wall cycles of the window
+
+	// NodeBytes is the per-NUMA-node breakdown of Bytes (one entry per
+	// node's memory controller; a single entry on single-socket machines).
+	NodeBytes []uint64 `json:",omitempty"`
 
 	// Stats and the cycle split summarize the controller's behaviour over
 	// the whole run (warm + measure epochs) for Comparison.Telemetry.
@@ -59,9 +63,12 @@ func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (poli
 	bufs := measPool.Get().(*measBufs)
 	defer measPool.Put(bufs)
 	bufs.snaps = sys.SnapshotsInto(bufs.snaps)
-	bytesBefore := uint64(0)
-	for c := 0; c < sys.NumCores(); c++ {
-		bytesBefore += sys.Memory().TotalBytes(c)
+	// Bandwidth is tracked per node: each NUMA node owns a controller, so
+	// machine-wide traffic is the sum over node controllers, never a single
+	// controller's field.
+	nodeBefore := make([]uint64, sys.NumNodes())
+	for nd := range nodeBefore {
+		nodeBefore[nd] = sys.NodeBytes(nd)
 	}
 	start := sys.Now()
 	if err := ctrl.RunEpochs(opts.MeasureEpochs); err != nil {
@@ -70,14 +77,17 @@ func runPolicy(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64) (poli
 	bufs.samples = sys.DeltasInto(bufs.samples, bufs.snaps)
 	deltas := bufs.samples
 	run := policyRun{
-		IPC:    sim.IPCs(deltas),
-		Cycles: sys.Now() - start,
+		IPC:       sim.IPCs(deltas),
+		Cycles:    sys.Now() - start,
+		NodeBytes: make([]uint64, sys.NumNodes()),
+	}
+	for nd := range run.NodeBytes {
+		run.NodeBytes[nd] = sys.NodeBytes(nd) - nodeBefore[nd]
+		run.Bytes += run.NodeBytes[nd]
 	}
 	for c := 0; c < sys.NumCores(); c++ {
-		run.Bytes += sys.Memory().TotalBytes(c)
 		run.Stalls += deltas[c].Value(pmu.StallsL2Pending)
 	}
-	run.Bytes -= bytesBefore
 	run.Stats = cmm.SummarizeDecisions(ctrl.Decisions())
 	run.ExecCycles, run.ProfCycles = ctrl.Overhead()
 	return run, nil
@@ -380,6 +390,13 @@ func scoreRuns(opts Options, mix mixes.Mix, seedRuns []policyRun, alone []float6
 	for si := range opts.Seeds {
 		run := seedRuns[si]
 		b := base[si]
+		if len(run.NodeBytes) != len(b.NodeBytes) {
+			// Mixed geometries (e.g. a stale store entry from a different
+			// topology) would make the bandwidth normalization compare
+			// different machines.
+			return MixResult{}, fmt.Errorf("experiments: seed %d: policy run counts %d memory nodes, baseline %d",
+				opts.Seeds[si], len(run.NodeBytes), len(b.NodeBytes))
+		}
 		// Guard the per-core division like metrics.WorstCaseSpeedup does:
 		// a zero-IPC baseline core would otherwise make the worst-core
 		// scan NaN-driven (every NaN comparison is false, so the winner

@@ -23,7 +23,12 @@ import (
 // v2: cmm.Config gained the MBA level grid (MBALevels, MBASampleBudget)
 // and cmm.DecisionStats gained MBAChanges; cached DecisionStats from v1
 // would silently report zero MBA changes for the CBP policies.
-const StoreSchema = 2
+//
+// v3: sim.Config gained Topology (NUMA geometry) and cmm.Config gained
+// ComboRefreshEpochs; policyRun gained the per-node NodeBytes breakdown
+// and its Bytes field now sums every node controller. v2 entries predate
+// node-aggregated bandwidth and would fail the scoring node-count check.
+const StoreSchema = 3
 
 // policyKey is everything that determines one (mix, policy, seed)
 // controller run's policyRun result. Observation-only options (Telemetry,

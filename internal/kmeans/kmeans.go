@@ -117,6 +117,147 @@ func Cluster(points []float64, k int) (Result, error) {
 	return res, nil
 }
 
+// Scratch holds reusable buffers for allocation-free clustering on a hot
+// path (per-epoch entity grouping at 30+ Agg cores). The zero value is
+// ready to use. Not safe for concurrent use.
+type Scratch struct {
+	sorted    []float64
+	centroids []float64
+	sum       []float64
+	points    []float64
+	assign    []int
+	cnt       []int
+	order     []int
+	rank      []int
+	outAssign []int
+	outCent   []float64
+}
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// Cluster is identical to the package-level Cluster — same deterministic
+// seeding, iteration, and relabeling, bit-identical results — but reuses
+// the Scratch's buffers. The returned Result aliases the Scratch and is
+// only valid until its next Cluster call; callers that retain results must
+// copy them out.
+func (s *Scratch) Cluster(points []float64, k int) (Result, error) {
+	n := len(points)
+	if k < 1 {
+		return Result{}, fmt.Errorf("kmeans: k=%d must be >= 1", k)
+	}
+	if k > n {
+		return Result{}, fmt.Errorf("kmeans: k=%d exceeds %d points", k, n)
+	}
+	points = s.sanitizedInto(points)
+
+	s.sorted = growF(s.sorted, n)
+	copy(s.sorted, points)
+	sort.Float64s(s.sorted)
+	s.centroids = growF(s.centroids, k)
+	centroids := s.centroids
+	for i := 0; i < k; i++ {
+		centroids[i] = s.sorted[(2*i+1)*n/(2*k)]
+	}
+	dedupeAscending(centroids)
+
+	s.assign = growI(s.assign, n)
+	assign := s.assign
+	for i := range assign {
+		assign[i] = 0
+	}
+	s.sum = growF(s.sum, k)
+	s.cnt = growI(s.cnt, k)
+	for iter := 0; iter < MaxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, abs(p-centroids[0])
+			for c := 1; c < k; c++ {
+				if d := abs(p - centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sum, cnt := s.sum, s.cnt
+		for c := 0; c < k; c++ {
+			sum[c], cnt[c] = 0, 0
+		}
+		for i, p := range points {
+			sum[assign[i]] += p
+			cnt[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if cnt[c] > 0 {
+				centroids[c] = sum[c] / float64(cnt[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	s.order = growI(s.order, k)
+	order := s.order
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centroids[order[a]] < centroids[order[b]] })
+	s.rank = growI(s.rank, k)
+	rank := s.rank
+	for newID, old := range order {
+		rank[old] = newID
+	}
+	s.outAssign = growI(s.outAssign, n)
+	s.outCent = growF(s.outCent, k)
+	res := Result{Assign: s.outAssign, Centroids: s.outCent}
+	for i := range assign {
+		res.Assign[i] = rank[assign[i]]
+	}
+	for old, newID := range rank {
+		res.Centroids[newID] = centroids[old]
+	}
+	return res, nil
+}
+
+// sanitizedInto is sanitized with the copy (when needed) landing in the
+// Scratch's buffer.
+func (s *Scratch) sanitizedInto(points []float64) []float64 {
+	clean := true
+	for _, p := range points {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return points
+	}
+	s.points = growF(s.points, len(points))
+	for i, p := range points {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			s.points[i] = 0
+		} else {
+			s.points[i] = p
+		}
+	}
+	return s.points
+}
+
 // dedupeAscending nudges equal seeds apart so clusters do not collapse at
 // initialization when many points are identical.
 func dedupeAscending(c []float64) {

@@ -84,6 +84,12 @@ const (
 	// prefetch control alone cannot relieve the queueing delay. The
 	// evaluation family for the CBP bandwidth-partitioning policies.
 	BWSat
+	// ManyCore: the NUMA scale-up family (16/32/64 cores). Three quarters
+	// of the cores run aggressive benchmarks, split between friendly
+	// streamers and unfriendly demand-heavy traffic, so the detected Agg
+	// set grows with the machine and pushes group-level K-Means throttling
+	// well past Config.MaxIndividual; the rest are non-aggressive victims.
+	ManyCore
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +105,8 @@ func (c Category) String() string {
 		return "Pref No Agg"
 	case BWSat:
 		return "BW Sat"
+	case ManyCore:
+		return "Many Core"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -204,6 +212,15 @@ func Build(cat Category, nCores int, seed int64) (Mix, error) {
 		unfri := (loud + 1) / 2
 		specs = append(draw(rng, p.unfriendly, unfri), draw(rng, p.friendly, loud-unfri)...)
 		specs = append(specs, draw(rng, p.nonAggSensitive, 2)...)
+	case ManyCore:
+		// A large Agg set (~3/4 of the cores, friendly and unfriendly in
+		// equal measure) spread by the final shuffle across every NUMA
+		// node; the rest are non-aggressive victims so the policies have
+		// someone to protect on each node.
+		loud := 3 * nCores / 4
+		unfri := loud / 2
+		specs = append(draw(rng, p.friendly, loud-unfri), draw(rng, p.unfriendly, unfri)...)
+		specs = append(specs, nonAgg(rng, p, nCores-loud)...)
 	default:
 		return Mix{}, fmt.Errorf("mixes: unknown category %d", cat)
 	}
@@ -241,6 +258,23 @@ func BWSaturated(nCores int, baseSeed int64, n int) ([]Mix, error) {
 			return nil, err
 		}
 		m.Name = fmt.Sprintf("%s #%d", BWSat, i+1)
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ManyCoreFamily constructs n many-core NUMA mixes sized for nCores
+// (16/32/64), deterministically from the base seed. The seed offset keeps
+// the family disjoint from the draws of All and BWSaturated for the same
+// base seed.
+func ManyCoreFamily(nCores int, baseSeed int64, n int) ([]Mix, error) {
+	var out []Mix
+	for i := 0; i < n; i++ {
+		m, err := Build(ManyCore, nCores, baseSeed+int64(ManyCore)*1000+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		m.Name = fmt.Sprintf("%s %dc #%d", ManyCore, nCores, i+1)
 		out = append(out, m)
 	}
 	return out, nil

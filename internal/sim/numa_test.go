@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+
+	"cmm/internal/mem"
+	"cmm/internal/pmu"
+	"cmm/internal/workload"
+)
+
+// suiteSpecs returns n specs drawn cyclically from the benchmark suite, so
+// topology tests can size machines to any core count.
+func suiteSpecs(t *testing.T, n int) []workload.Spec {
+	t.Helper()
+	suite := workload.Suite()
+	if len(suite) == 0 {
+		t.Fatal("empty workload suite")
+	}
+	out := make([]workload.Spec, n)
+	for i := range out {
+		out[i] = suite[i%len(suite)]
+	}
+	return out
+}
+
+func newNUMA(t *testing.T, nodes, cores int, sharded bool) *System {
+	t.Helper()
+	cfg := NUMAConfig(nodes)
+	cfg.Topology.ShardedRun = sharded
+	s, err := New(cfg, suiteSpecs(t, cores), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := NUMAConfig(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := NUMAConfig(4)
+	cfg.Topology.RemotePenalty = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative remote penalty accepted")
+	}
+	cfg = NUMAConfig(0)
+	cfg.Topology.Nodes = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative node count accepted")
+	}
+	// Core counts must divide evenly into nodes.
+	if _, err := New(NUMAConfig(3), suiteSpecs(t, 8), 1); err == nil {
+		t.Error("8 cores on 3 nodes accepted")
+	}
+	// Explicit CAT CoresPerPackage must agree with the derived geometry.
+	cfg = NUMAConfig(2)
+	cfg.CAT.CoresPerPackage = 3
+	if _, err := New(cfg, suiteSpecs(t, 8), 1); err == nil {
+		t.Error("CAT package width disagreeing with topology accepted")
+	}
+}
+
+func TestTopologyHomeInterleaving(t *testing.T) {
+	s := newNUMA(t, 4, 16, true)
+	if s.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", s.NumNodes())
+	}
+	// Cores are split into contiguous node blocks.
+	for c := 0; c < s.NumCores(); c++ {
+		if got, want := s.NodeOf(c), c/4; got != want {
+			t.Fatalf("NodeOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+	// Lines interleave across nodes in LLC-slice-sized regions, so each
+	// slice still sees every set index.
+	region := uint64(s.Config().LLC.Sets)
+	for r := uint64(0); r < 8; r++ {
+		if got, want := s.HomeNode(r*region), int(r%4); got != want {
+			t.Fatalf("HomeNode(region %d) = %d, want %d", r, got, want)
+		}
+		// All lines within a region share its home.
+		if got := s.HomeNode(r*region + region - 1); got != int(r%4) {
+			t.Fatalf("HomeNode(region %d end) = %d, want %d", r, got, int(r%4))
+		}
+	}
+}
+
+// TestNUMARemotePenaltyChargedOnce pins the remote-access cost model: a
+// cross-node access pays Topology.RemotePenalty exactly once, on both the
+// miss path and the hit path, relative to an identical local access.
+func TestNUMARemotePenaltyChargedOnce(t *testing.T) {
+	s := newNUMA(t, 2, 8, true)
+	penalty := s.Config().Topology.RemotePenalty
+	if penalty <= 0 {
+		t.Fatalf("NUMAConfig remote penalty = %d, want > 0", penalty)
+	}
+	region := uint64(s.Config().LLC.Sets)
+	local := 5 * 2 * region  // even region: home node 0
+	remote := local + region // next region: home node 1
+	if s.HomeNode(local) != 0 || s.HomeNode(remote) != 1 {
+		t.Fatalf("crafted lines home to %d/%d, want 0/1",
+			s.HomeNode(local), s.HomeNode(remote))
+	}
+
+	// Core 0 lives on node 0. Both controllers are idle, so the only
+	// difference between the two misses is the remote penalty.
+	missLocal, m1 := s.AccessShared(0, local, mem.Demand, 0)
+	missRemote, m2 := s.AccessShared(0, remote, mem.Demand, 0)
+	if !m1 || !m2 {
+		t.Fatal("first accesses should miss")
+	}
+	if missRemote-missLocal != penalty {
+		t.Fatalf("remote miss cost %d, local %d: delta %d, want exactly %d",
+			missRemote, missLocal, missRemote-missLocal, penalty)
+	}
+
+	// Far past the fill completion both re-accesses hit; the remote hit is
+	// again dearer by exactly one penalty.
+	const later = 1 << 20
+	hitLocal, h1 := s.AccessShared(0, local, mem.Demand, later)
+	hitRemote, h2 := s.AccessShared(0, remote, mem.Demand, later)
+	if h1 || h2 {
+		t.Fatal("re-accesses should hit")
+	}
+	if hitLocal != s.Config().LLC.HitLatency {
+		t.Fatalf("local hit cost %d, want bare HitLatency %d",
+			hitLocal, s.Config().LLC.HitLatency)
+	}
+	if hitRemote-hitLocal != penalty {
+		t.Fatalf("remote hit cost %d, local %d: delta %d, want exactly %d",
+			hitRemote, hitLocal, hitRemote-hitLocal, penalty)
+	}
+
+	// A node-1 core accessing the node-1 line is local: no penalty.
+	core1 := s.NumCores() - 1
+	if s.NodeOf(core1) != 1 {
+		t.Fatalf("core %d on node %d, want 1", core1, s.NodeOf(core1))
+	}
+	hitPeer, miss := s.AccessShared(core1, remote, mem.Demand, later+1)
+	if miss {
+		t.Fatal("peer access should hit")
+	}
+	if hitPeer != s.Config().LLC.HitLatency {
+		t.Fatalf("node-1 local hit cost %d, want %d", hitPeer, s.Config().LLC.HitLatency)
+	}
+}
+
+// TestNUMANodeBandwidthIndependence drives one node's memory controller to
+// saturation and checks the other node's loaded latency is untouched: each
+// node has its own channel, so traffic does not leak across sockets.
+func TestNUMANodeBandwidthIndependence(t *testing.T) {
+	s := newNUMA(t, 2, 8, true)
+	region := uint64(s.Config().LLC.Sets)
+	// Hammer node 0 with demand misses to distinct node-0 regions.
+	const window = 1000
+	for i := uint64(0); i < 4000; i++ {
+		line := 2 * i * region // even regions home to node 0
+		s.AccessShared(0, line, mem.Demand, 0)
+	}
+	s.MemoryNode(0).Tick(window)
+	s.MemoryNode(1).Tick(window)
+	base := s.Config().Mem.BaseLatency
+	if got := s.MemoryNode(0).LoadedLatency(); got <= base {
+		t.Errorf("saturated node 0 loaded latency %d, want > base %d", got, base)
+	}
+	if got := s.MemoryNode(1).LoadedLatency(); got != base {
+		t.Errorf("idle node 1 loaded latency %d, want base %d", got, base)
+	}
+	if u := s.MemoryNode(1).Utilization(); u != 0 {
+		t.Errorf("idle node 1 utilization %g, want 0", u)
+	}
+	// The traffic is attributed to the home node.
+	if b := s.NodeBytes(0); b == 0 {
+		t.Error("node 0 saw no bytes")
+	}
+	if b := s.NodeBytes(1); b != 0 {
+		t.Errorf("node 1 saw %d bytes, want 0", b)
+	}
+	if s.TotalBytes(0) != s.NodeBytes(0)+s.NodeBytes(1) {
+		t.Error("TotalBytes does not equal the per-node sum")
+	}
+}
+
+// runFingerprint advances the system in uneven steps and returns every
+// core's cumulative PMU state, byte for byte.
+func runFingerprint(s *System) []pmu.Snapshot {
+	for _, d := range []uint64{30_000, 1, 70_000, 12_345, 50_000} {
+		s.Run(d)
+	}
+	return s.Snapshots()
+}
+
+func TestTopologyOneNodeMatchesDefault(t *testing.T) {
+	specs := suiteSpecs(t, 8)
+	plain, err := New(DefaultConfig(), specs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numa, err := New(NUMAConfig(1), specs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := runFingerprint(plain), runFingerprint(numa)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("core %d diverged: default %+v vs 1-node topology %+v", i, a[i], b[i])
+		}
+	}
+	if plain.Memory().TotalBytes(0) != numa.Memory().TotalBytes(0) {
+		t.Error("memory traffic diverged between default and 1-node topology")
+	}
+}
+
+// TestShardedRunDeterminism pins that the sharded hot-path round loop is
+// bit-identical to the naive loop at every supported geometry.
+func TestShardedRunDeterminism(t *testing.T) {
+	for _, g := range []struct{ nodes, cores int }{
+		{1, 8}, {2, 16}, {8, 64},
+	} {
+		naive := newNUMA(t, g.nodes, g.cores, false)
+		sharded := newNUMA(t, g.nodes, g.cores, true)
+		a, b := runFingerprint(naive), runFingerprint(sharded)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%d nodes/%d cores: core %d diverged: naive %+v vs sharded %+v",
+					g.nodes, g.cores, i, a[i], b[i])
+			}
+		}
+		for nd := 0; nd < g.nodes; nd++ {
+			if naive.NodeBytes(nd) != sharded.NodeBytes(nd) {
+				t.Fatalf("%d nodes/%d cores: node %d bytes diverged",
+					g.nodes, g.cores, nd)
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // Package sim assembles the full machine: N cores (cpu.Core) with private
-// L1/L2 and prefetchers, a shared inclusive LLC partitioned by CAT way
-// masks, a bandwidth-limited memory controller, an emulated MSR bank, and
-// the CAT allocator. It is the stand-in for the paper's Xeon E5-2620 v4.
+// L1/L2 and prefetchers, one or more shared inclusive LLC slices partitioned
+// by CAT way masks, one bandwidth-limited memory controller per NUMA node,
+// an emulated MSR bank, and the CAT allocator. With the default single-node
+// Topology it is the stand-in for the paper's Xeon E5-2620 v4; multi-node
+// Topologies model N-socket scale-ups (16/32/64 cores).
 //
 // Control flows exactly as on hardware: policies write MSRs (prefetcher
 // disable bits, CLOS masks, core associations) through the msr.Bank, and
@@ -11,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cmm/internal/cache"
 	"cmm/internal/cat"
@@ -22,24 +25,74 @@ import (
 	"cmm/internal/workload"
 )
 
+// Topology describes the NUMA geometry of the machine. The zero value is a
+// single node spanning every core with no remote penalty — byte-identical
+// to the pre-topology single-socket machine.
+type Topology struct {
+	// Nodes is the number of NUMA nodes (sockets). Each node owns one LLC
+	// slice and one memory controller. 0 or 1 means a single node.
+	Nodes int
+	// CoresPerNode is the number of cores on each node. 0 derives it as
+	// NumCores/Nodes (which must divide evenly).
+	CoresPerNode int
+	// RemotePenalty is the extra latency, in core cycles, charged once per
+	// shared-level access whose home node differs from the issuing core's
+	// node (interconnect hop). Applied to both remote LLC hits and remote
+	// fills.
+	RemotePenalty int
+	// ShardedRun selects the node-sharded round loop in System.Run: cores
+	// are visited node-by-node over contiguous per-node slices instead of
+	// through a global modulo walk. The visitation order is identical to
+	// the naive loop (node-major, per-node rotation), so results are
+	// bit-identical either way; sharding only removes per-core modulo and
+	// pointer-chasing cost on many-core geometries.
+	ShardedRun bool
+}
+
+// nodes returns the effective node count (>= 1).
+func (t Topology) nodes() int {
+	if t.Nodes <= 1 {
+		return 1
+	}
+	return t.Nodes
+}
+
+// Validate reports a descriptive error for unusable topologies.
+func (t Topology) Validate() error {
+	if t.Nodes < 0 {
+		return fmt.Errorf("sim: Topology.Nodes %d must be >= 0", t.Nodes)
+	}
+	if t.CoresPerNode < 0 {
+		return fmt.Errorf("sim: Topology.CoresPerNode %d must be >= 0", t.CoresPerNode)
+	}
+	if t.RemotePenalty < 0 {
+		return fmt.Errorf("sim: Topology.RemotePenalty %d must be >= 0", t.RemotePenalty)
+	}
+	return nil
+}
+
 // Config describes the machine.
 type Config struct {
 	// CoreGHz is the core clock, used to convert cycles to seconds.
 	CoreGHz float64
 	// Core is the core timing model.
 	Core cpu.Params
-	// L1, L2 are per-core private cache geometries; LLC is shared.
+	// L1, L2 are per-core private cache geometries; LLC is the geometry of
+	// each node's shared slice.
 	L1, L2, LLC cache.Config
-	// Mem is the memory controller model.
+	// Mem is the memory controller model, instantiated once per node.
 	Mem mem.Config
 	// Prefetch tunes the per-core prefetchers.
 	Prefetch prefetch.Params
 	// CAT describes the partitioning capability; CAT.Ways must equal
-	// LLC.Ways.
+	// LLC.Ways. On multi-node topologies CAT.CoresPerPackage defaults to
+	// the node size, making CLOS mask/MBA registers per-node.
 	CAT cat.Config
 	// RoundCycles is the lockstep window in which cores advance; smaller
 	// values interleave cores more finely but run slower.
 	RoundCycles uint64
+	// Topology is the NUMA geometry; the zero value is single-node.
+	Topology Topology
 }
 
 // DefaultConfig returns the paper's platform: 8 cores at 2.1 GHz, 32KB/8w
@@ -56,6 +109,21 @@ func DefaultConfig() Config {
 		CAT:         cat.DefaultConfig(),
 		RoundCycles: 20_000,
 	}
+}
+
+// DefaultRemotePenalty is the cross-node access penalty NUMAConfig applies:
+// ~60 cycles of interconnect hop at 2.1 GHz, in line with measured
+// remote-vs-local LLC latency deltas on two-socket Broadwell parts.
+const DefaultRemotePenalty = 60
+
+// NUMAConfig returns DefaultConfig scaled to an N-node machine with the
+// sharded round loop enabled. Cache and memory geometry stay per-node (each
+// node gets its own full LLC slice and controller), matching a socket-level
+// scale-out of the paper's platform.
+func NUMAConfig(nodes int) Config {
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{Nodes: nodes, RemotePenalty: DefaultRemotePenalty, ShardedRun: true}
+	return cfg
 }
 
 // Validate reports a descriptive error for inconsistent configurations.
@@ -89,25 +157,49 @@ func (c Config) Validate() error {
 	if c.RoundCycles == 0 {
 		return fmt.Errorf("sim: RoundCycles must be positive")
 	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// coreHot is the per-core hot state touched on every shared-level access,
+// packed contiguously so the access path reads one cache line instead of
+// chasing per-core pointers.
+type coreHot struct {
+	// mask is the core's effective CAT fill mask.
+	mask uint64
+	// node is the core's NUMA node.
+	node int32
 }
 
 // System is the whole machine. Not safe for concurrent use.
 type System struct {
 	cfg   Config
 	cores []*cpu.Core
-	llc   *cache.Cache
-	memc  *mem.Controller
+	llcs  []*cache.Cache
+	memcs []*mem.Controller
 	bank  *msr.Emulated
 	alloc *cat.Allocator
 
-	// masks caches each core's effective CAT fill mask. Relevant MSR
-	// writes only mark it dirty; the recomputation is coalesced to the
+	// hot caches each core's effective CAT fill mask and node. Relevant
+	// MSR writes only mark it dirty; the recomputation is coalesced to the
 	// next Run/AccessShared so a policy writing many registers
 	// back-to-back (PT combo sampling) triggers one refresh, not one
 	// per write.
-	masks      []uint64
+	hot        []coreHot
 	masksDirty bool
+
+	// Topology-derived routing state.
+	nodes     int
+	cpn       int    // cores per node
+	homeShift uint   // log2(LLC.Sets): lines interleave across nodes in slice-sized regions
+	homeMask  uint64 // nodes-1 when nodes is a power of two, else 0
+	nodeCores [][]*cpu.Core
+
+	// refreshMasks scratch: per-(package, CLOS) register read cache.
+	pkgMask []uint64
+	pkgMBA  []int64
 
 	now    uint64
 	rotate int
@@ -139,16 +231,50 @@ func NewWithGenerators(cfg Config, gens []workload.Generator) (*System, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("sim: no workloads")
 	}
+	nodes := cfg.Topology.nodes()
+	cpn := cfg.Topology.CoresPerNode
+	if cpn == 0 {
+		if n%nodes != 0 {
+			return nil, fmt.Errorf("sim: %d cores not divisible by %d nodes", n, nodes)
+		}
+		cpn = n / nodes
+	}
+	if cpn*nodes != n {
+		return nil, fmt.Errorf("sim: topology %d nodes x %d cores/node != %d cores", nodes, cpn, n)
+	}
+	if nodes > 1 {
+		// CLOS mask and MBA registers are per-package on real multi-socket
+		// parts; make the package boundary the node boundary unless the
+		// caller already configured it.
+		if cfg.CAT.CoresPerPackage == 0 {
+			cfg.CAT.CoresPerPackage = cpn
+		} else if cfg.CAT.CoresPerPackage != cpn {
+			return nil, fmt.Errorf("sim: CAT.CoresPerPackage %d != %d cores/node", cfg.CAT.CoresPerPackage, cpn)
+		}
+	}
 	s := &System{
 		cfg:   cfg,
-		llc:   cache.New(cfg.LLC),
-		memc:  mem.NewController(n, cfg.Mem),
+		llcs:  make([]*cache.Cache, nodes),
+		memcs: make([]*mem.Controller, nodes),
 		bank:  msr.NewEmulated(n, cfg.CAT.NumCLOS),
-		masks: make([]uint64, n),
+		hot:   make([]coreHot, n),
+		nodes: nodes,
+		cpn:   cpn,
+		// Interleave homes in LLC-slice-sized regions (not low line bits):
+		// every slice then sees the full set-index range, so per-node set
+		// utilization matches the single-node machine.
+		homeShift: uint(bits.Len(uint(cfg.LLC.Sets - 1))),
+	}
+	if nodes&(nodes-1) == 0 {
+		s.homeMask = uint64(nodes - 1)
+	}
+	for nd := 0; nd < nodes; nd++ {
+		s.llcs[nd] = cache.New(cfg.LLC)
+		s.memcs[nd] = mem.NewController(n, cfg.Mem)
 	}
 	s.alloc = cat.NewAllocator(cfg.CAT, s.bank)
-	for i := range s.masks {
-		s.masks[i] = cfg.CAT.FullMask()
+	for i := range s.hot {
+		s.hot[i] = coreHot{mask: cfg.CAT.FullMask(), node: int32(i / cpn)}
 	}
 	for i, gen := range gens {
 		if gen == nil {
@@ -161,11 +287,16 @@ func NewWithGenerators(cfg Config, gens []workload.Generator) (*System, error) {
 		}
 		s.cores = append(s.cores, core)
 	}
+	s.nodeCores = make([][]*cpu.Core, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		s.nodeCores[nd] = s.cores[nd*cpn : (nd+1)*cpn : (nd+1)*cpn]
+	}
 	s.bank.AddWatcher(msr.WatcherFunc(s.msrWritten))
 	return s, nil
 }
 
-// Config returns the machine configuration.
+// Config returns the machine configuration (including any CAT package
+// defaulting applied for multi-node topologies).
 func (s *System) Config() Config { return s.cfg }
 
 // NumCores returns the core count.
@@ -177,11 +308,47 @@ func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
 // PMU returns core i's counters.
 func (s *System) PMU(i int) *pmu.Counters { return s.cores[i].PMU() }
 
-// LLC returns the shared cache (stats/diagnostics).
-func (s *System) LLC() *cache.Cache { return s.llc }
+// NumNodes returns the NUMA node count (>= 1).
+func (s *System) NumNodes() int { return s.nodes }
 
-// Memory returns the memory controller (stats/diagnostics).
-func (s *System) Memory() *mem.Controller { return s.memc }
+// NodeOf returns the NUMA node core i belongs to.
+func (s *System) NodeOf(core int) int { return int(s.hot[core].node) }
+
+// HomeNode returns the node owning a line's LLC slice and memory channel.
+func (s *System) HomeNode(line uint64) int { return s.homeNode(line) }
+
+// LLC returns node 0's shared cache slice (stats/diagnostics); see LLCNode
+// for the other slices.
+func (s *System) LLC() *cache.Cache { return s.llcs[0] }
+
+// LLCNode returns node nd's shared cache slice.
+func (s *System) LLCNode(nd int) *cache.Cache { return s.llcs[nd] }
+
+// Memory returns node 0's memory controller (stats/diagnostics); see
+// MemoryNode for the other nodes and TotalBytes for machine-wide traffic.
+func (s *System) Memory() *mem.Controller { return s.memcs[0] }
+
+// MemoryNode returns node nd's memory controller.
+func (s *System) MemoryNode(nd int) *mem.Controller { return s.memcs[nd] }
+
+// TotalBytes returns the bytes core i moved across every node's memory
+// controller (a core's traffic lands on the home node of each line).
+func (s *System) TotalBytes(core int) uint64 {
+	var total uint64
+	for _, mc := range s.memcs {
+		total += mc.TotalBytes(core)
+	}
+	return total
+}
+
+// NodeBytes returns the bytes all cores moved on node nd's controller.
+func (s *System) NodeBytes(nd int) uint64 {
+	var total uint64
+	for c := range s.cores {
+		total += s.memcs[nd].TotalBytes(c)
+	}
+	return total
+}
 
 // Bank returns the emulated MSR bank — the control surface policies write.
 func (s *System) Bank() *msr.Emulated { return s.bank }
@@ -191,6 +358,19 @@ func (s *System) CAT() *cat.Allocator { return s.alloc }
 
 // Now returns the global cycle count (round-granular).
 func (s *System) Now() uint64 { return s.now }
+
+// homeNode maps a line address to its home node: region-interleaved in
+// LLC-slice-sized chunks so each slice keeps full set utilization.
+func (s *System) homeNode(line uint64) int {
+	if s.nodes == 1 {
+		return 0
+	}
+	region := line >> s.homeShift
+	if s.homeMask != 0 {
+		return int(region & s.homeMask)
+	}
+	return int(region % uint64(s.nodes))
+}
 
 // msrWritten reacts to control-register writes the way hardware does.
 func (s *System) msrWritten(cpuID int, reg uint32, v uint64) {
@@ -215,17 +395,57 @@ func (s *System) flushMasks() {
 
 func (s *System) refreshMasks() {
 	n := len(s.cores)
-	for i := range s.cores {
-		m, err := s.alloc.EffectiveMask(i)
-		if err != nil || m == 0 {
-			m = s.cfg.CAT.FullMask()
-		}
-		s.masks[i] = m
-		pct, err := s.alloc.MBAOfCore(i)
-		if err != nil {
+	nClos := s.cfg.CAT.NumCLOS
+	cpp := s.cfg.CAT.CoresPerPackage
+	packages := 1
+	if cpp > 0 && cpp < n {
+		packages = (n + cpp - 1) / cpp
+	}
+	// Mask and MBA registers are per-(package, CLOS); read each one once
+	// per refresh instead of twice per core. pkgMBA uses -1 for "not yet
+	// read" and -2 for "register fault: leave the throttle untouched",
+	// mirroring the unbatched per-core fallback behavior.
+	want := packages * nClos
+	if cap(s.pkgMask) < want {
+		s.pkgMask = make([]uint64, want)
+		s.pkgMBA = make([]int64, want)
+	}
+	s.pkgMask = s.pkgMask[:want]
+	s.pkgMBA = s.pkgMBA[:want]
+	for i := range s.pkgMBA {
+		s.pkgMBA[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		clos, err := s.alloc.ClosOf(i)
+		if err != nil || clos < 0 || clos >= nClos {
+			s.hot[i].mask = s.cfg.CAT.FullMask()
 			continue
 		}
-		s.memc.SetThrottle(i, float64(pct)/100)
+		pkg := 0
+		leader := 0
+		if cpp > 0 && cpp < n {
+			pkg = i / cpp
+			leader = pkg * cpp
+		}
+		idx := pkg*nClos + clos
+		if s.pkgMBA[idx] == -1 {
+			m, err := s.bank.Read(leader, msr.L3MaskBase+uint32(clos))
+			if err != nil || m == 0 {
+				m = s.cfg.CAT.FullMask()
+			}
+			s.pkgMask[idx] = m
+			pct, err := s.bank.Read(leader, msr.MBAThrottleBase+uint32(clos))
+			if err != nil {
+				s.pkgMBA[idx] = -2
+			} else {
+				s.pkgMBA[idx] = int64(pct)
+			}
+		}
+		s.hot[i].mask = s.pkgMask[idx]
+		if s.pkgMBA[idx] < 0 {
+			continue
+		}
+		pct := float64(s.pkgMBA[idx])
 		// MBA delay pct also partitions the channel: a throttled core is
 		// moved onto its own slice — (100-pct)% of an equal 1/n share —
 		// so its traffic stops drawing from (and inflating) the shared
@@ -233,26 +453,39 @@ func (s *System) refreshMasks() {
 		// no-MBA machine bit-identical to the unpartitioned model.
 		share := 0.0
 		if pct > 0 {
-			share = (1 - float64(pct)/100) / float64(n)
+			share = (1 - pct/100) / float64(n)
 		}
-		// Each share is <= 1/n so the sum can never exceed the channel;
-		// SetShare cannot fail here.
-		_ = s.memc.SetShare(i, share)
+		for _, mc := range s.memcs {
+			mc.SetThrottle(i, pct/100)
+			// Each share is <= 1/n so the sum can never exceed the
+			// channel; SetShare cannot fail here.
+			_ = mc.SetShare(i, share)
+		}
 	}
 }
 
-// AccessShared implements cpu.Shared: LLC lookup, memory on miss, fill
-// under the core's CAT mask, and inclusive back-invalidation of the
-// victim's owner. Hits on in-flight fills (another core's — or an earlier
-// prefetch's — data still on its way) wait out the remainder.
+// AccessShared implements cpu.Shared: LLC lookup in the line's home-node
+// slice, home-node memory on miss, fill under the core's CAT mask, and
+// inclusive back-invalidation of the victim's owner. Cross-node accesses
+// are charged the topology's remote penalty once, and their fill bandwidth
+// lands on the home node's controller. Hits on in-flight fills (another
+// core's — or an earlier prefetch's — data still on its way) wait out the
+// remainder.
 func (s *System) AccessShared(core int, line uint64, kind mem.RequestKind, now uint64) (int, bool) {
 	s.flushMasks()
-	demand := kind == mem.Demand
-	if hit, wait := s.llc.Lookup(line, demand, now); hit {
-		return s.cfg.LLC.HitLatency + int(wait), false
+	home := s.homeNode(line)
+	llc := s.llcs[home]
+	penalty := 0
+	if int32(home) != s.hot[core].node {
+		penalty = s.cfg.Topology.RemotePenalty
 	}
-	lat := s.cfg.LLC.HitLatency + s.memc.Access(core, kind)
-	victim := s.llc.FillAfterMiss(line, core, !demand, s.masks[core], now+uint64(lat))
+	demand := kind == mem.Demand
+	if hit, wait := llc.Lookup(line, demand, now); hit {
+		return s.cfg.LLC.HitLatency + penalty + int(wait), false
+	}
+	memc := s.memcs[home]
+	lat := s.cfg.LLC.HitLatency + penalty + memc.Access(core, kind)
+	victim := llc.FillAfterMiss(line, core, !demand, s.hot[core].mask, now+uint64(lat))
 	if victim.Valid {
 		dirty := victim.Dirty
 		if victim.Owner >= 0 && victim.Owner < len(s.cores) {
@@ -267,39 +500,79 @@ func (s *System) AccessShared(core int, line uint64, kind mem.RequestKind, now u
 			if owner < 0 || owner >= len(s.cores) {
 				owner = core
 			}
-			s.memc.Access(owner, mem.Writeback)
+			// The victim lived in this slice, so its writeback drains
+			// through the same node's channel.
+			memc.Access(owner, mem.Writeback)
 		}
 	}
 	return lat, true
 }
 
 // WritebackShared implements cpu.Shared: a dirty private-cache victim is
-// marked dirty in the (inclusive) LLC, or written to memory if the LLC no
-// longer holds it.
+// marked dirty in the (inclusive) home-node LLC slice, or written to the
+// home node's memory if the slice no longer holds it.
 func (s *System) WritebackShared(core int, line uint64) {
-	if s.llc.SetDirty(line) {
+	home := s.homeNode(line)
+	if s.llcs[home].SetDirty(line) {
 		return
 	}
-	s.memc.Access(core, mem.Writeback)
+	s.memcs[home].Access(core, mem.Writeback)
 }
 
 // Run advances the whole machine by d cycles in lockstep rounds, rotating
-// the core service order each round to avoid ordering bias, and ticking
-// the memory controller's utilization window at round boundaries.
+// the per-node core service order each round to avoid ordering bias, and
+// ticking every node's memory controller utilization window at round
+// boundaries. The canonical visitation order is node-major with a per-node
+// rotation (identical to the historical global rotation on one node); the
+// naive and sharded loops both produce it, so Topology.ShardedRun never
+// changes results.
 func (s *System) Run(d uint64) {
 	s.flushMasks()
 	end := s.now + d
+	if s.cfg.Topology.ShardedRun {
+		s.runSharded(end)
+		return
+	}
+	cpn := s.cpn
 	for s.now < end {
 		next := s.now + s.cfg.RoundCycles
 		if next > end {
 			next = end
 		}
-		n := len(s.cores)
-		for i := 0; i < n; i++ {
-			s.cores[(i+s.rotate)%n].RunUntil(next)
+		for base := 0; base < len(s.cores); base += cpn {
+			for i := 0; i < cpn; i++ {
+				s.cores[base+(i+s.rotate)%cpn].RunUntil(next)
+			}
 		}
 		s.rotate++
-		s.memc.Tick(int(next - s.now))
+		for _, mc := range s.memcs {
+			mc.Tick(int(next - s.now))
+		}
+		s.now = next
+	}
+}
+
+// runSharded is the hot-path round loop: per-node contiguous slices, the
+// rotation applied as two range-loop halves instead of a modulo per core.
+func (s *System) runSharded(end uint64) {
+	for s.now < end {
+		next := s.now + s.cfg.RoundCycles
+		if next > end {
+			next = end
+		}
+		r := s.rotate % s.cpn
+		for _, nodeCores := range s.nodeCores {
+			for _, c := range nodeCores[r:] {
+				c.RunUntil(next)
+			}
+			for _, c := range nodeCores[:r] {
+				c.RunUntil(next)
+			}
+		}
+		s.rotate++
+		for _, mc := range s.memcs {
+			mc.Tick(int(next - s.now))
+		}
 		s.now = next
 	}
 }

@@ -124,6 +124,12 @@ type Event struct {
 	PredConfidence float64 `json:"pred_confidence,omitempty"`
 	LearnFallback  bool    `json:"learn_fallback,omitempty"`
 
+	// CoreNode maps each core to its NUMA node and NodeAgg counts the
+	// epoch's Agg cores per node; both are empty on single-node machines,
+	// so single-socket event streams are unchanged.
+	CoreNode []int `json:"core_node,omitempty"`
+	NodeAgg  []int `json:"node_agg,omitempty"`
+
 	// Benchmark and IPC describe a solo run (Type == TypeSolo); the
 	// run's measurement window length rides in ExecCycles.
 	Benchmark string  `json:"benchmark,omitempty"`
