@@ -89,16 +89,17 @@ type phaseResult struct {
 
 func main() {
 	var (
-		url      = flag.String("url", "", "target base URL (empty: requires -selftest)")
-		selftest = flag.Bool("selftest", false, "start an in-process server with a seeded store on a loopback listener")
-		hashfile = flag.String("hashfile", "", "file of result hashes, one per line (remote mode key set)")
-		conns    = flag.Int("conns", 0, "concurrent connections (default 16, or 8 with -quick)")
-		duration = flag.Duration("duration", 0, "warm-phase length (default 10s, or 2s with -quick)")
-		keys     = flag.Int("keys", 0, "seeded result count in selftest mode (default 64, or 16 with -quick)")
-		body     = flag.Int("body", 4096, "approximate seeded result payload bytes (selftest)")
-		quick    = flag.Bool("quick", false, "short run with assertions: the CI smoke configuration")
-		p99max   = flag.Duration("p99-max", 0, "fail if the warm-phase p99 exceeds this (0: 250ms with -quick, else report-only)")
-		out      = flag.String("out", "", "output path (default LOAD_<stamp>.json in the current directory)")
+		url        = flag.String("url", "", "target base URL (empty: requires -selftest)")
+		selftest   = flag.Bool("selftest", false, "start an in-process server with a seeded store on a loopback listener")
+		hashfile   = flag.String("hashfile", "", "file of result hashes, one per line (remote mode key set)")
+		conns      = flag.Int("conns", 0, "concurrent connections (default 16, or 8 with -quick)")
+		duration   = flag.Duration("duration", 0, "warm-phase length (default 10s, or 2s with -quick)")
+		keys       = flag.Int("keys", 0, "seeded result count in selftest mode (default 64, or 16 with -quick)")
+		body       = flag.Int("body", 4096, "approximate seeded result payload bytes (selftest)")
+		quick      = flag.Bool("quick", false, "short run with assertions: the CI smoke configuration")
+		p99max     = flag.Duration("p99-max", 0, "fail if the warm-phase p99 exceeds this (0: 250ms with -quick, else report-only)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; a stalled server counts the probe as an error instead of hanging a worker forever")
+		out        = flag.String("out", "", "output path (default LOAD_<stamp>.json in the current directory)")
 	)
 	flag.Parse()
 
@@ -169,10 +170,7 @@ func main() {
 	}
 	f.Keys = len(hashes)
 
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        *conns * 2,
-		MaxIdleConnsPerHost: *conns * 2,
-	}}
+	client := newClient(*conns, *reqTimeout)
 
 	// cold: every key once, front empty — fills the byte cache.
 	fmt.Fprintf(os.Stderr, "cmmload: cold pass over %d keys ... ", len(hashes))
@@ -336,6 +334,20 @@ func runPhase(name string, conns int, d time.Duration, total int,
 		res.RPS = float64(len(all)) / wall.Seconds()
 	}
 	return res
+}
+
+// newClient builds the load-generator client. timeout bounds each whole
+// request (dial through body read): without it a single stalled server
+// connection would park a worker goroutine for the entire run and skew
+// every latency percentile silently.
+func newClient(conns int, timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        conns * 2,
+			MaxIdleConnsPerHost: conns * 2,
+		},
+	}
 }
 
 // doProbe issues one GET and reports whether the response matched.

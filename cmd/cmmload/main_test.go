@@ -1,0 +1,48 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRequestTimeoutAbortsStalledServer pins the -request-timeout
+// behaviour: a probe against a server that accepts the request but never
+// responds must fail within the deadline instead of hanging the worker.
+func TestRequestTimeoutAbortsStalledServer(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall // hold the request open past any test deadline
+	}))
+	// Close order matters: releasing the handler first lets srv.Close's
+	// connection drain finish.
+	defer srv.Close()
+	defer close(stall)
+
+	client := newClient(2, 150*time.Millisecond)
+	start := time.Now()
+	ok := doProbe(client, srv.URL, request{hash: "deadbeef", want: http.StatusOK})
+	elapsed := time.Since(start)
+	if ok {
+		t.Fatal("probe against a stalled server reported success")
+	}
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("probe failed after %s, before the 150ms deadline — wrong failure mode", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("probe took %s, deadline did not fire", elapsed)
+	}
+}
+
+// TestClientNoTimeoutByDefaultZero documents the zero-value meaning: a
+// zero timeout disables the deadline (the pre-flag behaviour), so the
+// flag default — not the type's zero value — is what protects runs.
+func TestClientNoTimeoutByDefaultZero(t *testing.T) {
+	if c := newClient(4, 0); c.Timeout != 0 {
+		t.Fatalf("zero timeout mapped to %s, want 0 (disabled)", c.Timeout)
+	}
+	if c := newClient(4, 30*time.Second); c.Timeout != 30*time.Second {
+		t.Fatalf("timeout not applied: %s", c.Timeout)
+	}
+}

@@ -51,7 +51,9 @@ import (
 	"syscall"
 	"time"
 
+	"cmm/internal/cmm"
 	"cmm/internal/jobstore"
+	"cmm/internal/learn"
 	"cmm/internal/runstore"
 	"cmm/internal/server"
 	"cmm/internal/telemetry"
@@ -76,6 +78,14 @@ func main() {
 		maxAttempts    = flag.Int("max-attempts", 3, "executions a job gets before it is quarantined as failed")
 		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt execution timeout, retried with backoff (0 = none)")
 		scanEvery      = flag.Duration("scan", 0, "shared-store scan interval for adopting jobs and reaping dead workers (0 = lease-ttl/3)")
+
+		modelDir    = flag.String("model-dir", "", "CMM-L model registry directory; enables the CMM-L policy with hot reload on promotion (GET /v1/model, POST /v1/model/rollback)")
+		modelPoll   = flag.Duration("model-poll", 10*time.Second, "registry pointer poll interval for hot reload (SIGHUP forces an immediate check)")
+		confidence  = flag.Float64("confidence", 0, "CMM-L prediction confidence threshold (0 = policy default)")
+		driftWin    = flag.Int("drift-window", 0, "drift monitor window in per-core observations (0 = default)")
+		driftFloor  = flag.Float64("drift-floor", 0, "windowed prediction agreement below which CMM-L self-demotes to CMM-a (0 = default)")
+		shadowEvery = flag.Int("shadow-every", 0, "force a shadow-audit sampling epoch every N confident epochs (0 = audits off, drift learns from fallbacks only)")
+		eventLog    = flag.String("telemetry", "", "append per-epoch telemetry events as JSONL to this file (the CMM-L retraining corpus)")
 	)
 	flag.Parse()
 
@@ -103,13 +113,57 @@ func main() {
 			jstore.Dir(), jstore.Worker(), *leaseTTL)
 	}
 
+	// -model-dir turns on the CMM-L serving path: the registry's current
+	// model is loaded now (an empty registry is fine — jobs are rejected
+	// until the first promotion) and watched for promotions.
+	var models *server.ModelManager
 	var counters telemetry.Counters
+	if *modelDir != "" {
+		reg, err := learn.OpenRegistry(*modelDir)
+		if err != nil {
+			fatal(err)
+		}
+		drift := cmm.DriftConfig{
+			Window:         *driftWin,
+			AgreementFloor: *driftFloor,
+			ShadowEvery:    *shadowEvery,
+		}
+		models = server.NewModelManager(reg, *confidence, drift, &counters)
+		if _, err := models.Reload(); err != nil {
+			fmt.Fprintf(os.Stderr, "cmmserve: model registry %s: %v (CMM-L jobs rejected until a model is promoted)\n", *modelDir, err)
+		} else {
+			fmt.Printf("cmmserve: serving CMM-L model %s from %s\n", models.Fingerprint(), *modelDir)
+		}
+	}
+
+	// -telemetry appends every job's per-epoch events to a JSONL file —
+	// the corpus cmmtrain -retrain reads. Async so a slow disk never
+	// stalls the epoch loop.
+	var eventSink telemetry.Sink
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl := telemetry.NewJSONLSink(f)
+		async := telemetry.NewAsyncSink(jsonl, 4096)
+		defer func() {
+			async.Close()
+			jsonl.Close()
+			f.Close()
+		}()
+		eventSink = async
+		fmt.Printf("cmmserve: appending telemetry events to %s\n", *eventLog)
+	}
+
 	srv := server.New(server.Config{
 		Store:          store,
 		Jobs:           jstore,
 		Workers:        *jobs,
 		QueueDepth:     *queue,
 		Counters:       &counters,
+		EventSink:      eventSink,
+		Models:         models,
 		DefaultTimeout: *timeout,
 		MaxAttempts:    *maxAttempts,
 		AttemptTimeout: *attemptTimeout,
@@ -132,6 +186,9 @@ func main() {
 	runstore.StartSweeper(ctx, store, *sweepEvery, 0.1, func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cmmserve: "+format+"\n", args...)
 	})
+	if models != nil {
+		go models.Watch(ctx, *modelPoll)
+	}
 	// Flip /healthz to "draining" the moment the signal arrives, so load
 	// balancers stop routing here while in-flight requests finish.
 	go func() {

@@ -12,6 +12,16 @@
 //	                                         # machine-readable evidence
 //	cmmtrain -quick -selftest                # CI smoke: full pipeline with
 //	                                         # acceptance assertions
+//	cmmtrain -promote -registry models/      # train, then promote into the
+//	                                         # registry serving workers
+//	cmmtrain -retrain -registry models/ corpus.jsonl
+//	                                         # gate a candidate on the
+//	                                         # acceptance criteria plus a
+//	                                         # holdout duel vs the champion;
+//	                                         # promote on pass, archive with
+//	                                         # the reason on fail
+//	cmmtrain -check-model models/cmml.json   # fail loudly when an envelope's
+//	                                         # feature schema lags the binary
 //
 // Positional arguments are corpus paths: telemetry JSONL files, or
 // directories walked for *.jsonl. Without any, -synth (on by default)
@@ -21,9 +31,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 
@@ -52,8 +64,31 @@ func main() {
 		selftest    = flag.Bool("selftest", false, "full pipeline with acceptance assertions: synthesize, train, eval, exit non-zero on failure")
 		minAcc      = flag.Float64("min-accuracy", 0.7, "holdout accuracy floor asserted by -selftest")
 		topo        = flag.String("topology", "", "NUMA geometry as NODESxCORES for synthesis and eval, e.g. 2x16 (default: 1x8)")
+
+		registry   = flag.String("registry", "", "model registry directory (required by -promote and -retrain)")
+		promote    = flag.Bool("promote", false, "promote the trained model into -registry, unconditionally")
+		retrain    = flag.Bool("retrain", false, "retraining mode: train a candidate from the corpus, run the acceptance gates and compare against the registry's current champion on the same holdout; promote on pass, archive under <registry>/rejected with the failure reason otherwise")
+		checkModel = flag.String("check-model", "", "load and validate a model envelope (schema version, feature drift), print its identity, and exit")
 	)
 	flag.Parse()
+
+	// -check-model is a standalone validation probe: it fails loudly when
+	// the envelope's feature schema lags the binary's extractor schema.
+	if *checkModel != "" {
+		m, err := learn.LoadModel(*checkModel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cmmtrain: %s ok: kind=%s fingerprint=%s schema v%d (%d features)\n",
+			*checkModel, m.Kind, m.Fingerprint(), m.SchemaVersion, len(m.Features))
+		return
+	}
+	if (*promote || *retrain) && *registry == "" {
+		fatal(fmt.Errorf("-promote and -retrain require -registry"))
+	}
+	if *retrain {
+		*eval = true // the promotion gates need the A/B sweep
+	}
 
 	opts := experiments.QuickOptions()
 	if !*quick {
@@ -142,6 +177,68 @@ func main() {
 			ev.PredictEpochNs, ev.SamplingIntervalNs, ev.PredictCheaper)
 	}
 
+	// 3.5 Model lifecycle: promotion into the registry. -retrain gates the
+	// candidate on the selftest acceptance criteria plus a head-to-head
+	// holdout comparison against the current champion; a candidate that
+	// fails any gate is archived with the reason instead of promoted, so a
+	// retraining cron can never push a regression into serving.
+	if *promote || *retrain {
+		reg, err := learn.OpenRegistry(*registry)
+		if err != nil {
+			fatal(err)
+		}
+		if *retrain {
+			fails := acceptance(art, *minAcc, *labelPolicy)
+			champion, champFP, err := reg.Current()
+			switch {
+			case err == nil && champFP == art.Fingerprint:
+				// Identical corpus and params reproduce the champion bit for
+				// bit; current already points at it.
+				art.Promoted = true
+				fmt.Printf("retrain: candidate %s is already the champion\n", champFP)
+			case err == nil:
+				// Score both models on the identical holdout: SplitHoldout is
+				// deterministic in (corpus, seed), and the candidate's metric
+				// comes from its pre-refit fit on the same split.
+				_, hold := learn.SplitHoldout(exs, *seed, *holdout)
+				champMet := learn.Evaluate(champion, hold)
+				candAcc := art.Metrics[model.Kind].Accuracy
+				fmt.Printf("retrain: candidate holdout accuracy %.3f vs champion %s %.3f\n",
+					candAcc, champFP, champMet.Accuracy)
+				if candAcc < champMet.Accuracy {
+					fails = append(fails, fmt.Sprintf("holdout accuracy %.3f below champion %s (%.3f)",
+						candAcc, champFP, champMet.Accuracy))
+				}
+			case errors.Is(err, learn.ErrNoModel):
+				fmt.Println("retrain: empty registry, candidate gated on acceptance criteria only")
+			default:
+				fatal(err)
+			}
+			switch {
+			case len(fails) > 0:
+				reason := strings.Join(fails, "; ")
+				if _, err := reg.Archive(model, reason); err != nil {
+					fatal(err)
+				}
+				art.RejectReason = reason
+				fmt.Printf("retrain: candidate %s REJECTED, archived with reason: %s\n", art.Fingerprint, reason)
+			case art.Fingerprint != "" && !art.Promoted:
+				if _, err := reg.Promote(model, fmt.Sprintf("retrain: %d examples, holdout accuracy %.3f",
+					len(exs), art.Metrics[model.Kind].Accuracy)); err != nil {
+					fatal(err)
+				}
+				art.Promoted = true
+				fmt.Printf("retrain: candidate %s promoted to current\n", art.Fingerprint)
+			}
+		} else {
+			if _, err := reg.Promote(model, "cmmtrain -promote"); err != nil {
+				fatal(err)
+			}
+			art.Promoted = true
+			fmt.Printf("promote: model %s is now current in %s\n", art.Fingerprint, *registry)
+		}
+	}
+
 	if *artifact != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
@@ -180,6 +277,11 @@ type trainArtifact struct {
 	Synthesized bool                     `json:"synthesized"`
 	Metrics     map[string]learn.Metrics `json:"metrics"` // per trained kind
 	Eval        *evalResult              `json:"eval,omitempty"`
+	// Promoted and RejectReason record the -promote/-retrain outcome:
+	// whether this model became the registry's current, or why it was
+	// archived instead.
+	Promoted     bool   `json:"promoted,omitempty"`
+	RejectReason string `json:"reject_reason,omitempty"`
 }
 
 // evalResult is the A/B sweep summary plus the decision-cost benchmark.

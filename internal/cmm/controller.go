@@ -165,6 +165,8 @@ func epochEvent(index int, dec Decision, prev *Decision, execCycles, profCycles 
 		Predicted:      dec.Predicted,
 		PredConfidence: dec.PredConfidence,
 		LearnFallback:  dec.LearnFallback,
+		ShadowAudit:    dec.ShadowAudit,
+		LearnDemoted:   dec.LearnDemoted,
 		CoreNode:       append([]int(nil), dec.CoreNode...),
 		NodeAgg:        append([]int(nil), dec.NodeAgg...),
 	}
@@ -219,6 +221,10 @@ type DecisionStats struct {
 	// epochs decided by the model versus sent down the sampling path.
 	Predictions    int `json:",omitempty"`
 	LearnFallbacks int `json:",omitempty"`
+	// ShadowAudits counts drift-monitor audit epochs and LearnDemotions
+	// counts auto-demotion transitions (0 or 1 per model lifetime).
+	ShadowAudits   int `json:",omitempty"`
+	LearnDemotions int `json:",omitempty"`
 }
 
 // SummarizeDecisions reduces a decision history (Controller.Decisions) to
@@ -254,6 +260,12 @@ func SummarizeDecisions(decs []Decision) DecisionStats {
 		}
 		if d.LearnFallback {
 			s.LearnFallbacks++
+		}
+		if d.ShadowAudit {
+			s.ShadowAudits++
+		}
+		if d.LearnDemoted {
+			s.LearnDemotions++
 		}
 		prev = d
 	}

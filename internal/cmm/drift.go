@@ -1,0 +1,182 @@
+package cmm
+
+import "sync"
+
+// Drift-monitor defaults; see DriftConfig.
+const (
+	DefaultDriftWindow    = 64
+	DefaultAgreementFloor = 0.9
+)
+
+// DriftConfig tunes CMM-L's runtime drift monitor (EnableDrift). The
+// monitor compares the model's per-core throttle predictions against the
+// ground truth CMM-a's sampling path produces, over a rolling window of
+// per-core comparisons, and demotes the policy to pure CMM-a when the
+// windowed agreement falls below the floor. Comparisons come from two
+// sources: fallback epochs (the sampling path ran anyway, so the labels
+// are free) and — when ShadowEvery > 0 — forced shadow-audit epochs,
+// where a confident prediction is checked by running the full sampling
+// path regardless. Audits bound how stale the window can get on a
+// workload the model is always confident about.
+type DriftConfig struct {
+	// Window is the rolling comparison window size (per-core comparisons,
+	// not epochs). Default DefaultDriftWindow.
+	Window int
+	// MinSamples gates demotion until the window holds at least this many
+	// comparisons, so a single early disagreement cannot demote. Default
+	// Window/2.
+	MinSamples int
+	// AgreementFloor demotes when windowed agreement drops below it.
+	// Default DefaultAgreementFloor.
+	AgreementFloor float64
+	// ShadowEvery forces a shadow audit every Nth confident epoch
+	// (0 disables audits; fallback epochs still feed the window).
+	ShadowEvery int
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultDriftWindow
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.AgreementFloor <= 0 || c.AgreementFloor > 1 {
+		c.AgreementFloor = DefaultAgreementFloor
+	}
+	return c
+}
+
+// DriftStats is a point-in-time snapshot of the drift monitor, served on
+// /v1/model and /metrics.
+type DriftStats struct {
+	// Window and Samples describe the rolling comparison window; Agreement
+	// is the fraction of window entries where prediction matched sampled
+	// ground truth (1 when the window is empty).
+	Window    int     `json:"window"`
+	Samples   int     `json:"samples"`
+	Agreement float64 `json:"agreement"`
+	// AgreementFloor is the configured demotion threshold.
+	AgreementFloor float64 `json:"agreement_floor"`
+	// Demoted reports the sticky demoted state: the policy is serving pure
+	// CMM-a until a new model is promoted.
+	Demoted bool `json:"demoted"`
+	// Demotions and ShadowAudits count lifetime events for this monitor.
+	Demotions    uint64 `json:"demotions"`
+	ShadowAudits uint64 `json:"shadow_audits"`
+}
+
+// driftMonitor is the shared mutable state behind EnableDrift. Clones of
+// a Learned policy share one monitor on purpose: drift evidence gathered
+// by any concurrent job counts against the one served model, and a
+// demotion applies service-wide at once.
+type driftMonitor struct {
+	mu  sync.Mutex
+	cfg DriftConfig
+
+	ring   []bool // agreement bits, circular
+	next   int
+	filled int
+
+	confident int // confident epochs since the last shadow audit
+
+	demoted   bool
+	demotions uint64
+	audits    uint64
+}
+
+func newDriftMonitor(cfg DriftConfig) *driftMonitor {
+	cfg = cfg.withDefaults()
+	return &driftMonitor{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// demotedNow reports the sticky demoted state.
+func (d *driftMonitor) demotedNow() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.demoted
+}
+
+// auditDue advances the confident-epoch counter and reports whether this
+// epoch must run a shadow audit. Call exactly once per confident epoch.
+func (d *driftMonitor) auditDue() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.ShadowEvery <= 0 {
+		return false
+	}
+	d.confident++
+	if d.confident < d.cfg.ShadowEvery {
+		return false
+	}
+	d.confident = 0
+	d.audits++
+	return true
+}
+
+// observe records one epoch's per-core comparison between the model's
+// predicted throttle set and the sampling path's actual one, over the
+// cores the model judged (the Agg set), then reports whether this
+// observation tripped the demotion floor (the sticky transition happens
+// at most once per monitor lifetime — promotion builds a fresh monitor).
+func (d *driftMonitor) observe(agg, predicted, actual []int) (demotedNow bool) {
+	inPred := intSet(predicted)
+	inActual := intSet(actual)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range agg {
+		d.ring[d.next] = inPred[c] == inActual[c]
+		d.next = (d.next + 1) % len(d.ring)
+		if d.filled < len(d.ring) {
+			d.filled++
+		}
+	}
+	if d.demoted || d.filled < d.cfg.MinSamples {
+		return false
+	}
+	if d.agreementLocked() < d.cfg.AgreementFloor {
+		d.demoted = true
+		d.demotions++
+		return true
+	}
+	return false
+}
+
+func (d *driftMonitor) agreementLocked() float64 {
+	if d.filled == 0 {
+		return 1
+	}
+	agree := 0
+	for i := 0; i < d.filled; i++ {
+		if d.ring[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(d.filled)
+}
+
+// stats snapshots the monitor.
+func (d *driftMonitor) stats() DriftStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DriftStats{
+		Window:         d.cfg.Window,
+		Samples:        d.filled,
+		Agreement:      d.agreementLocked(),
+		AgreementFloor: d.cfg.AgreementFloor,
+		Demoted:        d.demoted,
+		Demotions:      d.demotions,
+		ShadowAudits:   d.audits,
+	}
+}
+
+func intSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+package cmm
+
+import (
+	"testing"
+)
+
+// invertedModel is confidently WRONG about the fake machine: aggressive
+// cores (PGA 4.0) get P(throttle)=0.02 and meek ones 0.98, so every
+// prediction over the Agg set disagrees with CMM-a's sampled truth while
+// carrying 0.98 confidence — the silent-drift failure mode the monitor
+// exists to catch.
+func invertedModel(t *testing.T) *Learned {
+	t.Helper()
+	p, err := NewLearned(stubModel(t, 0.98, 0.02), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDriftLabelFlipDemotesToByteIdenticalCMMA(t *testing.T) {
+	lp := invertedModel(t).EnableDrift(DriftConfig{
+		Window: 8, MinSamples: 4, AgreementFloor: 0.9, ShadowEvery: 1,
+	})
+	cmma := &Coordinated{Variant: VariantA}
+	cfg := DefaultConfig()
+
+	// Two identical scripted machines: the learned policy drives one, the
+	// reference CMM-a the other. With ShadowEvery=1 every confident epoch
+	// is an audit (the sampled decision is applied), and after demotion
+	// every epoch is pure CMM-a — so the machine-visible outcome must be
+	// byte-identical to the reference on EVERY epoch.
+	tl, ta := learnedTestTarget(), learnedTestTarget()
+
+	demotedAt := -1
+	for i := 0; i < 6; i++ {
+		ld, err := lp.Epoch(tl, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad, err := cmma.Epoch(ta, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(ld.Disabled, ad.Disabled) {
+			t.Errorf("epoch %d: Disabled = %v, CMM-a chose %v", i, ld.Disabled, ad.Disabled)
+		}
+		if ld.SampledCombos != ad.SampledCombos {
+			t.Errorf("epoch %d: SampledCombos = %d, CMM-a used %d", i, ld.SampledCombos, ad.SampledCombos)
+		}
+		if !plansEqual(ld.Plan, ad.Plan) {
+			t.Errorf("epoch %d: CAT plan differs from CMM-a's", i)
+		}
+		if ld.Predicted {
+			t.Errorf("epoch %d: confidently-wrong model acted on a prediction", i)
+		}
+		if ld.LearnDemoted {
+			if demotedAt != -1 {
+				t.Fatalf("second demotion event at epoch %d (first at %d)", i, demotedAt)
+			}
+			demotedAt = i
+		}
+		if demoted := demotedAt != -1 && i > demotedAt; demoted && ld.ShadowAudit {
+			t.Errorf("epoch %d: shadow audit after demotion", i)
+		}
+	}
+
+	// 2 Agg-core comparisons per audit epoch, MinSamples 4: the second
+	// audit fills the window past the gate and 0%% agreement trips the
+	// floor — within one rolling window.
+	if demotedAt != 1 {
+		t.Errorf("demotion at epoch %d, want 1 (MinSamples 4 at 2 comparisons/epoch)", demotedAt)
+	}
+	st, ok := lp.DriftStats()
+	if !ok {
+		t.Fatal("DriftStats not available after EnableDrift")
+	}
+	if !st.Demoted || st.Demotions != 1 {
+		t.Errorf("stats Demoted=%v Demotions=%d, want true/1", st.Demoted, st.Demotions)
+	}
+	if st.Agreement != 0 {
+		t.Errorf("stats Agreement = %.3f, want 0 (every prediction wrong)", st.Agreement)
+	}
+	if st.ShadowAudits != 2 {
+		t.Errorf("stats ShadowAudits = %d, want 2 (audits stop at demotion)", st.ShadowAudits)
+	}
+
+	// Demotion must also be byte-identical through the Controller event
+	// surface: the stats roll up the single transition.
+	s := SummarizeDecisions([]Decision{{ShadowAudit: true}, {ShadowAudit: true, LearnDemoted: true}})
+	if s.ShadowAudits != 2 || s.LearnDemotions != 1 {
+		t.Errorf("SummarizeDecisions ShadowAudits=%d LearnDemotions=%d, want 2/1", s.ShadowAudits, s.LearnDemotions)
+	}
+}
+
+func TestDriftFallbackLabelsAreFree(t *testing.T) {
+	// Low confidence (0.55) on every core: all epochs are fallbacks, and
+	// each one feeds the window without any forced audit. The model's
+	// leanings (throttle the aggressive pair) agree with the sampled
+	// truth, so the monitor never demotes.
+	lp, err := NewLearned(stubModel(t, 0.45, 0.55), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.EnableDrift(DriftConfig{Window: 8, MinSamples: 2, AgreementFloor: 0.9})
+	cfg := DefaultConfig()
+	target := learnedTestTarget()
+	for i := 0; i < 3; i++ {
+		dec, err := lp.Epoch(target, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.LearnFallback || dec.ShadowAudit {
+			t.Fatalf("epoch %d: LearnFallback=%v ShadowAudit=%v, want true/false", i, dec.LearnFallback, dec.ShadowAudit)
+		}
+		if dec.LearnDemoted {
+			t.Fatalf("epoch %d: agreeing model was demoted", i)
+		}
+	}
+	st, _ := lp.DriftStats()
+	if st.Samples != 6 || st.Agreement != 1 {
+		t.Errorf("stats Samples=%d Agreement=%.3f, want 6/1.0", st.Samples, st.Agreement)
+	}
+	if st.Demoted || st.ShadowAudits != 0 {
+		t.Errorf("stats Demoted=%v ShadowAudits=%d, want false/0", st.Demoted, st.ShadowAudits)
+	}
+}
+
+func TestDriftDisagreeingFallbacksDemote(t *testing.T) {
+	// Low-confidence AND wrong: fallback epochs alone must accumulate
+	// enough disagreement to demote, no audits configured.
+	lp, err := NewLearned(stubModel(t, 0.55, 0.45), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.EnableDrift(DriftConfig{Window: 8, MinSamples: 4, AgreementFloor: 0.9})
+	cfg := DefaultConfig()
+	target := learnedTestTarget()
+	demoted := false
+	for i := 0; i < 4; i++ {
+		dec, err := lp.Epoch(target, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.LearnDemoted {
+			demoted = true
+		}
+	}
+	if !demoted {
+		t.Fatal("disagreeing fallback epochs never demoted")
+	}
+	// Post-demotion epochs skip prediction entirely.
+	dec, err := lp.Epoch(target, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.PredConfidence != 0 || dec.LearnFallback || dec.Predicted {
+		t.Errorf("demoted epoch consulted the model: %+v", dec)
+	}
+}
+
+func TestDriftMonitorSharedAcrossClones(t *testing.T) {
+	lp := invertedModel(t).EnableDrift(DriftConfig{
+		Window: 4, MinSamples: 2, AgreementFloor: 0.9, ShadowEvery: 1,
+	})
+	clone := lp.Clone().(*Learned)
+	cfg := DefaultConfig()
+	// Drive the CLONE until it demotes; the parent must see it.
+	target := learnedTestTarget()
+	for i := 0; i < 3; i++ {
+		if _, err := clone.Epoch(target, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := lp.DriftStats()
+	if !ok || !st.Demoted {
+		t.Fatalf("parent does not see clone's demotion: ok=%v stats=%+v", ok, st)
+	}
+	cst, _ := clone.DriftStats()
+	if cst != st {
+		t.Errorf("clone and parent stats differ: %+v vs %+v", cst, st)
+	}
+}
+
+func TestDriftAuditCadence(t *testing.T) {
+	d := newDriftMonitor(DriftConfig{Window: 16, ShadowEvery: 3})
+	var due []bool
+	for i := 0; i < 7; i++ {
+		due = append(due, d.auditDue())
+	}
+	want := []bool{false, false, true, false, false, true, false}
+	for i := range want {
+		if due[i] != want[i] {
+			t.Fatalf("auditDue sequence %v, want %v", due, want)
+		}
+	}
+	if st := d.stats(); st.ShadowAudits != 2 {
+		t.Errorf("ShadowAudits = %d, want 2", st.ShadowAudits)
+	}
+
+	// ShadowEvery 0 never audits.
+	d0 := newDriftMonitor(DriftConfig{})
+	for i := 0; i < 10; i++ {
+		if d0.auditDue() {
+			t.Fatal("audit due with ShadowEvery 0")
+		}
+	}
+}
+
+func TestDriftWindowRolls(t *testing.T) {
+	d := newDriftMonitor(DriftConfig{Window: 4, MinSamples: 4, AgreementFloor: 0.4})
+	// Fill the window with agreement (predicted == actual on both cores).
+	if d.observe([]int{0, 1}, []int{0, 1}, []int{0, 1}) {
+		t.Fatal("agreeing observation demoted")
+	}
+	d.observe([]int{0, 1}, []int{0, 1}, []int{0, 1})
+	if st := d.stats(); st.Samples != 4 || st.Agreement != 1 {
+		t.Fatalf("stats after fill: %+v", st)
+	}
+	// Each disagreeing epoch overwrites the two oldest entries: agreement
+	// falls 1.0 → 0.5 → 0.0 as the window rolls, and demotion fires once,
+	// on the epoch that crosses the 0.4 floor.
+	if d.observe([]int{0, 1}, nil, []int{0, 1}) {
+		t.Fatal("demoted at 0.5 agreement with floor 0.4")
+	}
+	if !d.observe([]int{0, 1}, nil, []int{0, 1}) {
+		t.Fatal("no demotion at 0.0 agreement with floor 0.4")
+	}
+	if d.observe([]int{0, 1}, nil, []int{0, 1}) {
+		t.Fatal("demotion fired twice")
+	}
+	if st := d.stats(); st.Samples != 4 || !st.Demoted || st.Demotions != 1 {
+		t.Errorf("stats after roll: %+v", st)
+	}
+}

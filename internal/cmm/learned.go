@@ -27,10 +27,18 @@ const DefaultConfidence = 0.8
 //
 // The model is read-only after construction, so Learned is safe to share
 // across concurrent runs and Clone can return a shallow copy.
+//
+// EnableDrift adds a runtime drift monitor on top: predictions are
+// checked against the sampling path's ground truth (free on fallback
+// epochs, forced on periodic shadow audits) and the policy demotes
+// itself to pure CMM-a when agreement drops below the configured floor.
+// Drift monitoring is opt-in so the deterministic experiment paths stay
+// byte-identical; the serving tier (cmmserve -model-dir) enables it.
 type Learned struct {
 	model     *learn.Model
 	threshold float64
 	base      Coordinated
+	drift     *driftMonitor
 }
 
 // NewLearned builds the CMM-L policy around a validated model. A
@@ -58,10 +66,33 @@ func (p *Learned) StoreIdentity() string {
 	return fmt.Sprintf("CMM-L@%s/t%.3f", p.model.Fingerprint(), p.threshold)
 }
 
+// Fingerprint exposes the loaded model's fingerprint (for /v1/model).
+func (p *Learned) Fingerprint() string { return p.model.Fingerprint() }
+
+// EnableDrift attaches a drift monitor and returns p. Clones share the
+// monitor, so drift evidence from every concurrent job counts against
+// the one served model and a demotion is service-wide and sticky; a
+// newly promoted model gets a fresh Learned and with it a fresh monitor.
+func (p *Learned) EnableDrift(cfg DriftConfig) *Learned {
+	p.drift = newDriftMonitor(cfg)
+	return p
+}
+
+// DriftStats snapshots the drift monitor; ok is false when EnableDrift
+// was never called.
+func (p *Learned) DriftStats() (DriftStats, bool) {
+	if p.drift == nil {
+		return DriftStats{}, false
+	}
+	return p.drift.stats(), true
+}
+
 // Clone implements Policy. The model is immutable, but the embedded CMM-a
 // fallback accumulates gate/scratch state across epochs, so it is reset to
 // a fresh instance rather than shallow-copied (two clones must never share
-// its cached slices).
+// its cached slices). The drift monitor, when enabled, IS shared by the
+// shallow copy: demotion is a property of the served model, not of one
+// job's clone (see EnableDrift).
 func (p *Learned) Clone() Policy {
 	cp := *p
 	cp.base = Coordinated{Variant: p.base.Variant}
@@ -85,13 +116,31 @@ func (p *Learned) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, erro
 		return p.base.epochWithDetection(t, cfg, probe, det, dec, exec)
 	}
 
+	if p.drift != nil && p.drift.demotedNow() {
+		// Sticky demotion: the model lost the drift monitor's confidence,
+		// so every epoch runs the CMM-a sampling path — byte-identical
+		// machine programming to CMM-a, no predictions consulted — until a
+		// newly promoted model replaces this policy instance.
+		return p.base.epochWithDetection(t, cfg, probe, det, dec, exec)
+	}
+
 	throttle, minConf := p.predict(det)
 	dec.PredConfidence = minConf
 	if minConf < p.threshold {
 		// Low confidence: run CMM-a's sampling path on the same probe and
 		// let the resulting event re-enter the training corpus.
 		dec.LearnFallback = true
-		return p.base.epochWithDetection(t, cfg, probe, det, dec, exec)
+		return p.finishSampled(t, cfg, probe, det, dec, exec, throttle)
+	}
+
+	if p.drift != nil && p.drift.auditDue() {
+		// Shadow audit: the model is confident, but this epoch runs the
+		// full sampling path anyway and the sampled decision is what gets
+		// applied — the prediction is only compared against it. Costs one
+		// CMM-a epoch; bounds how stale the drift window can get when the
+		// model is never unsure.
+		dec.ShadowAudit = true
+		return p.finishSampled(t, cfg, probe, det, dec, exec, throttle)
 	}
 
 	// Confident: act on the prediction. VariantA's layout depends only on
@@ -110,6 +159,23 @@ func (p *Learned) Epoch(t Target, cfg Config, exec []pmu.Sample) (Decision, erro
 		return Decision{}, err
 	}
 	return dec, nil
+}
+
+// finishSampled completes a fallback or shadow-audit epoch: runs CMM-a's
+// sampling path on the probe already taken, then feeds the (prediction,
+// sampled ground truth) comparison to the drift monitor. The demotion
+// transition, when this observation trips it, is flagged on the decision
+// so the telemetry stream records the event exactly once.
+func (p *Learned) finishSampled(t Target, cfg Config, probe []pmu.Sample, det Detection,
+	dec Decision, exec []pmu.Sample, predicted []int) (Decision, error) {
+	res, err := p.base.epochWithDetection(t, cfg, probe, det, dec, exec)
+	if err != nil || p.drift == nil {
+		return res, err
+	}
+	if p.drift.observe(det.Agg, predicted, res.Disabled) {
+		res.LearnDemoted = true
+	}
+	return res, nil
 }
 
 // predict runs the model on every Agg core's feature vector and returns

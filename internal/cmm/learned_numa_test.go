@@ -1,0 +1,180 @@
+package cmm_test
+
+// CMM-L on NUMA geometry: the learned policy's fallback path must stay
+// byte-identical to CMM-a on a node-sharded 16-core machine, and the
+// feature extractor must produce full-width vectors from its epoch
+// events. (The unit tests in package cmm pin the same properties on a
+// scripted 4-core target; these run the real simulator.)
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cmm/internal/cmm"
+	"cmm/internal/learn"
+	"cmm/internal/mixes"
+	"cmm/internal/sim"
+	"cmm/internal/telemetry"
+)
+
+const numaCores = 16
+
+// lowConfModel always predicts with confidence 0.55 — below every
+// sensible threshold, so the policy falls back to sampling on all cores.
+func lowConfModel(t *testing.T) *learn.Model {
+	t.Helper()
+	m := &learn.Model{
+		Schema:        learn.ModelSchema,
+		SchemaVersion: learn.SchemaVersion,
+		Kind:          learn.KindTree,
+		Features:      append([]string(nil), learn.FeatureNames...),
+		TrainExamples: 100,
+		Tree: &learn.Tree{Nodes: []learn.TreeNode{
+			{Leaf: false, Feature: 0, Threshold: 1, Left: 1, Right: 2, Prob: 0.5, N: 100},
+			{Leaf: true, Prob: 0.45, N: 50},
+			{Leaf: true, Prob: 0.55, N: 50},
+		}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// numaSystem builds one 16-core ManyCore mix on a 2-node sharded
+// topology. Both calls with the same seed build identical machines, so a
+// CMM-L run and a CMM-a run can be compared epoch for epoch.
+func numaSystem(t testing.TB, seed int64) *sim.System {
+	t.Helper()
+	fam, err := mixes.ManyCoreFamily(numaCores, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Topology = sim.Topology{
+		Nodes:         2,
+		RemotePenalty: sim.DefaultRemotePenalty,
+		ShardedRun:    true,
+	}
+	sys, err := sim.New(cfg, fam[0].Specs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSimLearnedFallbackMatchesCMMAOnNUMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator integration is slow")
+	}
+	lp, err := cmm.NewLearned(lowConfModel(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlL, err := cmm.NewController(quickCfg(), cmm.NewSimTarget(numaSystem(t, 1)), lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlA, err := cmm.NewController(quickCfg(), cmm.NewSimTarget(numaSystem(t, 1)),
+		&cmm.Coordinated{Variant: cmm.VariantA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const epochs = 3
+	if err := ctrlL.RunEpochs(epochs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrlA.RunEpochs(epochs); err != nil {
+		t.Fatal(err)
+	}
+	dL, dA := ctrlL.Decisions(), ctrlA.Decisions()
+	if len(dL) != epochs || len(dA) != epochs {
+		t.Fatalf("decision counts %d/%d, want %d", len(dL), len(dA), epochs)
+	}
+	sawAgg := false
+	for e := range dL {
+		l, a := dL[e], dA[e]
+		if len(l.Detection.Agg) > 0 {
+			sawAgg = true
+			if !l.LearnFallback {
+				t.Errorf("epoch %d: low-confidence model did not fall back: %+v", e, l)
+			}
+		}
+		if !reflect.DeepEqual(l.Detection.Agg, a.Detection.Agg) {
+			t.Errorf("epoch %d: Agg diverged: CMM-L %v vs CMM-a %v", e, l.Detection.Agg, a.Detection.Agg)
+		}
+		if !reflect.DeepEqual(l.Disabled, a.Disabled) {
+			t.Errorf("epoch %d: Disabled diverged: CMM-L %v vs CMM-a %v", e, l.Disabled, a.Disabled)
+		}
+		if !reflect.DeepEqual(l.Friendly, a.Friendly) {
+			t.Errorf("epoch %d: Friendly diverged: CMM-L %v vs CMM-a %v", e, l.Friendly, a.Friendly)
+		}
+		if l.SampledCombos != a.SampledCombos {
+			t.Errorf("epoch %d: sampled %d combos vs CMM-a's %d", e, l.SampledCombos, a.SampledCombos)
+		}
+		if !reflect.DeepEqual(l.Plan, a.Plan) {
+			t.Errorf("epoch %d: partition plan diverged", e)
+		}
+	}
+	if !sawAgg {
+		t.Fatal("no epoch formed an Agg set; the mix exercises nothing")
+	}
+}
+
+// epochSink buffers epoch events (controllers run on one goroutine, but
+// keep it lock-safe like the real sinks).
+type epochSink struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (s *epochSink) Emit(e telemetry.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Type == telemetry.TypeEpoch {
+		s.events = append(s.events, e)
+	}
+}
+
+func TestSimLearnedFeatureExtractionOnNUMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator integration is slow")
+	}
+	sink := &epochSink{}
+	ctrl, err := cmm.NewController(quickCfg(), cmm.NewSimTarget(numaSystem(t, 2)),
+		&cmm.Coordinated{Variant: cmm.VariantA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetSink(sink)
+	if err := ctrl.RunEpochs(3); err != nil {
+		t.Fatal(err)
+	}
+
+	var exs []learn.Example
+	for _, e := range sink.events {
+		if len(e.PGA) != numaCores {
+			t.Fatalf("epoch %d carries %d per-core metrics, want %d", e.Epoch, len(e.PGA), numaCores)
+		}
+		exs = append(exs, learn.FromEvent(e)...)
+	}
+	if len(exs) == 0 {
+		t.Fatal("no training examples extracted from NUMA epochs")
+	}
+	for _, ex := range exs {
+		if ex.Core < 0 || ex.Core >= numaCores {
+			t.Errorf("example core %d out of range [0,%d)", ex.Core, numaCores)
+		}
+		if len(ex.Features) != learn.NumFeatures {
+			t.Fatalf("feature vector has %d entries, want %d", len(ex.Features), learn.NumFeatures)
+		}
+		for i, x := range ex.Features {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("core %d feature %d (%s) = %v, want finite", ex.Core, i, learn.FeatureNames[i], x)
+			}
+		}
+	}
+}

@@ -53,6 +53,14 @@ type Decision struct {
 	// the sampling path for this epoch; the decision then doubles as a
 	// fresh training example (internal/learn harvests it).
 	LearnFallback bool
+	// ShadowAudit reports a drift-monitor audit epoch: the model was
+	// confident, but the full sampling path ran anyway and its decision
+	// was applied, with the prediction only compared against it.
+	ShadowAudit bool
+	// LearnDemoted marks the single epoch whose drift observation tripped
+	// auto-demotion to CMM-a; the demoted state itself is sticky and
+	// visible via Learned.DriftStats, not repeated on later decisions.
+	LearnDemoted bool
 	// CoreNode maps each core to its NUMA node and NodeAgg counts the
 	// detected Agg cores per node, so decisions stay attributable on
 	// multi-node geometries. Both are nil on single-node targets.

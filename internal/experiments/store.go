@@ -139,9 +139,11 @@ type storeIdentity interface {
 	StoreIdentity() string
 }
 
-// policyStoreName returns the policy's run-store identity: its
-// StoreIdentity when implemented, its report name otherwise.
-func policyStoreName(p cmm.Policy) string {
+// PolicyStoreName returns the policy's run-store identity: its
+// StoreIdentity when implemented, its report name otherwise. The serving
+// tier uses it to key job-level results so CMM-L jobs address per-model
+// entries.
+func PolicyStoreName(p cmm.Policy) string {
 	if si, ok := p.(storeIdentity); ok {
 		return si.StoreIdentity()
 	}
@@ -172,7 +174,7 @@ func runPolicyCached(opts Options, mix mixes.Mix, policy cmm.Policy, seed int64)
 	if opts.Store == nil {
 		return runPolicy(opts, mix, policy.Clone(), seed)
 	}
-	key, err := opts.policyKeyHash(mix, policyStoreName(policy), seed)
+	key, err := opts.policyKeyHash(mix, PolicyStoreName(policy), seed)
 	if err != nil {
 		return policyRun{}, fmt.Errorf("experiments: store key: %w", err)
 	}

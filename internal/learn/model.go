@@ -169,25 +169,7 @@ func Train(exs []Example, p TrainParams) (*Model, Metrics, error) {
 		return nil, Metrics{}, fmt.Errorf("learn: %d examples is too few to train (need >= 10)", len(exs))
 	}
 
-	idx := make([]int, len(exs))
-	for i := range idx {
-		idx[i] = i
-	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-	nHold := int(float64(len(exs)) * p.HoldoutFrac)
-	if nHold < 1 {
-		nHold = 1
-	}
-	hold := make([]Example, 0, nHold)
-	train := make([]Example, 0, len(exs)-nHold)
-	for k, i := range idx {
-		if k < nHold {
-			hold = append(hold, exs[i])
-		} else {
-			train = append(train, exs[i])
-		}
-	}
+	train, hold := SplitHoldout(exs, p.Seed, p.HoldoutFrac)
 
 	fit := func(data []Example) (*Model, error) {
 		m := &Model{
@@ -225,6 +207,37 @@ func Train(exs []Example, p TrainParams) (*Model, Metrics, error) {
 		return nil, Metrics{}, err
 	}
 	return final, met, nil
+}
+
+// SplitHoldout deterministically splits exs into train/holdout sets with
+// a seeded shuffle, holding out frac of the examples (at least one; frac
+// outside (0,1) defaults to 0.2). Train uses this internally; the retrain
+// loop reuses it to score a candidate and the incumbent champion on the
+// same holdout split.
+func SplitHoldout(exs []Example, seed int64, frac float64) (train, hold []Example) {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.2
+	}
+	idx := make([]int, len(exs))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	nHold := int(float64(len(exs)) * frac)
+	if nHold < 1 {
+		nHold = 1
+	}
+	hold = make([]Example, 0, nHold)
+	train = make([]Example, 0, len(exs)-nHold)
+	for k, i := range idx {
+		if k < nHold {
+			hold = append(hold, exs[i])
+		} else {
+			train = append(train, exs[i])
+		}
+	}
+	return train, hold
 }
 
 // Evaluate scores the model on a labeled set.

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"cmm/internal/learn"
 	"cmm/internal/runstore"
 )
 
@@ -28,6 +30,9 @@ const retryAfterSeconds = "5"
 //	                            ?format=csv, ?wait= to block for publication)
 //	POST   /v1/results/lookup   config JSON -> canonical store key; serves the
 //	                            cached result or enqueues the compute (?wait=)
+//	GET    /v1/model            served CMM-L model: fingerprint, age, drift
+//	                            stats, demoted flag (404 without -model-dir)
+//	POST   /v1/model/rollback   revert to the previous promoted model
 //	GET    /metrics             counters + store/queue/lease gauges, text exposition
 //	GET    /healthz             liveness ("ok", or 503 "draining" during shutdown)
 //
@@ -42,6 +47,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleGetResult)
 	mux.HandleFunc("POST /v1/results/lookup", s.handleLookup)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/model/rollback", s.handleModelRollback)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -290,6 +297,34 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Models == nil {
+		httpError(w, http.StatusNotFound, "no model registry configured on this worker")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Models.Status())
+}
+
+func (s *Server) handleModelRollback(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Models == nil {
+		httpError(w, http.StatusNotFound, "no model registry configured on this worker")
+		return
+	}
+	fp, err := s.cfg.Models.Rollback()
+	if err != nil {
+		if errors.Is(err, learn.ErrNoModel) {
+			httpError(w, http.StatusConflict, "nothing to roll back to: %v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "rollback: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fingerprint": fp,
+		"model":       s.cfg.Models.Status(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.cfg.Counters.WriteMetrics(w, "cmm_")
@@ -325,6 +360,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "cmm_store_breaker_open %d\n", open)
 		fmt.Fprintf(w, "cmm_store_breaker_trips_total %d\n", st.BreakerTrips)
 		fmt.Fprintf(w, "cmm_store_breaker_skipped_total %d\n", st.BreakerSkipped)
+	}
+	if s.cfg.Models != nil {
+		st := s.cfg.Models.Status()
+		loaded := 0
+		if st.Loaded {
+			loaded = 1
+		}
+		fmt.Fprintf(w, "cmm_model_loaded %d\n", loaded)
+		fmt.Fprintf(w, "cmm_model_age_seconds %g\n", st.AgeSeconds)
+		if st.Drift != nil {
+			demoted := 0
+			if st.Drift.Demoted {
+				demoted = 1
+			}
+			fmt.Fprintf(w, "cmm_learn_drift_agreement %g\n", st.Drift.Agreement)
+			fmt.Fprintf(w, "cmm_learn_drift_samples %d\n", st.Drift.Samples)
+			fmt.Fprintf(w, "cmm_learn_demoted %d\n", demoted)
+		}
 	}
 	if s.cfg.Jobs != nil {
 		if leases, err := s.cfg.Jobs.Leases(); err == nil {

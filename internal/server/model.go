@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"cmm/internal/cmm"
+	"cmm/internal/learn"
+	"cmm/internal/telemetry"
+)
+
+// ModelManager serves CMM-L from a model registry with atomic hot swap:
+// jobs read the current policy under an RLock while Reload (pointer poll,
+// SIGHUP, or rollback) swaps in a freshly built policy under the write
+// lock. In-flight jobs keep the *cmm.Learned they cloned at start — the
+// run store keys results by model fingerprint (StoreIdentity), so a job
+// finishing on the old model stays correct after a swap.
+//
+// A reload that hits a corrupt or mid-write model file keeps the old
+// policy serving and only records the error: a bad promotion can never
+// take a worker down.
+type ModelManager struct {
+	reg        *learn.Registry
+	confidence float64
+	drift      cmm.DriftConfig
+	counters   *telemetry.Counters
+
+	mu       sync.RWMutex
+	policy   *cmm.Learned
+	fp       string
+	loadedAt time.Time
+	lastErr  string
+}
+
+// NewModelManager builds a manager over an opened registry. confidence
+// <= 0 selects cmm.DefaultConfidence; drift's zero value gets the
+// DriftConfig defaults (drift monitoring is always on for served models
+// — the zero ShadowEvery just disables forced audits). counters may be
+// nil. Call Reload to load the initial model.
+func NewModelManager(reg *learn.Registry, confidence float64, drift cmm.DriftConfig, counters *telemetry.Counters) *ModelManager {
+	return &ModelManager{reg: reg, confidence: confidence, drift: drift, counters: counters}
+}
+
+// Policy returns the currently served CMM-L policy, or false when no
+// model has been loaded yet. Callers must Clone before running epochs.
+func (m *ModelManager) Policy() (*cmm.Learned, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.policy, m.policy != nil
+}
+
+// Fingerprint returns the served model's fingerprint ("" when none).
+func (m *ModelManager) Fingerprint() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fp
+}
+
+// Reload checks the registry's current pointer and hot-swaps the served
+// policy when it changed. It reports whether a swap happened. Any
+// failure (no model promoted yet, corrupt file, torn pointer) leaves the
+// previous policy serving and is recorded on /v1/model.
+func (m *ModelManager) Reload() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fp, err := m.reg.CurrentFingerprint()
+	if err != nil {
+		// An empty registry before the first promotion is the normal cold
+		// start, not a reload error.
+		if !errors.Is(err, learn.ErrNoModel) || m.policy != nil {
+			m.noteErrLocked(err)
+			return false, err
+		}
+		m.lastErr = ""
+		return false, err
+	}
+	if fp == m.fp && m.policy != nil {
+		m.lastErr = ""
+		return false, nil
+	}
+	model, err := m.reg.Load(fp)
+	if err != nil {
+		m.noteErrLocked(err)
+		return false, err
+	}
+	policy, err := cmm.NewLearned(model, m.confidence)
+	if err != nil {
+		m.noteErrLocked(err)
+		return false, err
+	}
+	// A fresh policy gets a fresh drift monitor: promotion resets any
+	// demoted state, and the new model earns its own agreement window.
+	policy.EnableDrift(m.drift)
+	m.policy, m.fp, m.loadedAt, m.lastErr = policy, fp, time.Now(), ""
+	if m.counters != nil {
+		m.counters.ModelReloaded()
+	}
+	return true, nil
+}
+
+func (m *ModelManager) noteErrLocked(err error) {
+	m.lastErr = err.Error()
+	if m.counters != nil {
+		m.counters.ModelReloadError()
+	}
+}
+
+// Rollback reverts the registry to the previous promoted model and
+// serves it immediately.
+func (m *ModelManager) Rollback() (string, error) {
+	fp, err := m.reg.Rollback()
+	if err != nil {
+		return "", err
+	}
+	if m.counters != nil {
+		m.counters.ModelRollback()
+	}
+	if _, err := m.Reload(); err != nil {
+		return "", fmt.Errorf("rolled back to %s but reload failed: %w", fp, err)
+	}
+	return fp, nil
+}
+
+// ModelStatus is the GET /v1/model payload.
+type ModelStatus struct {
+	// Loaded is false before the first successful model load; every other
+	// field but LastError is then zero.
+	Loaded      bool    `json:"loaded"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	LoadedAt    string  `json:"loaded_at,omitempty"`
+	AgeSeconds  float64 `json:"age_seconds,omitempty"`
+	// Confidence is the prediction threshold the served policy uses.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Drift is the served policy's drift-monitor snapshot, and Demoted
+	// mirrors Drift.Demoted at the top level for quick probes.
+	Drift   *cmm.DriftStats `json:"drift,omitempty"`
+	Demoted bool            `json:"demoted"`
+	// LastError is the most recent reload failure ("" when the last
+	// reload succeeded); the previous model keeps serving through it.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Status snapshots the manager for /v1/model.
+func (m *ModelManager) Status() ModelStatus {
+	m.mu.RLock()
+	policy, fp, loadedAt, lastErr := m.policy, m.fp, m.loadedAt, m.lastErr
+	m.mu.RUnlock()
+	st := ModelStatus{LastError: lastErr}
+	if policy == nil {
+		return st
+	}
+	st.Loaded = true
+	st.Fingerprint = fp
+	st.LoadedAt = loadedAt.UTC().Format(time.RFC3339Nano)
+	st.AgeSeconds = time.Since(loadedAt).Seconds()
+	st.Confidence = m.confidence
+	if ds, ok := policy.DriftStats(); ok {
+		st.Drift = &ds
+		st.Demoted = ds.Demoted
+	}
+	return st
+}
+
+// Watch polls the registry pointer on interval and reloads on change or
+// SIGHUP, until ctx ends. Reload errors are absorbed (recorded on
+// /v1/model and the reload-error counter); the old model keeps serving.
+func (m *ModelManager) Watch(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			m.Reload()
+		case <-t.C:
+			m.Reload()
+		}
+	}
+}

@@ -42,6 +42,13 @@ type Config struct {
 	// Counters receives run telemetry from every job and backs /metrics.
 	// Nil gets a private set.
 	Counters *telemetry.Counters
+	// EventSink receives every job's full per-epoch event stream in
+	// addition to Counters — typically a JSONL sink whose learn_fallback
+	// events accumulate the CMM-L retraining corpus. Nil disables.
+	EventSink telemetry.Sink
+	// Models serves the CMM-L policy from a model registry with hot
+	// reload, /v1/model, and rollback (nil leaves CMM-L unavailable).
+	Models *ModelManager
 	// DefaultTimeout bounds a job's execution when the submission carries
 	// no timeout_seconds. Zero means no limit.
 	DefaultTimeout time.Duration
@@ -419,7 +426,7 @@ func (s *Server) buildJob(req jobRequest) (*job, error) {
 		opts.Workers = req.Workers
 	}
 	opts.Store = s.cfg.Store
-	opts.Telemetry = s.cfg.Counters
+	opts.Telemetry = telemetry.Multi(s.cfg.Counters, s.cfg.EventSink)
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -430,6 +437,16 @@ func (s *Server) buildJob(req jobRequest) (*job, error) {
 	} else {
 		for _, name := range req.Policies {
 			p, ok := cmm.PolicyByName(name)
+			if !ok && name == "CMM-L" && s.cfg.Models != nil {
+				// The learned policy is served from the model registry, not
+				// the static table: jobs get whatever model is current at
+				// build time, and keep it for their whole run even if a
+				// promotion swaps the served model mid-flight.
+				p, ok = s.cfg.Models.Policy()
+				if !ok {
+					return nil, fmt.Errorf("policy CMM-L: no model loaded (registry empty or last reload failed)")
+				}
+			}
 			if !ok {
 				return nil, fmt.Errorf("unknown policy %q", name)
 			}
@@ -445,7 +462,11 @@ func (s *Server) buildJob(req jobRequest) (*job, error) {
 	var keyPolicies []string
 	if req.Kind == "comparison" {
 		for _, p := range policies {
-			keyPolicies = append(keyPolicies, p.Name())
+			// Store identity, not report name: CMM-L results depend on the
+			// loaded model, so jobs run under different models must address
+			// different results. Classic policies are unaffected (their
+			// identity IS their name).
+			keyPolicies = append(keyPolicies, experiments.PolicyStoreName(p))
 		}
 	}
 	resultKey, err := experiments.JobKey(req.Kind, opts, keyPolicies)

@@ -124,6 +124,13 @@ type Event struct {
 	PredConfidence float64 `json:"pred_confidence,omitempty"`
 	LearnFallback  bool    `json:"learn_fallback,omitempty"`
 
+	// ShadowAudit marks a drift-monitor audit epoch: a confident
+	// prediction checked by running the full sampling path anyway.
+	// LearnDemoted marks the single epoch whose drift observation
+	// auto-demoted the learned policy back to pure CMM-a.
+	ShadowAudit  bool `json:"shadow_audit,omitempty"`
+	LearnDemoted bool `json:"learn_demoted,omitempty"`
+
 	// CoreNode maps each core to its NUMA node and NodeAgg counts the
 	// epoch's Agg cores per node; both are empty on single-node machines,
 	// so single-socket event streams are unchanged.
@@ -319,9 +326,19 @@ type Counters struct {
 	samplingIntervals atomic.Int64
 	learnPredictions  atomic.Int64
 	learnFallbacks    atomic.Int64
+	learnShadowAudits atomic.Int64
+	learnDemotions    atomic.Int64
 	soloRuns          atomic.Int64
 	storeHits         atomic.Int64
 	storeMisses       atomic.Int64
+
+	// Model-lifecycle counters, bumped directly by the serving tier's
+	// model manager (they have no epoch-event form): successful hot
+	// reloads, reload attempts rejected by a corrupt or missing model
+	// (the old model kept serving), and operator rollbacks.
+	modelReloads      atomic.Int64
+	modelReloadErrors atomic.Int64
+	modelRollbacks    atomic.Int64
 
 	// Job-lifecycle robustness counters, bumped directly by the job
 	// server (they have no epoch-event form): attempts retried after a
@@ -360,6 +377,16 @@ func (c *Counters) JobRequeued() { c.jobsRequeued.Add(1) }
 // parked in the terminal failed state.
 func (c *Counters) JobQuarantined() { c.jobsQuarantined.Add(1) }
 
+// ModelReloaded records one successful hot swap of the served model.
+func (c *Counters) ModelReloaded() { c.modelReloads.Add(1) }
+
+// ModelReloadError records one reload attempt that failed (corrupt or
+// mid-write model file); the previous model kept serving.
+func (c *Counters) ModelReloadError() { c.modelReloadErrors.Add(1) }
+
+// ModelRollback records one operator-initiated model rollback.
+func (c *Counters) ModelRollback() { c.modelRollbacks.Add(1) }
+
 // Emit implements Sink.
 func (c *Counters) Emit(e Event) {
 	switch e.Type {
@@ -383,6 +410,12 @@ func (c *Counters) Emit(e Event) {
 		if e.LearnFallback {
 			c.learnFallbacks.Add(1)
 		}
+		if e.ShadowAudit {
+			c.learnShadowAudits.Add(1)
+		}
+		if e.LearnDemoted {
+			c.learnDemotions.Add(1)
+		}
 		c.samplingCycles.Add(e.ProfCycles)
 		c.samplingIntervals.Add(int64(e.SampledCombos))
 	case TypeSolo:
@@ -400,24 +433,29 @@ func (c *Counters) Emit(e Event) {
 // names WriteMetrics prints, without the prefix).
 func (c *Counters) Snapshot() map[string]uint64 {
 	return map[string]uint64{
-		"epochs_total":             uint64(c.epochs.Load()),
-		"detections_total":         uint64(c.detections.Load()),
-		"throttle_flips_total":     uint64(c.throttleFlips.Load()),
-		"partition_changes_total":  uint64(c.partitionChanges.Load()),
-		"mba_changes_total":        uint64(c.mbaChanges.Load()),
-		"sampling_cycles_total":    c.samplingCycles.Load(),
-		"sampling_intervals_total": uint64(c.samplingIntervals.Load()),
-		"learn_predictions_total":  uint64(c.learnPredictions.Load()),
-		"learn_fallbacks_total":    uint64(c.learnFallbacks.Load()),
-		"solo_runs_total":          uint64(c.soloRuns.Load()),
-		"store_hits_total":         uint64(c.storeHits.Load()),
-		"store_misses_total":       uint64(c.storeMisses.Load()),
-		"jobs_retried_total":       uint64(c.jobsRetried.Load()),
-		"jobs_requeued_total":      uint64(c.jobsRequeued.Load()),
-		"jobs_quarantined_total":   uint64(c.jobsQuarantined.Load()),
-		"read_hits_total":          uint64(c.readHits.Load()),
-		"read_misses_total":        uint64(c.readMisses.Load()),
-		"read_not_modified_total":  uint64(c.readNotModified.Load()),
+		"epochs_total":              uint64(c.epochs.Load()),
+		"detections_total":          uint64(c.detections.Load()),
+		"throttle_flips_total":      uint64(c.throttleFlips.Load()),
+		"partition_changes_total":   uint64(c.partitionChanges.Load()),
+		"mba_changes_total":         uint64(c.mbaChanges.Load()),
+		"sampling_cycles_total":     c.samplingCycles.Load(),
+		"sampling_intervals_total":  uint64(c.samplingIntervals.Load()),
+		"learn_predictions_total":   uint64(c.learnPredictions.Load()),
+		"learn_fallbacks_total":     uint64(c.learnFallbacks.Load()),
+		"learn_shadow_audits_total": uint64(c.learnShadowAudits.Load()),
+		"learn_demotions_total":     uint64(c.learnDemotions.Load()),
+		"model_reloads_total":       uint64(c.modelReloads.Load()),
+		"model_reload_errors_total": uint64(c.modelReloadErrors.Load()),
+		"model_rollbacks_total":     uint64(c.modelRollbacks.Load()),
+		"solo_runs_total":           uint64(c.soloRuns.Load()),
+		"store_hits_total":          uint64(c.storeHits.Load()),
+		"store_misses_total":        uint64(c.storeMisses.Load()),
+		"jobs_retried_total":        uint64(c.jobsRetried.Load()),
+		"jobs_requeued_total":       uint64(c.jobsRequeued.Load()),
+		"jobs_quarantined_total":    uint64(c.jobsQuarantined.Load()),
+		"read_hits_total":           uint64(c.readHits.Load()),
+		"read_misses_total":         uint64(c.readMisses.Load()),
+		"read_not_modified_total":   uint64(c.readNotModified.Load()),
 	}
 }
 
@@ -442,24 +480,29 @@ func (c *Counters) WriteMetrics(w io.Writer, prefix string) {
 // process — daemon startup, not library code.
 func (c *Counters) PublishExpvar(prefix string) {
 	for name, load := range map[string]func() uint64{
-		"epochs_total":             func() uint64 { return uint64(c.epochs.Load()) },
-		"detections_total":         func() uint64 { return uint64(c.detections.Load()) },
-		"throttle_flips_total":     func() uint64 { return uint64(c.throttleFlips.Load()) },
-		"partition_changes_total":  func() uint64 { return uint64(c.partitionChanges.Load()) },
-		"mba_changes_total":        func() uint64 { return uint64(c.mbaChanges.Load()) },
-		"sampling_cycles_total":    func() uint64 { return c.samplingCycles.Load() },
-		"sampling_intervals_total": func() uint64 { return uint64(c.samplingIntervals.Load()) },
-		"learn_predictions_total":  func() uint64 { return uint64(c.learnPredictions.Load()) },
-		"learn_fallbacks_total":    func() uint64 { return uint64(c.learnFallbacks.Load()) },
-		"solo_runs_total":          func() uint64 { return uint64(c.soloRuns.Load()) },
-		"store_hits_total":         func() uint64 { return uint64(c.storeHits.Load()) },
-		"store_misses_total":       func() uint64 { return uint64(c.storeMisses.Load()) },
-		"jobs_retried_total":       func() uint64 { return uint64(c.jobsRetried.Load()) },
-		"jobs_requeued_total":      func() uint64 { return uint64(c.jobsRequeued.Load()) },
-		"jobs_quarantined_total":   func() uint64 { return uint64(c.jobsQuarantined.Load()) },
-		"read_hits_total":          func() uint64 { return uint64(c.readHits.Load()) },
-		"read_misses_total":        func() uint64 { return uint64(c.readMisses.Load()) },
-		"read_not_modified_total":  func() uint64 { return uint64(c.readNotModified.Load()) },
+		"epochs_total":              func() uint64 { return uint64(c.epochs.Load()) },
+		"detections_total":          func() uint64 { return uint64(c.detections.Load()) },
+		"throttle_flips_total":      func() uint64 { return uint64(c.throttleFlips.Load()) },
+		"partition_changes_total":   func() uint64 { return uint64(c.partitionChanges.Load()) },
+		"mba_changes_total":         func() uint64 { return uint64(c.mbaChanges.Load()) },
+		"sampling_cycles_total":     func() uint64 { return c.samplingCycles.Load() },
+		"sampling_intervals_total":  func() uint64 { return uint64(c.samplingIntervals.Load()) },
+		"learn_predictions_total":   func() uint64 { return uint64(c.learnPredictions.Load()) },
+		"learn_fallbacks_total":     func() uint64 { return uint64(c.learnFallbacks.Load()) },
+		"learn_shadow_audits_total": func() uint64 { return uint64(c.learnShadowAudits.Load()) },
+		"learn_demotions_total":     func() uint64 { return uint64(c.learnDemotions.Load()) },
+		"model_reloads_total":       func() uint64 { return uint64(c.modelReloads.Load()) },
+		"model_reload_errors_total": func() uint64 { return uint64(c.modelReloadErrors.Load()) },
+		"model_rollbacks_total":     func() uint64 { return uint64(c.modelRollbacks.Load()) },
+		"solo_runs_total":           func() uint64 { return uint64(c.soloRuns.Load()) },
+		"store_hits_total":          func() uint64 { return uint64(c.storeHits.Load()) },
+		"store_misses_total":        func() uint64 { return uint64(c.storeMisses.Load()) },
+		"jobs_retried_total":        func() uint64 { return uint64(c.jobsRetried.Load()) },
+		"jobs_requeued_total":       func() uint64 { return uint64(c.jobsRequeued.Load()) },
+		"jobs_quarantined_total":    func() uint64 { return uint64(c.jobsQuarantined.Load()) },
+		"read_hits_total":           func() uint64 { return uint64(c.readHits.Load()) },
+		"read_misses_total":         func() uint64 { return uint64(c.readMisses.Load()) },
+		"read_not_modified_total":   func() uint64 { return uint64(c.readNotModified.Load()) },
 	} {
 		load := load
 		expvar.Publish(prefix+name, expvar.Func(func() any { return load() }))

@@ -13,6 +13,12 @@
 # lease. The durable cancel flag must reach the leaseholder via its
 # heartbeat and drive the job to the terminal canceled state.
 #
+# Phase 3 (model hot reload): trains and promotes a CMM-L model into the
+# registry both workers watch; both must hot-swap to it and serve a
+# CMM-L job. A corrupt promotion (torn envelope + flipped pointer) must
+# be rejected — old model keeps serving, reload-error counters bump —
+# and a clean second promotion must swap both workers again.
+#
 # Usage: scripts/two_worker_smoke.sh
 # Exits 0 on success; prints a FAIL line and exits 1 otherwise.
 set -euo pipefail
@@ -21,7 +27,9 @@ cd "$(dirname "$0")/.."
 
 WORK=$(mktemp -d)
 STORE="$WORK/store"
+MODELS="$WORK/models"
 BIN="$WORK/cmmserve"
+TRAINBIN="$WORK/cmmtrain"
 PORT_A=18290
 PORT_B=18291
 A_URL="http://127.0.0.1:$PORT_A"
@@ -48,14 +56,17 @@ jsonfield() {
     grep -o "\"$2\": *\"[^\"]*\"" "$1" | head -1 | sed 's/.*: *"//; s/"$//'
 }
 
-echo "building cmmserve"
+echo "building cmmserve and cmmtrain"
 go build -o "$BIN" ./cmd/cmmserve
+go build -o "$TRAINBIN" ./cmd/cmmtrain
 
 echo "starting workers a and b on shared store $STORE"
 "$BIN" -listen "127.0.0.1:$PORT_A" -store "$STORE" -worker-id smoke-a \
+    -model-dir "$MODELS" -model-poll 300ms \
     -lease-ttl 2s -scan 300ms >"$WORK/a.log" 2>&1 &
 A_PID=$!
 "$BIN" -listen "127.0.0.1:$PORT_B" -store "$STORE" -worker-id smoke-b \
+    -model-dir "$MODELS" -model-poll 300ms \
     -lease-ttl 2s -scan 300ms >"$WORK/b.log" 2>&1 &
 B_PID=$!
 
@@ -126,10 +137,12 @@ done
 echo "restarting worker $VICTIM for the cross-node cancel phase"
 if [ "$VICTIM" = a ]; then
     "$BIN" -listen "127.0.0.1:$PORT_A" -store "$STORE" -worker-id smoke-a \
+        -model-dir "$MODELS" -model-poll 300ms \
         -lease-ttl 2s -scan 300ms >>"$WORK/a.log" 2>&1 &
     A_PID=$!
 else
     "$BIN" -listen "127.0.0.1:$PORT_B" -store "$STORE" -worker-id smoke-b \
+        -model-dir "$MODELS" -model-poll 300ms \
         -lease-ttl 2s -scan 300ms >>"$WORK/b.log" 2>&1 &
     B_PID=$!
 fi
@@ -168,6 +181,7 @@ echo "job $JOB2 running on $RUNNER2; DELETE via the peer"
 curl -s -X DELETE "$PEER_URL/v1/jobs/$JOB2" >/dev/null || fail "peer DELETE failed"
 
 echo "waiting for the leaseholder to observe the cancel flag"
+CANCELED=""
 for i in $(seq 1 60); do
     curl -s "$PEER_URL/v1/jobs/$JOB2" >"$WORK/status2.json" || true
     state=$(jsonfield "$WORK/status2.json" state)
@@ -175,10 +189,84 @@ for i in $(seq 1 60); do
         grep -q 'cancelled by client' "$WORK/status2.json" \
             || fail "canceled without the client's reason: $(cat "$WORK/status2.json")"
         echo "PASS (phase 2): peer DELETE drove the remote job to terminal canceled"
-        echo "PASS: both phases"
-        exit 0
+        CANCELED=yes
+        break
     fi
     [ "$state" = done ] && fail "job completed despite the cross-node cancel"
     sleep 0.3
 done
-fail "cross-node cancel never became terminal: $(cat "$WORK/status2.json")"
+[ -n "$CANCELED" ] || fail "cross-node cancel never became terminal: $(cat "$WORK/status2.json")"
+
+# ---- Phase 3: model hot reload ---------------------------------------
+
+# wait_model_fp URL FP: poll /v1/model until the worker serves FP.
+wait_model_fp() {
+    for i in $(seq 1 50); do
+        curl -s "$1/v1/model" >"$WORK/model.json" || true
+        [ "$(jsonfield "$WORK/model.json" fingerprint)" = "$2" ] && return 0
+        sleep 0.2
+    done
+    fail "worker at $1 never served model $2: $(cat "$WORK/model.json")"
+}
+
+echo "training and promoting model 1 into the registry both workers watch"
+"$TRAINBIN" -quick -synth-seeds 1 -kind tree -promote -registry "$MODELS" \
+    -out "$WORK/model1.json" >"$WORK/train1.log" 2>&1 \
+    || fail "model 1 train/promote failed: $(cat "$WORK/train1.log")"
+FP1=$(cat "$MODELS/current")
+[ -n "$FP1" ] || fail "registry has no current pointer after the promote"
+echo "model 1 promoted ($FP1); waiting for both workers to hot-swap"
+wait_model_fp "$A_URL" "$FP1"
+wait_model_fp "$B_URL" "$FP1"
+
+echo "submitting a CMM-L job against the promoted model"
+curl -s "$A_URL/v1/jobs" \
+    -d '{"kind":"comparison","preset":"quick","seeds":[4],"mixes_per_category":1,"policies":["CMM-a","CMM-L"]}' \
+    >"$WORK/submit3.json"
+JOB3=$(jsonfield "$WORK/submit3.json" id)
+[ -n "$JOB3" ] || fail "no CMM-L job id in $(cat "$WORK/submit3.json")"
+DONE3=""
+for i in $(seq 1 200); do
+    curl -s "$A_URL/v1/jobs/$JOB3" >"$WORK/status3.json" || true
+    state=$(jsonfield "$WORK/status3.json" state)
+    if [ "$state" = done ]; then DONE3=yes; break; fi
+    { [ "$state" = failed ] || [ "$state" = canceled ]; } \
+        && fail "CMM-L job ended $state: $(cat "$WORK/status3.json")"
+    sleep 0.3
+done
+[ -n "$DONE3" ] || fail "CMM-L job never finished: $(cat "$WORK/status3.json")"
+echo "CMM-L job $JOB3 done on the promoted model"
+
+# Simulate a promotion torn mid-write: a half-written envelope whose
+# rename landed, with the current pointer already flipped to it. Both
+# workers must reject it, keep serving model 1, surface the error on
+# /v1/model, and bump the reload-error counter.
+echo "corrupting a promotion (garbage envelope, pointer flipped by hand)"
+echo '{"schema":"cmm-learn-model","half' >"$MODELS/deadbeefdead.json"
+echo deadbeefdead >"$MODELS/current"
+for URL in "$A_URL" "$B_URL"; do
+    ERRSEEN=""
+    for i in $(seq 1 50); do
+        curl -s "$URL/v1/model" >"$WORK/model.json" || true
+        if grep -q '"last_error"' "$WORK/model.json"; then ERRSEEN=yes; break; fi
+        sleep 0.2
+    done
+    [ -n "$ERRSEEN" ] || fail "worker at $URL never reported the corrupt reload: $(cat "$WORK/model.json")"
+    [ "$(jsonfield "$WORK/model.json" fingerprint)" = "$FP1" ] \
+        || fail "worker at $URL dropped model 1 on a corrupt promotion: $(cat "$WORK/model.json")"
+    errs=$(curl -s "$URL/metrics" | grep -o 'cmm_model_reload_errors_total [0-9]*' | grep -o '[0-9]*$' || echo 0)
+    [ "${errs:-0}" -ge 1 ] || fail "worker at $URL shows no reload errors in /metrics"
+done
+echo "corrupt promotion rejected on both workers; model 1 still serving"
+
+echo "promoting a clean model 2 (logit) to heal the registry"
+"$TRAINBIN" -quick -synth-seeds 2 -kind logit -promote -registry "$MODELS" \
+    -out "$WORK/model2.json" >"$WORK/train2.log" 2>&1 \
+    || fail "model 2 train/promote failed: $(cat "$WORK/train2.log")"
+FP2=$(cat "$MODELS/current")
+{ [ -n "$FP2" ] && [ "$FP2" != "$FP1" ] && [ "$FP2" != deadbeefdead ]; } \
+    || fail "model 2 promotion produced no new fingerprint ($FP2)"
+wait_model_fp "$A_URL" "$FP2"
+wait_model_fp "$B_URL" "$FP2"
+echo "PASS (phase 3): corrupt promotion rejected; both workers hot-swapped to $FP2"
+echo "PASS: all three phases"
